@@ -1,0 +1,67 @@
+//! Wall-clock Criterion benchmarks of the butterfly kernels themselves:
+//! the O(n log n) butterfly apply versus the O(n^2) dense product it
+//! replaces, plus the pixelfly block-sparse product and a full training
+//! step of the butterfly layer.
+
+use bfly_core::{flat_butterfly_mask, BlockSparseMatrix, Butterfly};
+use bfly_tensor::{matmul::matmul_a_bt, seeded_rng, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_butterfly_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("butterfly_vs_dense_apply");
+    for &n in &[256usize, 1024, 4096] {
+        let mut rng = seeded_rng(1);
+        let butterfly = Butterfly::random(n, &mut rng);
+        let dense = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        let batch = Matrix::random_uniform(16, n, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((16 * n) as u64));
+        group.bench_with_input(BenchmarkId::new("butterfly", n), &n, |b, _| {
+            b.iter(|| butterfly.apply_batch(&batch))
+        });
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| matmul_a_bt(&batch, &dense))
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pixelfly_block_sparse");
+    for &n in &[1024usize, 4096] {
+        let mut rng = seeded_rng(2);
+        let block = 32;
+        let mask = flat_butterfly_mask(n / block, 8);
+        let w = BlockSparseMatrix::random(n, n, block, mask, &mut rng);
+        let x = Matrix::random_uniform(16, n, 1.0, &mut rng);
+        group.throughput(Throughput::Elements(w.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("block_spmm", n), &n, |b, _| {
+            b.iter(|| w.matmul_batch(&x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_butterfly_train_step(c: &mut Criterion) {
+    use bfly_core::ButterflyLayer;
+    use bfly_nn::Layer;
+    let mut group = c.benchmark_group("butterfly_train_step");
+    let n = 1024usize;
+    let mut rng = seeded_rng(3);
+    let mut layer = ButterflyLayer::new(n, n, &mut rng);
+    let x = Matrix::random_uniform(50, n, 1.0, &mut rng);
+    group.bench_with_input(BenchmarkId::new("fwd_bwd", n), &n, |b, _| {
+        b.iter(|| {
+            let y = layer.forward(&x, true);
+            layer.zero_grad();
+            layer.backward(&y)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_butterfly_vs_dense, bench_block_sparse, bench_butterfly_train_step
+}
+criterion_main!(benches);

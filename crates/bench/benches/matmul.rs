@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the three dense matmul kernel tiers (the host
+//! analogues of Table 2's naive / blocked / library tiers).
+
+use bfly_tensor::matmul::{matmul, matmul_blocked, matmul_naive};
+use bfly_tensor::{seeded_rng, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_matmul_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_tiers");
+    for &n in &[128usize, 512] {
+        let mut rng = seeded_rng(1);
+        let a = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        let b = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| matmul_naive(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| matmul_blocked(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_skewed_shapes(c: &mut Criterion) {
+    // Host-side analogue of Fig 4: same FLOPs, different aspect ratios.
+    let mut group = c.benchmark_group("matmul_skew");
+    let base = 256usize;
+    for &(m, k) in &[(base, base), (base * 4, base / 4), (base / 4, base * 4)] {
+        let mut rng = seeded_rng(2);
+        let a = Matrix::random_uniform(m, k, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, base, 1.0, &mut rng);
+        let label = format!("{m}x{k}x{base}");
+        group.bench_with_input(BenchmarkId::new("parallel", &label), &label, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_matmul_tiers, bench_skewed_shapes
+}
+criterion_main!(benches);

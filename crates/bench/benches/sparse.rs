@@ -1,0 +1,53 @@
+//! Criterion benchmarks of sparse kernels: CSR vs COO SpMM (paper Note 2:
+//! "on both GPU and IPU, CSR shows better performance") and the
+//! sparsity-level scaling that underlies Table 2's sparse columns.
+
+use bfly_tensor::{seeded_rng, Csr, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_csr_vs_coo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_vs_coo_spmm");
+    let n = 1024usize;
+    for &density in &[0.01f64, 0.10] {
+        let mut rng = seeded_rng(1);
+        let csr = Csr::random(n, n, density, &mut rng);
+        let coo = csr.to_coo();
+        let dense = Matrix::random_uniform(n, 64, 1.0, &mut rng);
+        let label = format!("{:.0}%_sparse", (1.0 - density) * 100.0);
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("csr", &label), &label, |b, _| {
+            b.iter(|| csr.spmm(&dense))
+        });
+        group.bench_with_input(BenchmarkId::new("coo", &label), &label, |b, _| {
+            b.iter(|| coo.spmm(&dense))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_vs_dense_crossover(c: &mut Criterion) {
+    // Where does exploiting sparsity beat the dense kernel on the host?
+    let mut group = c.benchmark_group("sparse_vs_dense_crossover");
+    let n = 512usize;
+    for &density in &[0.01f64, 0.05, 0.25] {
+        let mut rng = seeded_rng(2);
+        let csr = Csr::random(n, n, density, &mut rng);
+        let as_dense = csr.to_dense();
+        let rhs = Matrix::random_uniform(n, n, 1.0, &mut rng);
+        let label = format!("density_{density}");
+        group.bench_with_input(BenchmarkId::new("spmm", &label), &label, |b, _| {
+            b.iter(|| csr.spmm(&rhs))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_mm", &label), &label, |b, _| {
+            b.iter(|| bfly_tensor::matmul(&as_dense, &rhs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_csr_vs_coo, bench_sparse_vs_dense_crossover
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the fast transforms (FFT, FWHT) against their
+//! dense-matrix equivalents — the O(n log n) vs O(n^2) gap that butterfly
+//! factorization generalises.
+
+use bfly_tensor::fft::{fft_real, dft_matrix};
+use bfly_tensor::fwht::{fwht_in_place, hadamard_matrix};
+use bfly_tensor::{matvec, seeded_rng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::Rng;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_vs_dense_dft");
+    for &n in &[256usize, 1024] {
+        let mut rng = seeded_rng(1);
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (dft_re, _) = dft_matrix(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| b.iter(|| fft_real(&x)));
+        group.bench_with_input(BenchmarkId::new("dense_re_part", n), &n, |b, _| {
+            b.iter(|| matvec(&dft_re, &x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fwht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fwht_vs_dense_hadamard");
+    for &n in &[256usize, 1024, 4096] {
+        let mut rng = seeded_rng(2);
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fwht", n), &n, |b, _| {
+            b.iter(|| {
+                let mut y = x.clone();
+                fwht_in_place(&mut y);
+                y
+            })
+        });
+        if n <= 1024 {
+            let h = hadamard_matrix(n);
+            group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+                b.iter(|| matvec(&h, &x))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_fwht
+}
+criterion_main!(benches);

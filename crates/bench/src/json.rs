@@ -1,0 +1,80 @@
+//! Optional machine-readable output for the harness binaries.
+//!
+//! Every figure/table binary prints a human-readable table; setting
+//! `BFLY_JSON=1` additionally writes the underlying series as JSON under
+//! `target/bench-results/`, so plots can be regenerated without scraping
+//! stdout.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Where JSON results are written.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("target").join("bench-results")
+}
+
+/// True when the user asked for JSON output (`BFLY_JSON=1`).
+pub fn json_enabled() -> bool {
+    std::env::var("BFLY_JSON").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Writes `value` as `target/bench-results/<name>.json` when enabled.
+/// Returns the path written, or `None` when disabled or on I/O failure
+/// (failures are reported to stderr, never fatal for a bench run).
+pub fn maybe_write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    if !json_enabled() {
+        return None;
+    }
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("BFLY_JSON: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => match std::fs::write(&path, body) {
+            Ok(()) => {
+                eprintln!("BFLY_JSON: wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("BFLY_JSON: cannot write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("BFLY_JSON: serialisation failed: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        n: usize,
+        value: f64,
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        std::env::remove_var("BFLY_JSON");
+        assert!(!json_enabled());
+        assert!(maybe_write_json("unit-test", &Row { n: 1, value: 2.0 }).is_none());
+    }
+
+    #[test]
+    fn writes_when_enabled() {
+        std::env::set_var("BFLY_JSON", "1");
+        let path = maybe_write_json("unit-test-write", &vec![Row { n: 1, value: 2.0 }])
+            .expect("should write");
+        let body = std::fs::read_to_string(&path).expect("readable");
+        assert!(body.contains("\"n\": 1"));
+        std::fs::remove_file(path).ok();
+        std::env::remove_var("BFLY_JSON");
+    }
+}

@@ -1,0 +1,286 @@
+//! Fastfood transform layer (Le et al. 2013) — a Table 4 comparison method.
+//!
+//! `y = S H G P H B x + bias` with `H` the orthonormal Walsh-Hadamard
+//! transform, `P` a fixed random permutation, and `S`, `G`, `B` learnable
+//! diagonals. Parameter count `3n + n(bias)`: with the 1024->10 classifier
+//! this gives exactly the paper's N_Params = 14,346.
+
+use bfly_nn::{Layer, Param};
+use bfly_tensor::fwht::fwht_normalized;
+use bfly_tensor::{LinOp, Matrix, Permutation};
+use rand::Rng;
+
+/// The Fastfood structured layer. Non-power-of-two or rectangular shapes are
+/// handled by zero-padding the input and cropping the output.
+pub struct FastfoodLayer {
+    in_dim: usize,
+    out_dim: usize,
+    /// Internal power-of-two transform size.
+    n: usize,
+    /// Learnable diagonals, each of length `n`.
+    s: Param,
+    g: Param,
+    b: Param,
+    bias: Param,
+    perm: Permutation,
+    // Caches for backward: input (padded), t3 = P H (B x), t5 = H G t3.
+    cached_x: Option<Matrix>,
+    cached_t3: Option<Matrix>,
+    cached_t5: Option<Matrix>,
+}
+
+impl FastfoodLayer {
+    /// Creates a Fastfood layer. `S` and `G` start as scaled Gaussians, `B`
+    /// as random signs (the classic Fastfood initialisation, all learnable).
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        let n = in_dim.max(out_dim).next_power_of_two().max(2);
+        let mut b = vec![0.0f32; n];
+        bfly_tensor::rng::fill_signs(&mut b, rng);
+        let mut g = vec![0.0f32; n];
+        bfly_tensor::rng::fill_normal(&mut g, 1.0, rng);
+        let mut s = vec![0.0f32; n];
+        bfly_tensor::rng::fill_normal(&mut s, 1.0, rng);
+        let perm = Permutation::random(n, rng);
+        Self {
+            in_dim,
+            out_dim,
+            n,
+            s: Param::new("fastfood.s", s),
+            g: Param::new("fastfood.g", g),
+            b: Param::new("fastfood.b", b),
+            bias: Param::new("fastfood.bias", vec![0.0; out_dim]),
+            perm,
+            cached_x: None,
+            cached_t3: None,
+            cached_t5: None,
+        }
+    }
+
+    /// Internal transform size.
+    pub fn transform_size(&self) -> usize {
+        self.n
+    }
+
+    /// Materialises the effective dense weight (tests only, O(n^2 log n)).
+    pub fn effective_weight(&mut self) -> Matrix {
+        let n = self.n;
+        let mut w = Matrix::zeros(self.out_dim, self.in_dim);
+        for j in 0..self.in_dim {
+            let mut e = Matrix::zeros(1, self.in_dim);
+            e[(0, j)] = 1.0;
+            let col = self.forward(&e, false);
+            for i in 0..self.out_dim {
+                w[(i, j)] = col[(0, i)];
+            }
+        }
+        let _ = n;
+        w
+    }
+}
+
+impl Layer for FastfoodLayer {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "FastfoodLayer input dim mismatch");
+        let n = self.n;
+        let batch = input.rows();
+        let x = if input.cols() == n { input.clone() } else { input.zero_pad(batch, n) };
+        let mut t3 = Matrix::zeros(batch, n);
+        let mut t5 = Matrix::zeros(batch, n);
+        let mut out = Matrix::zeros(batch, self.out_dim);
+        for r in 0..batch {
+            // t1 = B ∘ x ; t2 = H t1 ; t3 = P t2
+            let mut t: Vec<f32> =
+                x.row(r).iter().zip(&self.b.value).map(|(xv, bv)| xv * bv).collect();
+            fwht_normalized(&mut t);
+            let t = self.perm.apply(&t);
+            t3.row_mut(r).copy_from_slice(&t);
+            // t4 = G ∘ t3 ; t5 = H t4
+            let mut t: Vec<f32> = t.iter().zip(&self.g.value).map(|(tv, gv)| tv * gv).collect();
+            fwht_normalized(&mut t);
+            t5.row_mut(r).copy_from_slice(&t);
+            // y = S ∘ t5 (cropped) + bias
+            for (i, o) in out.row_mut(r).iter_mut().enumerate() {
+                *o = self.s.value[i] * t[i] + self.bias.value[i];
+            }
+        }
+        if train {
+            self.cached_x = Some(x);
+            self.cached_t3 = Some(t3);
+            self.cached_t5 = Some(t5);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let x = self.cached_x.take().expect("FastfoodLayer::backward without forward");
+        let t3 = self.cached_t3.take().expect("missing t3 cache");
+        let t5 = self.cached_t5.take().expect("missing t5 cache");
+        assert_eq!(grad_output.cols(), self.out_dim, "FastfoodLayer grad dim mismatch");
+        let n = self.n;
+        let batch = grad_output.rows();
+        let inv_perm = self.perm.inverse();
+
+        let mut ds = vec![0.0f32; n];
+        let mut dg = vec![0.0f32; n];
+        let mut db_diag = vec![0.0f32; n];
+        let mut dbias = vec![0.0f32; self.out_dim];
+        let mut grad_in = Matrix::zeros(batch, self.in_dim);
+
+        for r in 0..batch {
+            let gy = grad_output.row(r);
+            for (d, g) in dbias.iter_mut().zip(gy) {
+                *d += g;
+            }
+            // dt5 = pad(gy ∘ S) ; dS += gy ∘ t5
+            let mut dt5 = vec![0.0f32; n];
+            for (i, &g) in gy.iter().enumerate() {
+                ds[i] += g * t5[(r, i)];
+                dt5[i] = g * self.s.value[i];
+            }
+            // t5 = H t4, H symmetric orthonormal => dt4 = H dt5
+            fwht_normalized(&mut dt5);
+            let dt4 = dt5;
+            // t4 = G ∘ t3 => dG += dt4 ∘ t3 ; dt3 = dt4 ∘ G
+            let mut dt3 = vec![0.0f32; n];
+            for i in 0..n {
+                dg[i] += dt4[i] * t3[(r, i)];
+                dt3[i] = dt4[i] * self.g.value[i];
+            }
+            // t3 = P t2 => dt2 = P^{-1} dt3
+            let mut dt2 = inv_perm.apply(&dt3);
+            // t2 = H t1 => dt1 = H dt2
+            fwht_normalized(&mut dt2);
+            let dt1 = dt2;
+            // t1 = B ∘ x => dB += dt1 ∘ x ; dx = dt1 ∘ B
+            let xr = x.row(r);
+            let gi = grad_in.row_mut(r);
+            for i in 0..n {
+                db_diag[i] += dt1[i] * xr[i];
+                if i < gi.len() {
+                    gi[i] = dt1[i] * self.b.value[i];
+                }
+            }
+        }
+        self.s.accumulate_grad(&ds);
+        self.g.accumulate_grad(&dg);
+        self.b.accumulate_grad(&db_diag);
+        self.bias.accumulate_grad(&dbias);
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.s, &mut self.g, &mut self.b, &mut self.bias]
+    }
+
+    fn param_count(&self) -> usize {
+        self.s.len() + self.g.len() + self.b.len() + self.bias.len()
+    }
+
+    fn name(&self) -> &str {
+        "fastfood"
+    }
+
+    fn trace(&self, batch: usize) -> Vec<LinOp> {
+        // Framework-level reality (and what the paper's timings imply:
+        // Fastfood trains ~2.5x slower than the dense baseline on the IPU
+        // and ~equal on the GPU): PyTorch has no FWHT primitive, so each
+        // Hadamard transform executes as a dense matmul against a
+        // materialised H — two n x n GEMMs plus the diagonal/permute ops.
+        let n = self.n;
+        vec![
+            LinOp::Elementwise { n: batch * n, flops_per_elem: 1 }, // B
+            LinOp::MatMul { m: batch, k: n, n },                    // H (dense)
+            LinOp::Permute { rows: batch, width: n },
+            LinOp::Elementwise { n: batch * n, flops_per_elem: 1 }, // G
+            LinOp::MatMul { m: batch, k: n, n },                    // H (dense)
+            LinOp::Elementwise { n: batch * n, flops_per_elem: 2 }, // S + bias
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_tensor::matmul::matmul_a_bt;
+    use bfly_tensor::seeded_rng;
+
+    #[test]
+    fn param_count_matches_paper_formula() {
+        let mut rng = seeded_rng(61);
+        let layer = FastfoodLayer::new(1024, 1024, &mut rng);
+        assert_eq!(layer.param_count(), 4 * 1024);
+        // With the 1024->10 classifier: 4096 + 10250 = 14,346 (Table 4).
+        assert_eq!(layer.param_count() + 1024 * 10 + 10, 14_346);
+    }
+
+    #[test]
+    fn forward_is_linear_plus_bias() {
+        let mut rng = seeded_rng(62);
+        let mut layer = FastfoodLayer::new(16, 16, &mut rng);
+        let w = layer.effective_weight();
+        let x = Matrix::random_uniform(4, 16, 1.0, &mut rng);
+        let y = layer.forward(&x, false);
+        let expect = matmul_a_bt(&x, &w); // bias is zero
+        assert!(y.relative_error(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn rectangular_pad_crop() {
+        let mut rng = seeded_rng(63);
+        let mut layer = FastfoodLayer::new(12, 6, &mut rng);
+        assert_eq!(layer.transform_size(), 16);
+        let x = Matrix::random_uniform(3, 12, 1.0, &mut rng);
+        assert_eq!(layer.forward(&x, false).shape(), (3, 6));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = seeded_rng(64);
+        let mut layer = FastfoodLayer::new(8, 8, &mut rng);
+        let x = Matrix::random_uniform(3, 8, 1.0, &mut rng);
+        let y = layer.forward(&x, true);
+        let gx = layer.backward(&y.clone());
+        let eps = 1e-3f32;
+        let loss = |layer: &mut FastfoodLayer, x: &Matrix| -> f64 {
+            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
+        };
+        // Diagonal parameter grads.
+        for (pname, pidx) in [("s", 0usize), ("g", 1), ("b", 2)] {
+            let analytic = match pidx {
+                0 => layer.s.grad.clone(),
+                1 => layer.g.grad.clone(),
+                _ => layer.b.grad.clone(),
+            };
+            for idx in [0usize, 5] {
+                let get = |layer: &mut FastfoodLayer| -> f32 {
+                    match pidx {
+                        0 => layer.s.value[idx],
+                        1 => layer.g.value[idx],
+                        _ => layer.b.value[idx],
+                    }
+                };
+                let set = |layer: &mut FastfoodLayer, v: f32| match pidx {
+                    0 => layer.s.value[idx] = v,
+                    1 => layer.g.value[idx] = v,
+                    _ => layer.b.value[idx] = v,
+                };
+                let orig = get(&mut layer);
+                set(&mut layer, orig + eps);
+                let lp = loss(&mut layer, &x);
+                set(&mut layer, orig - eps);
+                let lm = loss(&mut layer, &x);
+                set(&mut layer, orig);
+                let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (analytic[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+                    "{pname}[{idx}]: {} vs {numeric}",
+                    analytic[idx]
+                );
+            }
+        }
+        // Input grad: dX = dY W for linear layers.
+        let w = layer.effective_weight();
+        let expect_gx = bfly_tensor::matmul(&y, &w);
+        assert!(gx.relative_error(&expect_gx) < 1e-3);
+    }
+}

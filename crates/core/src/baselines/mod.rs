@@ -1,0 +1,12 @@
+//! Structured-matrix comparison methods from Table 4 (Fastfood, Circulant,
+//! Low-rank) — each a compressed replacement for the SHL hidden layer.
+
+pub mod circulant;
+pub mod fastfood;
+pub mod lowrank;
+pub mod pruned;
+
+pub use circulant::CirculantLayer;
+pub use fastfood::FastfoodLayer;
+pub use lowrank::LowRankLayer;
+pub use pruned::PrunedDenseLayer;

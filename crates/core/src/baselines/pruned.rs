@@ -1,0 +1,248 @@
+//! Unstructured-pruned dense layer — an extension baseline.
+//!
+//! The paper's conclusion is that the IPU "is not able to exploit any
+//! benefits from structure in the sparsity pattern, while it suffers from
+//! overhead usually found in methods that gear towards structured
+//! sparsity" — which begs the question the paper leaves open: how does
+//! *unstructured* sparsity (the pattern popsparse is built for, Table 2's
+//! strongest IPU result) do as a layer-compression method?
+//!
+//! This layer keeps a fixed random sparse support of the weight matrix
+//! (chosen at init, as in static sparse training), stores it in CSR, trains
+//! the surviving values, and traces to [`LinOp::SpMM`] — the popsparse path
+//! on the IPU and the cuSPARSE path on the GPU.
+
+use bfly_nn::{Layer, Param};
+use bfly_tensor::{LinOp, Matrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A dense layer with a fixed unstructured sparse support.
+///
+/// `y = (W ⊙ M) x + bias` with `M` a random binary mask of the requested
+/// density, fixed at construction; only the surviving entries are stored
+/// and trained.
+pub struct PrunedDenseLayer {
+    in_dim: usize,
+    out_dim: usize,
+    /// CSR structure of the support: row offsets (len out_dim + 1).
+    row_ptr: Vec<u32>,
+    /// Column index per surviving weight.
+    col_idx: Vec<u32>,
+    /// Surviving weight values.
+    values: Param,
+    bias: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl PrunedDenseLayer {
+    /// Creates a pruned layer keeping `density` of the weights
+    /// (e.g. 0.015 for the butterfly-comparable 98.5 % sparsity).
+    ///
+    /// # Panics
+    /// Panics unless `0 < density <= 1`.
+    pub fn new(in_dim: usize, out_dim: usize, density: f64, rng: &mut impl Rng) -> Self {
+        assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+        let per_row = ((in_dim as f64 * density).round() as usize).clamp(1, in_dim);
+        let scale = 1.0 / (per_row as f32).sqrt();
+        let mut row_ptr = Vec::with_capacity(out_dim + 1);
+        let mut col_idx = Vec::with_capacity(out_dim * per_row);
+        let mut values = Vec::with_capacity(out_dim * per_row);
+        row_ptr.push(0u32);
+        let mut cols: Vec<u32> = (0..in_dim as u32).collect();
+        for _ in 0..out_dim {
+            let (chosen, _) = cols.partial_shuffle(rng, per_row);
+            chosen.sort_unstable();
+            for &c in chosen.iter() {
+                col_idx.push(c);
+                values.push(rng.gen_range(-scale..=scale));
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Self {
+            in_dim,
+            out_dim,
+            row_ptr,
+            col_idx,
+            values: Param::new("pruned.values", values),
+            bias: Param::new("pruned.bias", vec![0.0; out_dim]),
+            cached_input: None,
+        }
+    }
+
+    /// Number of surviving weights.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Fraction of weights kept.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.in_dim * self.out_dim) as f64
+    }
+
+    /// Materialises the effective dense weight (tests only).
+    pub fn effective_weight(&self) -> Matrix {
+        let mut w = Matrix::zeros(self.out_dim, self.in_dim);
+        for r in 0..self.out_dim {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            for i in s..e {
+                w[(r, self.col_idx[i] as usize)] = self.values.value[i];
+            }
+        }
+        w
+    }
+}
+
+impl Layer for PrunedDenseLayer {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "PrunedDenseLayer input dim mismatch");
+        let batch = input.rows();
+        let mut out = Matrix::zeros(batch, self.out_dim);
+        for b in 0..batch {
+            let x = input.row(b);
+            let y = out.row_mut(b);
+            for (r, yr) in y.iter_mut().enumerate() {
+                let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                let mut acc = self.bias.value[r];
+                for i in s..e {
+                    acc += self.values.value[i] * x[self.col_idx[i] as usize];
+                }
+                *yr = acc;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .take()
+            .expect("PrunedDenseLayer::backward called without a training-mode forward");
+        assert_eq!(grad_output.cols(), self.out_dim, "PrunedDenseLayer grad dim mismatch");
+        let batch = grad_output.rows();
+        let mut dvals = vec![0.0f32; self.values.len()];
+        let mut dbias = vec![0.0f32; self.out_dim];
+        let mut grad_in = Matrix::zeros(batch, self.in_dim);
+        for b in 0..batch {
+            let x = input.row(b);
+            let gy = grad_output.row(b);
+            let gx = grad_in.row_mut(b);
+            for r in 0..self.out_dim {
+                let g = gy[r];
+                dbias[r] += g;
+                if g == 0.0 {
+                    continue;
+                }
+                let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                for (i, dv) in dvals[s..e].iter_mut().enumerate().map(|(o, d)| (s + o, d)) {
+                    let c = self.col_idx[i] as usize;
+                    *dv += g * x[c];
+                    gx[c] += g * self.values.value[i];
+                }
+            }
+        }
+        self.values.accumulate_grad(&dvals);
+        self.bias.accumulate_grad(&dbias);
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.values, &mut self.bias]
+    }
+
+    fn param_count(&self) -> usize {
+        self.values.len() + self.bias.len()
+    }
+
+    fn name(&self) -> &str {
+        "pruned"
+    }
+
+    fn trace(&self, batch: usize) -> Vec<LinOp> {
+        // One unstructured SpMM — the popsparse / cuSPARSE path.
+        vec![
+            LinOp::SpMM { m: self.out_dim, k: self.in_dim, n: batch, nnz: self.nnz() },
+            LinOp::Elementwise { n: batch * self.out_dim, flops_per_elem: 1 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_tensor::matmul::matmul_a_bt;
+    use bfly_tensor::seeded_rng;
+
+    #[test]
+    fn density_is_close_to_target() {
+        let mut rng = seeded_rng(91);
+        let layer = PrunedDenseLayer::new(256, 256, 0.015, &mut rng);
+        assert!((layer.density() - 0.015).abs() < 0.005, "density {}", layer.density());
+    }
+
+    #[test]
+    fn forward_matches_effective_weight() {
+        let mut rng = seeded_rng(92);
+        let mut layer = PrunedDenseLayer::new(32, 24, 0.2, &mut rng);
+        let x = Matrix::random_uniform(5, 32, 1.0, &mut rng);
+        let y = layer.forward(&x, false);
+        let expect = matmul_a_bt(&x, &layer.effective_weight()); // bias zero
+        assert!(y.relative_error(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = seeded_rng(93);
+        let mut layer = PrunedDenseLayer::new(10, 8, 0.4, &mut rng);
+        let x = Matrix::random_uniform(3, 10, 1.0, &mut rng);
+        let y = layer.forward(&x, true);
+        let gx = layer.backward(&y.clone());
+        let analytic = layer.values.grad.clone();
+        let eps = 1e-3f32;
+        let loss = |layer: &mut PrunedDenseLayer, x: &Matrix| -> f64 {
+            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
+        };
+        for idx in [0usize, analytic.len() / 2, analytic.len() - 1] {
+            let orig = layer.values.value[idx];
+            layer.values.value[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.values.value[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.values.value[idx] = orig;
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (analytic[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+                "values[{idx}]: {} vs {numeric}",
+                analytic[idx]
+            );
+        }
+        let expect_gx = bfly_tensor::matmul(&y, &layer.effective_weight());
+        assert!(gx.relative_error(&expect_gx) < 1e-4);
+    }
+
+    #[test]
+    fn support_is_fixed_under_training_updates() {
+        // Zero entries must stay zero: only surviving values are parameters.
+        let mut rng = seeded_rng(94);
+        let mut layer = PrunedDenseLayer::new(16, 16, 0.1, &mut rng);
+        let before_mask: Vec<bool> =
+            layer.effective_weight().as_slice().iter().map(|&v| v != 0.0).collect();
+        for v in layer.values.value.iter_mut() {
+            *v += 1.0;
+        }
+        let after_mask: Vec<bool> =
+            layer.effective_weight().as_slice().iter().map(|&v| v != 0.0).collect();
+        assert_eq!(before_mask, after_mask);
+    }
+
+    #[test]
+    fn trace_is_unstructured_spmm() {
+        let mut rng = seeded_rng(95);
+        let layer = PrunedDenseLayer::new(64, 64, 0.05, &mut rng);
+        let trace = layer.trace(8);
+        assert!(matches!(trace[0], LinOp::SpMM { nnz, .. } if nnz == layer.nnz()));
+    }
+}

@@ -1,0 +1,339 @@
+//! Butterfly factorization as a drop-in replacement for `nn.Linear`
+//! (the Table 4 "Butterfly" method).
+
+use crate::butterfly::Butterfly;
+use bfly_nn::{Layer, Param};
+use bfly_tensor::{LinOp, Matrix};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// A learnable butterfly layer `y = crop(B P pad(x)) + bias`.
+///
+/// The transform is square of size `n = next_pow2(max(in_dim, out_dim))`;
+/// non-power-of-two or rectangular shapes are handled by zero-padding the
+/// input and cropping the output (the butterfly itself must be a power of
+/// two — §2.3). Parameters: `2 n log2 n` twiddles plus `out_dim` bias.
+pub struct ButterflyLayer {
+    in_dim: usize,
+    out_dim: usize,
+    butterfly: Butterfly,
+    /// One flat parameter per factor, quadruples `[a, b, c, d]` per twiddle.
+    factor_params: Vec<Param>,
+    bias: Param,
+    cache: Option<Vec<Matrix>>,
+}
+
+impl ButterflyLayer {
+    /// Creates a butterfly layer with rotation-initialised twiddles and zero
+    /// bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(in_dim >= 1 && out_dim >= 1);
+        let n = in_dim.max(out_dim).next_power_of_two().max(2);
+        let butterfly = Butterfly::random(n, rng);
+        let factor_params = butterfly
+            .factors
+            .iter()
+            .enumerate()
+            .map(|(s, f)| {
+                let flat: Vec<f32> = f.twiddles.iter().flatten().copied().collect();
+                Param::new(format!("butterfly.factor{s}"), flat)
+            })
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            butterfly,
+            factor_params,
+            bias: Param::new("butterfly.bias", vec![0.0; out_dim]),
+            cache: None,
+        }
+    }
+
+    /// Internal transform size.
+    pub fn transform_size(&self) -> usize {
+        self.butterfly.n()
+    }
+
+    /// Copies current parameter values into the butterfly's factor storage.
+    fn sync_params_into_butterfly(&mut self) {
+        for (f, p) in self.butterfly.factors.iter_mut().zip(&self.factor_params) {
+            for (t, quad) in f.twiddles.iter_mut().zip(p.value.chunks_exact(4)) {
+                t.copy_from_slice(quad);
+            }
+        }
+    }
+
+    /// Materialises the effective dense weight `W (out x in)` this layer
+    /// currently represents (tests / inspection; O(n^2 log n)).
+    pub fn effective_weight(&mut self) -> Matrix {
+        self.sync_params_into_butterfly();
+        let t = self.butterfly.materialize();
+        t.submatrix(0, 0, self.out_dim, self.in_dim)
+    }
+
+    fn pad_batch(&self, input: &Matrix) -> Matrix {
+        let n = self.butterfly.n();
+        if input.cols() == n {
+            input.clone()
+        } else {
+            input.zero_pad(input.rows(), n)
+        }
+    }
+}
+
+impl Layer for ButterflyLayer {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "ButterflyLayer input dim mismatch");
+        self.sync_params_into_butterfly();
+        let n = self.butterfly.n();
+        let batch = input.rows();
+        let mut y = self.pad_batch(input);
+        // Initial permutation, applied to all rows.
+        y = self.butterfly.perm.apply_to_rows(&y);
+        let mut cache: Vec<Matrix> = Vec::with_capacity(self.butterfly.stages());
+        for f in &self.butterfly.factors {
+            if train {
+                cache.push(y.clone());
+            }
+            y.as_mut_slice().par_chunks_mut(n).for_each(|row| f.apply_in_place(row));
+        }
+        if train {
+            self.cache = Some(cache);
+        }
+        // Crop to out_dim and add bias.
+        let mut out = Matrix::zeros(batch, self.out_dim);
+        for r in 0..batch {
+            for (o, (v, b)) in
+                out.row_mut(r).iter_mut().zip(y.row(r).iter().zip(&self.bias.value))
+            {
+                *o = v + b;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self
+            .cache
+            .take()
+            .expect("ButterflyLayer::backward called without a training-mode forward");
+        assert_eq!(grad_output.cols(), self.out_dim, "ButterflyLayer grad dim mismatch");
+        let n = self.butterfly.n();
+        let batch = grad_output.rows();
+
+        // Bias gradient: column sums.
+        let mut db = vec![0.0f32; self.out_dim];
+        for r in 0..batch {
+            for (d, g) in db.iter_mut().zip(grad_output.row(r)) {
+                *d += g;
+            }
+        }
+        self.bias.accumulate_grad(&db);
+
+        // Pad grad to transform width.
+        let mut g = grad_output.zero_pad(batch, n);
+
+        // Walk factors in reverse; rows processed in parallel with
+        // per-thread twiddle-gradient accumulators reduced at the end.
+        for (s, f) in self.butterfly.factors.iter().enumerate().rev() {
+            let x_cache = &cache[s];
+            let gt: Vec<[f32; 4]> = g
+                .as_mut_slice()
+                .par_chunks_mut(n)
+                .zip(x_cache.as_slice().par_chunks(n))
+                .fold(
+                    || vec![[0.0f32; 4]; f.twiddles.len()],
+                    |mut acc, (grow, xrow)| {
+                        f.backward_in_place(xrow, grow, &mut acc);
+                        acc
+                    },
+                )
+                .reduce(
+                    || vec![[0.0f32; 4]; f.twiddles.len()],
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(&b) {
+                            for e in 0..4 {
+                                x[e] += y[e];
+                            }
+                        }
+                        a
+                    },
+                );
+            let flat: Vec<f32> = gt.iter().flatten().copied().collect();
+            self.factor_params[s].accumulate_grad(&flat);
+        }
+
+        // Backward through the permutation per row, then crop to in_dim.
+        let inv = self.butterfly.perm.inverse();
+        let g = inv.apply_to_rows(&g);
+        g.submatrix(0, 0, batch, self.in_dim)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        let mut ps: Vec<&mut Param> = self.factor_params.iter_mut().collect();
+        ps.push(&mut self.bias);
+        ps
+    }
+
+    fn param_count(&self) -> usize {
+        self.factor_params.iter().map(Param::len).sum::<usize>() + self.bias.len()
+    }
+
+    fn name(&self) -> &str {
+        "butterfly"
+    }
+
+    fn trace(&self, batch: usize) -> Vec<LinOp> {
+        let n = self.butterfly.n();
+        let mut ops = vec![LinOp::Permute { rows: batch, width: n }];
+        // Each factor is a Twiddle op over n/2 pairs — crucially, log2(n)
+        // *separate* small operations (separate kernels on the GPU /
+        // compute sets on the IPU) executed as strided multiply-adds rather
+        // than one tuned dense matmul: this is the source of the
+        // factorization overhead both devices pay at small N in Fig 6.
+        for _ in 0..self.butterfly.stages() {
+            ops.push(LinOp::Twiddle { pairs: n / 2, batch });
+        }
+        ops.push(LinOp::Elementwise { n: batch * self.out_dim, flops_per_elem: 1 });
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_nn::Layer;
+    use bfly_tensor::matmul::matmul_a_bt;
+    use bfly_tensor::seeded_rng;
+
+    #[test]
+    fn forward_matches_effective_weight() {
+        let mut rng = seeded_rng(41);
+        let mut layer = ButterflyLayer::new(16, 16, &mut rng);
+        let x = Matrix::random_uniform(4, 16, 1.0, &mut rng);
+        let y = layer.forward(&x, false);
+        let w = layer.effective_weight();
+        let expect = matmul_a_bt(&x, &w); // bias is zero at init
+        assert!(y.relative_error(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn rectangular_shapes_pad_and_crop() {
+        let mut rng = seeded_rng(42);
+        let mut layer = ButterflyLayer::new(12, 7, &mut rng);
+        assert_eq!(layer.transform_size(), 16);
+        let x = Matrix::random_uniform(3, 12, 1.0, &mut rng);
+        let y = layer.forward(&x, false);
+        assert_eq!(y.shape(), (3, 7));
+        let w = layer.effective_weight();
+        assert_eq!(w.shape(), (7, 12));
+        assert!(y.relative_error(&matmul_a_bt(&x, &w)) < 1e-4);
+    }
+
+    #[test]
+    fn param_count_is_2nlogn_plus_bias() {
+        let mut rng = seeded_rng(43);
+        let layer = ButterflyLayer::new(1024, 1024, &mut rng);
+        assert_eq!(layer.param_count(), 2 * 1024 * 10 + 1024);
+    }
+
+    #[test]
+    fn backward_input_grad_matches_dense_equivalent() {
+        let mut rng = seeded_rng(44);
+        let mut layer = ButterflyLayer::new(8, 8, &mut rng);
+        let x = Matrix::random_uniform(3, 8, 1.0, &mut rng);
+        let y = layer.forward(&x, true);
+        let gx = layer.backward(&y.clone());
+        // dX = dY W for dense y = x W^T.
+        let w = layer.effective_weight();
+        let expect = bfly_tensor::matmul(&y, &w);
+        assert!(gx.relative_error(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn twiddle_gradients_match_finite_differences() {
+        let mut rng = seeded_rng(45);
+        let mut layer = ButterflyLayer::new(8, 8, &mut rng);
+        let x = Matrix::random_uniform(2, 8, 1.0, &mut rng);
+        let y = layer.forward(&x, true);
+        let _ = layer.backward(&y.clone());
+        let analytic: Vec<Vec<f32>> =
+            layer.factor_params.iter().map(|p| p.grad.clone()).collect();
+        let eps = 1e-3f32;
+        let loss = |layer: &mut ButterflyLayer, x: &Matrix| -> f64 {
+            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
+        };
+        for s in 0..layer.factor_params.len() {
+            for idx in [0usize, layer.factor_params[s].len() - 1] {
+                let orig = layer.factor_params[s].value[idx];
+                layer.factor_params[s].value[idx] = orig + eps;
+                let lp = loss(&mut layer, &x);
+                layer.factor_params[s].value[idx] = orig - eps;
+                let lm = loss(&mut layer, &x);
+                layer.factor_params[s].value[idx] = orig;
+                let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (analytic[s][idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+                    "factor {s} idx {idx}: {} vs {numeric}",
+                    analytic[s][idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut rng = seeded_rng(46);
+        let mut layer = ButterflyLayer::new(4, 4, &mut rng);
+        let x = Matrix::filled(3, 4, 0.5);
+        let _ = layer.forward(&x, true);
+        let g = Matrix::filled(3, 4, 2.0);
+        let _ = layer.backward(&g);
+        assert_eq!(layer.bias.grad, vec![6.0; 4]);
+    }
+
+    #[test]
+    fn trace_has_logn_twiddle_stages() {
+        let mut rng = seeded_rng(47);
+        let layer = ButterflyLayer::new(1024, 1024, &mut rng);
+        let trace = layer.trace(50);
+        let twiddle_count =
+            trace.iter().filter(|op| matches!(op, LinOp::Twiddle { .. })).count();
+        assert_eq!(twiddle_count, 10);
+    }
+
+    #[test]
+    fn butterfly_layer_learns_a_butterfly_teacher() {
+        // Gradient-descend a randomly initialised student onto the transform
+        // of a random butterfly teacher (same permutation) — the trainability
+        // property that lets butterfly layers "learn fast algorithms for
+        // linear transforms" (Dao et al.). Exact-representation checks for
+        // named transforms (Hadamard) live in `butterfly::tests`.
+        use bfly_nn::Sgd;
+        let n = 8;
+        let mut rng = seeded_rng(48);
+        let mut student = ButterflyLayer::new(n, n, &mut rng);
+        let mut teacher = ButterflyLayer::new(n, n, &mut rng);
+        let target = teacher.effective_weight();
+        let opt = Sgd::new(0.05, 0.9);
+        let mut initial_loss = None;
+        let mut final_loss = f64::MAX;
+        for _ in 0..600 {
+            let x = Matrix::random_uniform(16, n, 1.0, &mut rng);
+            let want = matmul_a_bt(&x, &target);
+            let got = student.forward(&x, true);
+            let diff = got.sub(&want);
+            final_loss =
+                diff.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / 16.0;
+            initial_loss.get_or_insert(final_loss);
+            student.zero_grad();
+            let _ = student.backward(&diff.scale(1.0 / 16.0));
+            opt.step(&mut student.params());
+        }
+        let initial = initial_loss.expect("ran at least one step");
+        assert!(
+            final_loss < initial * 0.05,
+            "did not learn the teacher: {initial} -> {final_loss}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Compressing an existing dense matrix into a butterfly factorization.
+//!
+//! Given a trained (or otherwise fixed) dense operator `W`, find butterfly
+//! twiddles whose product approximates it — the "compress a layer after
+//! training" workflow, complementary to training the butterfly from scratch.
+//! The projection is gradient descent on `||B P x - W x||^2` over random
+//! probes, which matches how the paper's lineage (Dao et al.) fits named
+//! transforms.
+
+use crate::butterfly::Butterfly;
+use bfly_tensor::matmul::matmul_a_bt;
+use bfly_tensor::{Matrix, WorkspaceRng};
+
+/// Configuration for [`fit_butterfly`].
+#[derive(Debug, Clone, Copy)]
+pub struct FitConfig {
+    /// Gradient steps.
+    pub steps: usize,
+    /// Probe batch size per step.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self { steps: 2000, batch: 32, lr: 0.02, momentum: 0.9 }
+    }
+}
+
+/// Outcome of a butterfly fit.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// The fitted factorization.
+    pub butterfly: Butterfly,
+    /// Mean-squared probe error at the final step.
+    pub final_loss: f64,
+    /// Relative Frobenius error of the materialised operator vs the target.
+    pub operator_error: f32,
+    /// Parameters in the factorization vs the dense target.
+    pub compression: f64,
+}
+
+/// Fits a butterfly factorization to a square power-of-two dense matrix.
+///
+/// # Panics
+/// Panics unless `target` is square with power-of-two dimension.
+pub fn fit_butterfly(target: &Matrix, config: &FitConfig, rng: &mut WorkspaceRng) -> FitReport {
+    let (n, cols) = target.shape();
+    assert_eq!(n, cols, "fit_butterfly needs a square target");
+    assert!(n.is_power_of_two(), "fit_butterfly needs a power-of-two dimension");
+    let mut student = Butterfly::random(n, rng);
+    let mut velocity: Vec<Vec<[f32; 4]>> =
+        student.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+    let mut final_loss = f64::MAX;
+    for _ in 0..config.steps {
+        let x = Matrix::random_uniform(config.batch, n, 1.0, rng);
+        let want = matmul_a_bt(&x, target);
+        let mut grads: Vec<Vec<[f32; 4]>> =
+            student.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+        let mut loss = 0.0f64;
+        for r in 0..config.batch {
+            let (got, cache) = student.forward_cached(x.row(r));
+            let grad_out: Vec<f32> = got
+                .iter()
+                .zip(want.row(r))
+                .map(|(g, w)| {
+                    let d = g - w;
+                    loss += (d as f64).powi(2);
+                    2.0 * d / (config.batch * n) as f32
+                })
+                .collect();
+            let _ = student.backward_cached(&cache, &grad_out, &mut grads);
+        }
+        final_loss = loss / (config.batch * n) as f64;
+        for (s, factor) in student.factors.iter_mut().enumerate() {
+            for (t, tw) in factor.twiddles.iter_mut().enumerate() {
+                for e in 0..4 {
+                    let v = config.momentum * velocity[s][t][e] + grads[s][t][e];
+                    velocity[s][t][e] = v;
+                    tw[e] -= config.lr * v;
+                }
+            }
+        }
+    }
+    let operator_error = student.materialize().relative_error(target);
+    let compression = 1.0 - student.param_count() as f64 / (n * n) as f64;
+    FitReport { butterfly: student, final_loss, operator_error, compression }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_tensor::fwht::hadamard_matrix;
+    use bfly_tensor::seeded_rng;
+
+    #[test]
+    fn recovers_a_butterfly_representable_target() {
+        // Target = a random butterfly's dense form (same permutation class):
+        // the fit must drive the operator error far below a random guess.
+        let mut rng = seeded_rng(71);
+        let teacher = Butterfly::random(8, &mut rng);
+        let target = teacher.materialize();
+        let config = FitConfig { steps: 1500, ..FitConfig::default() };
+        let report = fit_butterfly(&target, &config, &mut rng);
+        assert!(
+            report.operator_error < 0.15,
+            "fit stalled at operator error {}",
+            report.operator_error
+        );
+        assert!(report.compression > 0.0);
+    }
+
+    #[test]
+    fn approximates_scaled_hadamard() {
+        // The fit uses bit-reversal as its fixed permutation, so H (whose
+        // natural butterfly uses the identity permutation) is only
+        // approximable — but the fit must still cut the operator error well
+        // below the random-initialisation level.
+        let mut rng = seeded_rng(72);
+        let target = hadamard_matrix(8).scale(1.0 / (8f32).sqrt());
+        let initial = Butterfly::random(8, &mut rng).materialize().relative_error(&target);
+        let config = FitConfig { steps: 2500, lr: 0.03, ..FitConfig::default() };
+        let report = fit_butterfly(&target, &config, &mut rng);
+        assert!(
+            report.operator_error < 0.7 * initial,
+            "error {} did not improve enough on initial {initial}",
+            report.operator_error
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "square target")]
+    fn rejects_rectangular_targets() {
+        let mut rng = seeded_rng(73);
+        let _ = fit_butterfly(&Matrix::zeros(4, 8), &FitConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn loss_decreases_during_fit() {
+        let mut rng = seeded_rng(74);
+        let teacher = Butterfly::random(8, &mut rng);
+        let target = teacher.materialize();
+        let short = fit_butterfly(&target, &FitConfig { steps: 10, ..Default::default() }, &mut rng);
+        let mut rng2 = seeded_rng(74);
+        let long =
+            fit_butterfly(&target, &FitConfig { steps: 800, ..Default::default() }, &mut rng2);
+        assert!(long.final_loss < short.final_loss);
+    }
+}

@@ -1,0 +1,228 @@
+//! Butterfly-compressed 1x1 convolution.
+//!
+//! A 1x1 convolution is a dense channel-mixing matrix applied at every
+//! pixel — exactly the shape butterfly factorization compresses (Dao et
+//! al. replace the pointwise convolutions of large CNNs this way; the
+//! paper's §1 motivates butterfly for "fully-connected and convolutional
+//! layers"). This layer reshapes the channel-major activation so pixels
+//! become batch rows, applies a [`ButterflyLayer`] over channels, and
+//! restores the layout:
+//!
+//! dense 1x1: `C_out * C_in` weights -> butterfly: `2 C log2 C` twiddles.
+
+use crate::butterfly_layer::ButterflyLayer;
+use bfly_nn::{ConvShape, Layer, Param};
+use bfly_tensor::{LinOp, Matrix};
+use rand::Rng;
+
+/// A 1x1 convolution whose channel-mixing matrix is a butterfly.
+pub struct ButterflyConv1x1 {
+    channels_in: usize,
+    channels_out: usize,
+    pixels: usize,
+    inner: ButterflyLayer,
+}
+
+impl ButterflyConv1x1 {
+    /// Creates the layer for `height x width` feature maps.
+    pub fn new(
+        channels_in: usize,
+        channels_out: usize,
+        height: usize,
+        width: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            channels_in,
+            channels_out,
+            pixels: height * width,
+            inner: ButterflyLayer::new(channels_in, channels_out, rng),
+        }
+    }
+
+    /// Equivalent dense-conv shape (for comparisons).
+    pub fn dense_equivalent(&self, height: usize, width: usize) -> ConvShape {
+        ConvShape {
+            in_channels: self.channels_in,
+            out_channels: self.channels_out,
+            height,
+            width,
+            kernel: 1,
+            padding: 0,
+        }
+    }
+
+    /// Parameters of the dense 1x1 conv this replaces.
+    pub fn dense_param_count(&self) -> usize {
+        self.channels_out * self.channels_in + self.channels_out
+    }
+
+    /// Gathers channel-major rows `(batch, C*P)` into pixel rows
+    /// `(batch*P, C)`.
+    fn to_pixel_rows(&self, input: &Matrix, channels: usize) -> Matrix {
+        let batch = input.rows();
+        let mut out = Matrix::zeros(batch * self.pixels, channels);
+        for b in 0..batch {
+            let src = input.row(b);
+            for pix in 0..self.pixels {
+                let dst = out.row_mut(b * self.pixels + pix);
+                for (c, d) in dst.iter_mut().enumerate() {
+                    *d = src[c * self.pixels + pix];
+                }
+            }
+        }
+        out
+    }
+
+    /// Scatters pixel rows `(batch*P, C)` back to channel-major `(batch, C*P)`.
+    fn to_channel_major(&self, rows: &Matrix, channels: usize, batch: usize) -> Matrix {
+        let mut out = Matrix::zeros(batch, channels * self.pixels);
+        for b in 0..batch {
+            let dst = out.row_mut(b);
+            for pix in 0..self.pixels {
+                let src = rows.row(b * self.pixels + pix);
+                for (c, s) in src.iter().enumerate() {
+                    dst[c * self.pixels + pix] = *s;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for ButterflyConv1x1 {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.channels_in * self.pixels,
+            "ButterflyConv1x1 input length mismatch"
+        );
+        let batch = input.rows();
+        let pixel_rows = self.to_pixel_rows(input, self.channels_in);
+        let mixed = self.inner.forward(&pixel_rows, train);
+        self.to_channel_major(&mixed, self.channels_out, batch)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let batch = grad_output.rows();
+        let g_rows = self.to_pixel_rows(grad_output, self.channels_out);
+        let g_in_rows = self.inner.backward(&g_rows);
+        self.to_channel_major(&g_in_rows, self.channels_in, batch)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        self.inner.params()
+    }
+
+    fn param_count(&self) -> usize {
+        self.inner.param_count()
+    }
+
+    fn name(&self) -> &str {
+        "butterfly-conv1x1"
+    }
+
+    fn trace(&self, batch: usize) -> Vec<LinOp> {
+        // The inner butterfly runs with batch*pixels effective rows, plus
+        // the layout gather/scatter.
+        let mut ops = vec![LinOp::Permute { rows: batch * self.pixels, width: self.channels_in }];
+        ops.extend(self.inner.trace(batch * self.pixels));
+        ops.push(LinOp::Permute { rows: batch * self.pixels, width: self.channels_out });
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_nn::Conv2d;
+    use bfly_tensor::seeded_rng;
+
+    #[test]
+    fn matches_dense_conv_with_materialized_weight() {
+        let (c, h, w) = (8usize, 4usize, 3usize);
+        let mut rng = seeded_rng(11);
+        let mut layer = ButterflyConv1x1::new(c, c, h, w, &mut rng);
+        // Dense 1x1 conv with the butterfly's materialised channel matrix.
+        let mut dense = Conv2d::new(layer.dense_equivalent(h, w), &mut rng);
+        let weight = layer.inner.effective_weight();
+        dense.set_weight(&weight);
+        for b in dense.params()[1].value.iter_mut() {
+            *b = 0.0;
+        }
+        let x = Matrix::random_uniform(3, c * h * w, 1.0, &mut rng);
+        let via_butterfly = layer.forward(&x, false);
+        let via_dense = dense.forward(&x, false);
+        assert!(via_butterfly.relative_error(&via_dense) < 1e-4);
+    }
+
+    #[test]
+    fn compresses_the_channel_mix() {
+        let mut rng = seeded_rng(12);
+        let layer = ButterflyConv1x1::new(256, 256, 8, 8, &mut rng);
+        assert!(layer.param_count() * 10 < layer.dense_param_count());
+    }
+
+    #[test]
+    fn backward_round_trips_shapes() {
+        let (c, h, w) = (4usize, 3usize, 3usize);
+        let mut rng = seeded_rng(13);
+        let mut layer = ButterflyConv1x1::new(c, c, h, w, &mut rng);
+        let x = Matrix::random_uniform(2, c * h * w, 1.0, &mut rng);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.shape(), (2, c * h * w));
+        let gx = layer.backward(&y);
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (c, h, w) = (4usize, 2usize, 2usize);
+        let mut rng = seeded_rng(14);
+        let mut layer = ButterflyConv1x1::new(c, c, h, w, &mut rng);
+        let x = Matrix::random_uniform(2, c * h * w, 1.0, &mut rng);
+        let y = layer.forward(&x, true);
+        let _ = layer.backward(&y.clone());
+        // Probe a twiddle parameter through the Layer interface.
+        let analytic = layer.params()[0].grad[0];
+        let eps = 1e-3f32;
+        let loss = |layer: &mut ButterflyConv1x1, x: &Matrix| -> f64 {
+            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
+        };
+        let orig = layer.params()[0].value[0];
+        layer.params()[0].value[0] = orig + eps;
+        let lp = loss(&mut layer, &x);
+        layer.params()[0].value[0] = orig - eps;
+        let lm = loss(&mut layer, &x);
+        layer.params()[0].value[0] = orig;
+        let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+        assert!(
+            (analytic - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+            "{analytic} vs {numeric}"
+        );
+    }
+
+    #[test]
+    fn learns_a_dense_channel_mix() {
+        use bfly_nn::Sgd;
+        let (c, h, w) = (8usize, 2usize, 2usize);
+        let mut rng = seeded_rng(15);
+        let mut teacher = ButterflyConv1x1::new(c, c, h, w, &mut rng);
+        let mut student = ButterflyConv1x1::new(c, c, h, w, &mut rng);
+        let opt = Sgd::new(0.05, 0.9);
+        let mut first = None;
+        let mut last = f64::MAX;
+        for _ in 0..400 {
+            let x = Matrix::random_uniform(8, c * h * w, 1.0, &mut rng);
+            let want = teacher.forward(&x, false);
+            let got = student.forward(&x, true);
+            let diff = got.sub(&want);
+            last = diff.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>();
+            first.get_or_insert(last);
+            student.zero_grad();
+            let _ = student.backward(&diff.scale(1.0 / 8.0));
+            opt.step(&mut student.params());
+        }
+        assert!(last < first.expect("ran") * 0.1, "did not learn: {first:?} -> {last}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # bfly-core
+//!
+//! The paper's primary contribution: **butterfly factorizations as
+//! memory-reducing replacements for dense layers**, targeted at
+//! memory-constrained MIMD accelerators.
+//!
+//! Contents:
+//! - [`butterfly`] — the `T = B P` factorization of Eq. 3: `log2 n` sparse
+//!   factors with learnable 2x2 twiddles, `O(n log n)` apply and storage;
+//! - [`butterfly_layer`] — the factorization as a trainable `nn.Linear`
+//!   replacement with exact analytic gradients;
+//! - [`block_sparse`] / [`pixelfly`] — pixelated butterfly (flat block
+//!   butterfly + low-rank term), including the power-of-two restrictions the
+//!   paper hits on MNIST;
+//! - [`baselines`] — Fastfood, Circulant and Low-rank comparison methods
+//!   with the exact Table 4 parameter budgets;
+//! - [`shl`] — the single-hidden-layer benchmark model builder.
+//!
+//! Performance characterisation on the simulated IPU/GPU lives in
+//! `bfly-ipu` / `bfly-gpu`; those crates consume the `LinOp` traces emitted
+//! by each layer's `trace` method.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod block_sparse;
+pub mod butterfly;
+pub mod butterfly_layer;
+pub mod compress;
+pub mod conv_butterfly;
+pub mod ortho;
+pub mod pixelfly;
+pub mod shl;
+
+pub use baselines::{CirculantLayer, FastfoodLayer, LowRankLayer, PrunedDenseLayer};
+pub use block_sparse::BlockSparseMatrix;
+pub use butterfly::{Butterfly, ButterflyFactor};
+pub use butterfly_layer::ButterflyLayer;
+pub use compress::{fit_butterfly, FitConfig, FitReport};
+pub use conv_butterfly::ButterflyConv1x1;
+pub use ortho::{OrthoButterfly, OrthoButterflyLayer};
+pub use pixelfly::{flat_butterfly_mask, PixelflyConfig, PixelflyError, PixelflyLayer};
+pub use shl::{build_shl, compression_percent, shl_param_count, Method};

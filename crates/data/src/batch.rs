@@ -1,0 +1,96 @@
+//! Mini-batch iteration over datasets.
+
+use crate::dataset::Dataset;
+use bfly_tensor::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One mini-batch: features (one row per sample) and labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Batch features, `batch_size x dim`.
+    pub features: Matrix,
+    /// Labels for each row of `features`.
+    pub labels: Vec<usize>,
+}
+
+/// Iterates a dataset in mini-batches of `batch_size` (last batch may be
+/// smaller). Order is the dataset's order; shuffle with [`shuffled_batches`]
+/// for SGD epochs.
+pub fn batches(data: &Dataset, batch_size: usize) -> Vec<Batch> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let order: Vec<usize> = (0..data.len()).collect();
+    batches_in_order(data, batch_size, &order)
+}
+
+/// Like [`batches`] but with a freshly shuffled sample order (one epoch of
+/// SGD with the paper's batch size of 50).
+pub fn shuffled_batches(data: &Dataset, batch_size: usize, rng: &mut impl Rng) -> Vec<Batch> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.shuffle(rng);
+    batches_in_order(data, batch_size, &order)
+}
+
+fn batches_in_order(data: &Dataset, batch_size: usize, order: &[usize]) -> Vec<Batch> {
+    order
+        .chunks(batch_size)
+        .map(|chunk| {
+            let mut features = Matrix::zeros(chunk.len(), data.dim());
+            let mut labels = Vec::with_capacity(chunk.len());
+            for (dst, &src) in chunk.iter().enumerate() {
+                features.row_mut(dst).copy_from_slice(data.features.row(src));
+                labels.push(data.labels[src]);
+            }
+            Batch { features, labels }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_tensor::seeded_rng;
+
+    fn toy(n: usize) -> Dataset {
+        let features = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32);
+        Dataset::new(features, (0..n).map(|i| i % 2).collect(), 2)
+    }
+
+    #[test]
+    fn batches_cover_all_samples() {
+        let d = toy(23);
+        let bs = batches(&d, 5);
+        assert_eq!(bs.len(), 5);
+        assert_eq!(bs.iter().map(|b| b.labels.len()).sum::<usize>(), 23);
+        assert_eq!(bs.last().map(|b| b.labels.len()), Some(3));
+    }
+
+    #[test]
+    fn batch_rows_pair_with_labels() {
+        let d = toy(10);
+        let bs = batches(&d, 4);
+        assert_eq!(bs[1].features[(0, 0)], d.features[(4, 0)]);
+        assert_eq!(bs[1].labels[0], d.labels[4]);
+    }
+
+    #[test]
+    fn shuffled_batches_preserve_multiset() {
+        let d = toy(17);
+        let mut rng = seeded_rng(1);
+        let bs = shuffled_batches(&d, 4, &mut rng);
+        let mut seen: Vec<f32> = bs.iter().flat_map(|b| {
+            (0..b.labels.len()).map(|r| b.features[(r, 0)]).collect::<Vec<_>>()
+        }).collect();
+        seen.sort_by(f32::total_cmp);
+        let mut expected: Vec<f32> = (0..17).map(|r| (r * 2) as f32).collect();
+        expected.sort_by(f32::total_cmp);
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = batches(&toy(4), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Workload descriptors for the paper's linear-algebra benchmarks.
+//!
+//! Table 2 (dense/sparse square MM), Fig 4 (skewed MM) and Fig 6 (layer
+//! characterization sweep) all iterate over matrix-multiplication problems;
+//! this module centralises those problem definitions so every harness binary
+//! and simulator agrees on the workloads.
+
+use bfly_tensor::{Csr, Matrix, WorkspaceRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single matrix-multiplication problem `A (m x k) * B (k x n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatmulProblem {
+    /// Rows of A / C.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Columns of B / C.
+    pub n: usize,
+}
+
+impl MatmulProblem {
+    /// A square `n x n x n` problem.
+    pub fn square(n: usize) -> Self {
+        Self { m: n, k: n, n }
+    }
+
+    /// Total multiply-add FLOPs (2mnk).
+    pub fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.n as f64 * self.k as f64
+    }
+
+    /// Bytes of the three f32 operands.
+    pub fn bytes(&self) -> u64 {
+        (4 * (self.m * self.k + self.k * self.n + self.m * self.n)) as u64
+    }
+
+    /// Skewness ratio `s = m / k` as defined in paper §3.2.
+    pub fn skewness(&self) -> f64 {
+        self.m as f64 / self.k as f64
+    }
+
+    /// Materialises random dense operands `(A, B)`.
+    pub fn dense_operands(&self, rng: &mut WorkspaceRng) -> (Matrix, Matrix) {
+        let a = Matrix::random_uniform(self.m, self.k, 1.0, rng);
+        let b = Matrix::random_uniform(self.k, self.n, 1.0, rng);
+        (a, b)
+    }
+
+    /// Materialises a sparse A (given density) and dense B.
+    pub fn sparse_operands(&self, density: f64, rng: &mut WorkspaceRng) -> (Csr, Matrix) {
+        let a = Csr::random(self.m, self.k, density, rng);
+        let b = Matrix::random_uniform(self.k, self.n, 1.0, rng);
+        (a, b)
+    }
+}
+
+/// The skew sweep of Fig 4: problems with constant FLOP budget and aspect
+/// ratio `s = m/k` swept over powers of four in `[4^-max_exp, 4^max_exp]`.
+///
+/// `base` is the square dimension at `s = 1`. For skew `s = 4^e` we set
+/// `m = base * 2^e`, `k = base / 2^e` and keep `n = base`, so
+/// `m * k * n = base^3` (and hence total FLOPs) stays constant while the
+/// aspect ratio varies — isolating the shape effect, as §3.2 intends.
+pub fn skew_sweep(base: usize, max_exp: i32) -> Vec<MatmulProblem> {
+    assert!(base.is_power_of_two(), "skew sweep base must be a power of two");
+    assert!(max_exp >= 0 && (1usize << max_exp) <= base, "skew exceeds base dimension");
+    let mut out = Vec::new();
+    for e in -max_exp..=max_exp {
+        let (m, k) = if e >= 0 {
+            (base << e as u32, base >> e as u32)
+        } else {
+            (base >> (-e) as u32, base << (-e) as u32)
+        };
+        out.push(MatmulProblem { m, k, n: base });
+    }
+    out
+}
+
+/// Square-size sweep `2^lo ..= 2^hi`, used by Figs 5-7.
+pub fn square_sweep(lo: u32, hi: u32) -> Vec<MatmulProblem> {
+    (lo..=hi).map(|e| MatmulProblem::square(1 << e)).collect()
+}
+
+/// Sparsity configurations from Table 2: 90 % and 99 % sparse.
+pub const TABLE2_DENSITIES: [f64; 2] = [0.10, 0.01];
+
+/// The square dimension used for Table 2's throughput comparison.
+pub const TABLE2_DIM: usize = 2048;
+
+/// Generates a random dense matrix with a target fraction of *zero* entries
+/// ("sparsity"), kept in dense storage — used to test how dense kernels fare
+/// on sparse data.
+pub fn dense_with_sparsity(n: usize, sparsity: f64, rng: &mut WorkspaceRng) -> Matrix {
+    assert!((0.0..=1.0).contains(&sparsity));
+    Matrix::from_fn(n, n, |_, _| {
+        if rng.gen_bool(sparsity) {
+            0.0
+        } else {
+            rng.gen_range(-1.0f32..1.0)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_tensor::seeded_rng;
+
+    #[test]
+    fn square_problem_flops() {
+        let p = MatmulProblem::square(64);
+        assert_eq!(p.flops(), 2.0 * 64.0 * 64.0 * 64.0);
+        assert_eq!(p.skewness(), 1.0);
+    }
+
+    #[test]
+    fn skew_sweep_holds_flops_constant() {
+        let probs = skew_sweep(256, 6);
+        let base_flops = MatmulProblem::square(256).flops();
+        for p in &probs {
+            assert_eq!(p.flops(), base_flops, "problem {p:?} changed FLOPs");
+        }
+    }
+
+    #[test]
+    fn skew_sweep_covers_requested_ratios() {
+        let probs = skew_sweep(256, 4);
+        let ratios: Vec<f64> = probs.iter().map(|p| p.skewness()).collect();
+        assert!(ratios.contains(&1.0));
+        assert!(ratios.iter().any(|&r| r >= 256.0));
+        assert!(ratios.iter().any(|&r| r <= 1.0 / 256.0));
+        // Monotonically increasing sweep.
+        for w in ratios.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn square_sweep_is_powers_of_two() {
+        let probs = square_sweep(3, 6);
+        let dims: Vec<usize> = probs.iter().map(|p| p.n).collect();
+        assert_eq!(dims, vec![8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn sparse_operands_match_density() {
+        let mut rng = seeded_rng(1);
+        let p = MatmulProblem::square(128);
+        let (a, b) = p.sparse_operands(0.01, &mut rng);
+        assert_eq!(a.shape(), (128, 128));
+        assert_eq!(b.shape(), (128, 128));
+        assert!((a.density() - 0.01).abs() < 0.01);
+    }
+
+    #[test]
+    fn dense_with_sparsity_hits_target() {
+        let mut rng = seeded_rng(2);
+        let m = dense_with_sparsity(128, 0.9, &mut rng);
+        let zeros = m.len() - m.count_nonzero(0.0);
+        let frac = zeros as f64 / m.len() as f64;
+        assert!((frac - 0.9).abs() < 0.02, "zero fraction {frac}");
+    }
+}

@@ -1,0 +1,163 @@
+//! The GPU device facade: prices whole op traces, checks memory capacity.
+
+use crate::kernels::{op_cost, op_resident_bytes};
+use crate::spec::GpuSpec;
+use bfly_tensor::ops::trace_flops;
+use bfly_tensor::LinOp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simulated GPU.
+#[derive(Debug, Clone, Default)]
+pub struct GpuDevice {
+    spec: GpuSpec,
+}
+
+/// Timing result of one trace execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuRunResult {
+    /// Seconds spent busy in kernels.
+    pub busy_seconds: f64,
+    /// Seconds of kernel-launch overhead.
+    pub launch_seconds: f64,
+    /// Total kernel launches.
+    pub kernels: u64,
+    /// Trace FLOPs.
+    pub flops: f64,
+    /// Peak resident bytes across the trace.
+    pub peak_bytes: u64,
+}
+
+impl GpuRunResult {
+    /// Total wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.busy_seconds + self.launch_seconds
+    }
+
+    /// Achieved GFLOP/s on the trace's nominal FLOPs.
+    pub fn gflops(&self) -> f64 {
+        self.flops / self.seconds() / 1e9
+    }
+
+    /// Effective GFLOP/s against an external (dense-equivalent) FLOP count —
+    /// Table 2's convention for sparse kernels.
+    pub fn effective_gflops(&self, dense_equivalent_flops: f64) -> f64 {
+        dense_equivalent_flops / self.seconds() / 1e9
+    }
+}
+
+/// The trace does not fit in device memory (the Fig 6 situation where
+/// "torch.nn.Linear reaches its limit earlier due to memory limitations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuOutOfMemory {
+    /// Bytes the largest-footprint op needs.
+    pub required_bytes: u64,
+    /// Device capacity.
+    pub capacity_bytes: u64,
+}
+
+impl fmt::Display for GpuOutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GPU out of memory: op needs {} bytes, device has {}",
+            self.required_bytes, self.capacity_bytes
+        )
+    }
+}
+
+impl std::error::Error for GpuOutOfMemory {}
+
+impl GpuDevice {
+    /// Creates a device with the A30 specification.
+    pub fn a30() -> Self {
+        Self { spec: GpuSpec::a30() }
+    }
+
+    /// Creates a device with a custom specification.
+    pub fn with_spec(spec: GpuSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Prices a trace. `tensor_cores` selects the TF32 path for dense
+    /// matmuls (the "w/ TC" columns of Table 2 / Table 4).
+    pub fn run(&self, trace: &[LinOp], tensor_cores: bool) -> Result<GpuRunResult, GpuOutOfMemory> {
+        let mut busy = 0.0f64;
+        let mut kernels = 0u64;
+        let mut peak = 0u64;
+        for op in trace {
+            let bytes = op_resident_bytes(op);
+            peak = peak.max(bytes);
+            if bytes > self.spec.memory_bytes {
+                return Err(GpuOutOfMemory {
+                    required_bytes: bytes,
+                    capacity_bytes: self.spec.memory_bytes,
+                });
+            }
+            let cost = op_cost(op, tensor_cores, &self.spec);
+            busy += cost.busy_seconds;
+            kernels += cost.kernels;
+        }
+        Ok(GpuRunResult {
+            busy_seconds: busy,
+            launch_seconds: kernels as f64 * self.spec.kernel_launch_seconds,
+            kernels,
+            flops: trace_flops(trace),
+            peak_bytes: peak,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_trace_prices_one_kernel() {
+        let dev = GpuDevice::a30();
+        let r = dev.run(&[LinOp::MatMul { m: 512, k: 512, n: 512 }], false).expect("fits");
+        assert_eq!(r.kernels, 1);
+        assert!(r.gflops() > 0.0);
+    }
+
+    #[test]
+    fn tensor_cores_speed_up_large_dense() {
+        let dev = GpuDevice::a30();
+        let trace = [LinOp::MatMul { m: 4096, k: 4096, n: 4096 }];
+        let off = dev.run(&trace, false).expect("fits").seconds();
+        let on = dev.run(&trace, true).expect("fits").seconds();
+        assert!(on < off / 3.0, "TC {on} vs no-TC {off}");
+    }
+
+    #[test]
+    fn oversized_op_reports_oom() {
+        let dev = GpuDevice::a30();
+        let n = 60_000; // 3 * n^2 * 4 bytes ~ 43 GB > 24 GB
+        let err = dev.run(&[LinOp::MatMul { m: n, k: n, n }], false).expect_err("must OOM");
+        assert!(err.required_bytes > err.capacity_bytes);
+    }
+
+    #[test]
+    fn butterfly_trace_is_launch_dominated_at_small_n() {
+        // The Fig 6 left-side story: at N=128 the dense layer is one launch,
+        // the butterfly is ~2 log N launches, costing ~14x more.
+        let dev = GpuDevice::a30();
+        let n = 128usize;
+        let dense = dev.run(&[LinOp::MatMul { m: n, k: n, n }], false).expect("fits");
+        let mut bfly_trace = vec![LinOp::Permute { rows: n, width: n }];
+        for _ in 0..n.trailing_zeros() {
+            bfly_trace.push(LinOp::Twiddle { pairs: n / 2, batch: n });
+        }
+        let bfly = dev.run(&bfly_trace, false).expect("fits");
+        let degradation = bfly.seconds() / dense.seconds();
+        assert!(
+            (5.0..30.0).contains(&degradation),
+            "butterfly degradation at N=128: {degradation}"
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # bfly-gpu
+//!
+//! An analytical performance model of an NVIDIA A30-class GPU: roofline
+//! kernel costs (compute vs HBM bandwidth bound), cuBLAS/TF32 efficiency
+//! curves with skew sensitivity, a cuSPARSE-like CSR path, per-kernel launch
+//! overhead, and a device-memory capacity check.
+//!
+//! This substrate replaces the physical A30 the paper measures; see
+//! DESIGN.md. The calibration anchors are Table 1 (peaks) and Table 2
+//! (achieved GFLOP/s per path), and the launch-overhead constant drives the
+//! small-N butterfly penalty of Fig 6.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod kernels;
+pub mod spec;
+
+pub use device::{GpuDevice, GpuOutOfMemory, GpuRunResult};
+pub use kernels::{op_cost, op_resident_bytes, KernelCost};
+pub use spec::GpuSpec;

@@ -1,0 +1,57 @@
+//! Hardware specification of the simulated GPU (Table 1, A30 column).
+
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of a simulated SIMT GPU.
+///
+/// Defaults model the NVIDIA A30: 10.3 TFLOPS FP32, 82 TFLOPS TF32 through
+/// tensor cores, 933 GB/s HBM, 24 GB device memory, ~10 us kernel launch
+/// latency (the constant that dominates Fig 6 at small N).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// FP32 peak in FLOP/s (CUDA cores).
+    pub fp32_peak: f64,
+    /// TF32 tensor-core peak in FLOP/s.
+    pub tf32_peak: f64,
+    /// Off-chip (HBM) bandwidth in bytes/s.
+    pub hbm_bytes_per_sec: f64,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Fixed seconds per kernel launch (driver + scheduling latency).
+    pub kernel_launch_seconds: f64,
+    /// Host link (PCIe) bandwidth in bytes/s.
+    pub host_link_bytes_per_sec: f64,
+}
+
+impl GpuSpec {
+    /// The A30 configuration used throughout the paper.
+    pub fn a30() -> Self {
+        Self {
+            fp32_peak: 10.3e12,
+            tf32_peak: 82.0e12,
+            hbm_bytes_per_sec: 933.0e9,
+            memory_bytes: 24 * (1 << 30),
+            kernel_launch_seconds: 10.0e-6,
+            host_link_bytes_per_sec: 16.0e9,
+        }
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::a30()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a30_matches_table1() {
+        let s = GpuSpec::a30();
+        assert_eq!(s.fp32_peak, 10.3e12);
+        assert_eq!(s.tf32_peak, 82.0e12);
+        assert_eq!(s.memory_bytes, 24 * (1 << 30));
+    }
+}

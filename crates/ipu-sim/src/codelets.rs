@@ -1,0 +1,206 @@
+//! Cycle cost model for codelets (the poplibs-like vertex library).
+//!
+//! Constants are calibrated against the paper's Table 1 (peak numbers) and
+//! Table 2 (achieved GFLOP/s per implementation tier); the calibration tests
+//! in `bfly-bench` check the resulting end-to-end throughputs land near the
+//! paper's measurements.
+
+use crate::graph::Codelet;
+use crate::spec::IpuSpec;
+
+/// Fraction of AMP peak a well-shaped poplin matmul achieves
+/// (Table 2: 44219 / 62500 GFLOP/s ~= 0.71).
+pub const AMP_EFFICIENCY: f64 = 0.71;
+
+/// Per-vertex dimension below which the AMP pipeline cannot be filled; the
+/// utilisation ramps linearly up to this size.
+pub const AMP_FILL_DIM: f64 = 16.0;
+
+/// Effective FLOPs/cycle/tile of the scalar triple-loop matmul
+/// ("IPU naive" in Table 2: 525 GFLOP/s over 1472 tiles at 1.33 GHz
+/// ~= 0.27 FLOP/cycle/tile).
+pub const SCALAR_MATMUL_FLOPS_PER_CYCLE: f64 = 0.27;
+
+/// Cycles to load one sparse nonzero's value + column index and set up the
+/// accumulation (popsparse row codelet). Calibrated jointly with
+/// [`SPARSE_FMA_CYCLES`] against Table 2's popsparse rows (76231 / 22845
+/// dense-equivalent GFLOP/s at 99 % / 90 % sparsity).
+pub const SPARSE_NNZ_SETUP_CYCLES: f64 = 24.0;
+
+/// Cycles per (nonzero x dense-column) FMA in the sparse row codelet.
+pub const SPARSE_FMA_CYCLES: f64 = 1.0;
+
+/// FLOPs/cycle/tile achieved by dense block-times-dense codelets. On the
+/// IPU the block alignment buys nothing: the gather/scatter around each
+/// block keeps the codelet near scalar rates — the paper's §4.2 conclusion
+/// that "a sparse processor such as the IPU ... is not able to exploit any
+/// benefits from structure in compute and memory".
+pub const BLOCK_MATMUL_FLOPS_PER_CYCLE: f64 = 2.0;
+
+/// Cycles per twiddle pair per batch element. A 2x2 twiddle costs 8 FLOPs
+/// but runs as irregular strided code far from the AMP path — this constant
+/// encodes the paper's observation that "AMP units only accelerate
+/// torch.nn.Linear", capping butterfly's IPU speedup (§4.1).
+pub const TWIDDLE_CYCLES_PER_PAIR_ELEM: f64 = 10.0;
+
+/// Bytes per cycle for on-tile data rearrangement (LocalCopy).
+pub const LOCAL_COPY_BYTES_PER_CYCLE: f64 = 4.0;
+
+/// Cycles a vertex pays regardless of size (thread dispatch, loop setup).
+pub const VERTEX_OVERHEAD_CYCLES: f64 = 40.0;
+
+/// Estimated execution cycles of one codelet instance on one tile.
+pub fn vertex_cycles(codelet: &Codelet, spec: &IpuSpec) -> u64 {
+    let cycles = match *codelet {
+        Codelet::MatMulAmp { m, k, n } => {
+            let flops = 2.0 * m as f64 * k as f64 * n as f64;
+            // Pipeline fill: tiny slices cannot keep the AMP busy.
+            let min_dim = m.min(k).min(n) as f64;
+            let util = (min_dim / AMP_FILL_DIM).min(1.0);
+            let rate = (spec.amp_flops_per_cycle * AMP_EFFICIENCY * util)
+                .max(SCALAR_MATMUL_FLOPS_PER_CYCLE);
+            flops / rate
+        }
+        Codelet::MatMulVector { m, k, n } => {
+            let flops = 2.0 * m as f64 * k as f64 * n as f64;
+            flops / spec.simd_flops_per_cycle
+        }
+        Codelet::MatMulScalar { m, k, n } => {
+            let flops = 2.0 * m as f64 * k as f64 * n as f64;
+            flops / SCALAR_MATMUL_FLOPS_PER_CYCLE
+        }
+        Codelet::SparseRows { nnz, n } => {
+            nnz as f64 * (SPARSE_NNZ_SETUP_CYCLES + SPARSE_FMA_CYCLES * n as f64)
+        }
+        Codelet::BlockMatMul { block, blocks, n } => {
+            let flops = 2.0 * (block * block * blocks) as f64 * n as f64;
+            flops / BLOCK_MATMUL_FLOPS_PER_CYCLE
+        }
+        Codelet::Twiddle { pairs, batch } => {
+            pairs as f64 * batch as f64 * TWIDDLE_CYCLES_PER_PAIR_ELEM
+        }
+        Codelet::Elementwise { n, flops_per_elem } => {
+            n as f64 * flops_per_elem as f64 / spec.simd_flops_per_cycle
+        }
+        Codelet::FftSlice { n, batch } => {
+            // 5 n log2 n FLOPs at SIMD rate plus strided-access penalty 2x.
+            let flops = 5.0 * n as f64 * (n as f64).log2().max(1.0) * batch as f64;
+            2.0 * flops / spec.simd_flops_per_cycle
+        }
+        Codelet::FwhtSlice { n, batch } => {
+            let flops = n as f64 * (n as f64).log2().max(1.0) * batch as f64;
+            1.5 * flops / spec.simd_flops_per_cycle
+        }
+        Codelet::LocalCopy { bytes } => bytes as f64 / LOCAL_COPY_BYTES_PER_CYCLE,
+    };
+    (cycles + VERTEX_OVERHEAD_CYCLES) as u64
+}
+
+/// Bytes of always-live state one vertex instance occupies in tile memory
+/// (descriptor, edge pointers, loop state).
+pub fn vertex_state_bytes(vertex_edges: u32) -> u64 {
+    48 + 16 * u64::from(vertex_edges)
+}
+
+/// Bytes of codelet *code* on a tile. Code is shared between instances of
+/// the same codelet on the same tile, so this is charged once per
+/// (codelet kind, tile).
+pub fn codelet_code_bytes(codelet: &Codelet) -> u64 {
+    match codelet {
+        Codelet::MatMulAmp { .. } => 3072,
+        Codelet::MatMulVector { .. } => 1536,
+        Codelet::MatMulScalar { .. } => 1024,
+        Codelet::SparseRows { .. } => 2048,
+        Codelet::BlockMatMul { .. } => 2048,
+        Codelet::Twiddle { .. } => 1024,
+        Codelet::Elementwise { .. } => 512,
+        Codelet::FftSlice { .. } => 2560,
+        Codelet::FwhtSlice { .. } => 1536,
+        Codelet::LocalCopy { .. } => 256,
+    }
+}
+
+/// Discriminant used to share code bytes between same-kind codelets.
+pub fn codelet_kind(codelet: &Codelet) -> u8 {
+    match codelet {
+        Codelet::MatMulAmp { .. } => 0,
+        Codelet::MatMulScalar { .. } => 1,
+        Codelet::MatMulVector { .. } => 9,
+        Codelet::SparseRows { .. } => 2,
+        Codelet::BlockMatMul { .. } => 3,
+        Codelet::Twiddle { .. } => 4,
+        Codelet::Elementwise { .. } => 5,
+        Codelet::FftSlice { .. } => 6,
+        Codelet::FwhtSlice { .. } => 7,
+        Codelet::LocalCopy { .. } => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> IpuSpec {
+        IpuSpec::gc200()
+    }
+
+    #[test]
+    fn amp_beats_scalar_on_large_tiles() {
+        let amp = vertex_cycles(&Codelet::MatMulAmp { m: 64, k: 64, n: 64 }, &spec());
+        let scalar = vertex_cycles(&Codelet::MatMulScalar { m: 64, k: 64, n: 64 }, &spec());
+        assert!(amp * 10 < scalar, "amp {amp} vs scalar {scalar}");
+    }
+
+    #[test]
+    fn tiny_amp_slices_degrade_to_scalar_rate() {
+        let tiny = vertex_cycles(&Codelet::MatMulAmp { m: 1, k: 2, n: 2 }, &spec());
+        let scalar = vertex_cycles(&Codelet::MatMulScalar { m: 1, k: 2, n: 2 }, &spec());
+        // Same order of magnitude: the AMP cannot help 2x2 problems.
+        assert!(tiny as f64 >= scalar as f64 * 0.5);
+    }
+
+    #[test]
+    fn sparse_cost_scales_with_nnz_not_size() {
+        let sparse1 = vertex_cycles(&Codelet::SparseRows { nnz: 100, n: 64 }, &spec());
+        let sparse2 = vertex_cycles(&Codelet::SparseRows { nnz: 200, n: 64 }, &spec());
+        assert!(sparse2 > sparse1);
+        let ratio = (sparse2 - VERTEX_OVERHEAD_CYCLES as u64) as f64
+            / (sparse1 - VERTEX_OVERHEAD_CYCLES as u64) as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn every_vertex_pays_fixed_overhead() {
+        let zero = vertex_cycles(&Codelet::Elementwise { n: 0, flops_per_elem: 1 }, &spec());
+        assert_eq!(zero, VERTEX_OVERHEAD_CYCLES as u64);
+    }
+
+    #[test]
+    fn amp_matches_poplin_calibration() {
+        // A full-tile-sized slice should achieve ~71% of the per-tile peak.
+        let s = spec();
+        let c = vertex_cycles(&Codelet::MatMulAmp { m: 128, k: 128, n: 128 }, &s);
+        let flops = 2.0 * 128f64.powi(3);
+        let rate = flops / c as f64;
+        let target = s.amp_flops_per_cycle * AMP_EFFICIENCY;
+        assert!((rate - target).abs() / target < 0.05, "rate {rate} vs {target}");
+    }
+
+    #[test]
+    fn block_matmul_sits_between_scalar_and_amp() {
+        let amp = vertex_cycles(&Codelet::MatMulAmp { m: 64, k: 64, n: 64 }, &spec());
+        let blockish =
+            vertex_cycles(&Codelet::BlockMatMul { block: 16, blocks: 16, n: 64 }, &spec());
+        let scalar = vertex_cycles(&Codelet::MatMulScalar { m: 64, k: 64, n: 64 }, &spec());
+        assert!(amp < blockish && blockish < scalar);
+    }
+
+    #[test]
+    fn code_bytes_are_per_kind() {
+        let a = Codelet::MatMulAmp { m: 1, k: 1, n: 1 };
+        let b = Codelet::MatMulAmp { m: 99, k: 99, n: 99 };
+        assert_eq!(codelet_code_bytes(&a), codelet_code_bytes(&b));
+        assert_eq!(codelet_kind(&a), codelet_kind(&b));
+        assert_ne!(codelet_kind(&a), codelet_kind(&Codelet::LocalCopy { bytes: 1 }));
+    }
+}

@@ -1,0 +1,482 @@
+//! The graph compiler: lowers abstract [`LinOp`] traces to a tiled dataflow
+//! graph (variables, vertices, compute sets, exchanges).
+//!
+//! The lowering strategies model poplibs behaviour at the fidelity the
+//! paper's observations need:
+//! - work is partitioned over a 2-D tile grid sized to the problem;
+//! - operands are distributed/broadcast through explicit exchanges;
+//! - large inner dimensions are split into several compute sets plus a
+//!   reduction (the compiler-chosen "number of compute sets" of Fig 5/7);
+//! - extremely skewed matmuls fall off the AMP path onto scalar codelets
+//!   (the sudden IPU drop in Fig 4 that the paper attributes to a compiler
+//!   issue);
+//! - every PyTorch-style op boundary costs an exchange and a compute set,
+//!   which is what makes `log n` butterfly stages expensive at small `n`.
+
+use crate::exchange::{broadcast, scatter};
+use crate::graph::{Codelet, Graph, TileMapping, Transfer};
+use crate::memory::{account, MemoryReport};
+use crate::spec::IpuSpec;
+use bfly_tensor::ops::trace_flops;
+use bfly_tensor::LinOp;
+use std::fmt;
+
+/// Minimum FLOPs worth of work before another tile is recruited.
+const MIN_FLOPS_PER_TILE: f64 = 20_000.0;
+
+/// Inner-dimension length above which a matmul is split into multiple
+/// compute sets with a final reduction (models poplin's k-splitting, the
+/// driver of compute-set growth in Fig 5).
+const K_SPLIT: usize = 2048;
+
+/// Output dimensions below this use scalar codelets instead of the AMP
+/// (extreme-skew fallback).
+const AMP_MIN_DIM: usize = 8;
+
+/// A successfully compiled program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The lowered graph.
+    pub graph: Graph,
+    /// Its memory accounting.
+    pub memory: MemoryReport,
+    /// Total trace FLOPs (for throughput reporting).
+    pub flops: f64,
+}
+
+/// Compilation failure.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// The program does not fit in on-chip memory.
+    OutOfMemory {
+        /// The offending accounting.
+        report: MemoryReport,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::OutOfMemory { report } => write!(
+                f,
+                "graph does not fit: {} tiles over budget, max tile usage {} bytes",
+                report.tiles_over_budget, report.max_tile_bytes
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Number of tiles recruited for `flops` of work.
+fn tiles_for(flops: f64, spec: &IpuSpec) -> u32 {
+    ((flops / MIN_FLOPS_PER_TILE).ceil() as u32).clamp(1, spec.tiles as u32)
+}
+
+/// Chooses a `rows x cols` tile grid of at most `p` tiles roughly matching
+/// the `m : n` aspect ratio.
+fn grid_for(p: u32, m: usize, n: usize) -> (u32, u32) {
+    let p = p.max(1);
+    let aspect = (p as f64 * m as f64 / n.max(1) as f64).sqrt();
+    let gr = (aspect.round() as u32).clamp(1, p);
+    let gc = (p / gr).max(1);
+    (gr, gc)
+}
+
+/// Compiles a trace into a graph and checks it fits on the device.
+pub fn compile(trace: &[LinOp], spec: &IpuSpec) -> Result<Compiled, CompileError> {
+    let graph = lower(trace, spec);
+    let memory = account(&graph, spec);
+    if !memory.fits() {
+        return Err(CompileError::OutOfMemory { report: memory });
+    }
+    Ok(Compiled { graph, memory, flops: trace_flops(trace) })
+}
+
+/// Lowers a trace without the memory check (used by Fig 5 to inspect
+/// over-budget graphs).
+pub fn lower(trace: &[LinOp], spec: &IpuSpec) -> Graph {
+    let mut g = Graph::new();
+    // Twiddle stages operate in place on one shared activation tensor
+    // (the butterfly layer transforms a single buffer through log n
+    // factors); allocate it once, sized for the largest stage.
+    let max_twiddle_bytes = trace
+        .iter()
+        .filter_map(|op| match *op {
+            LinOp::Twiddle { pairs, batch } => Some((8 * pairs * batch) as u64),
+            _ => None,
+        })
+        .max();
+    if let Some(bytes) = max_twiddle_bytes {
+        let flops = bytes as f64; // ~1 FLOP/byte for sizing the spread
+        let p = tiles_for(flops, spec);
+        g.add_variable("twiddle.act", bytes, TileMapping::Spread { start: 0, count: p });
+    }
+    for (i, op) in trace.iter().enumerate() {
+        lower_op(&mut g, *op, i, spec);
+    }
+    g
+}
+
+fn lower_op(g: &mut Graph, op: LinOp, idx: usize, spec: &IpuSpec) {
+    match op {
+        LinOp::MatMul { m, k, n } => lower_matmul(g, m, k, n, idx, spec),
+        LinOp::SpMM { m, k, n, nnz } => lower_spmm(g, m, k, n, nnz, idx, spec),
+        LinOp::BlockSpMM { m, k, n, block, nnz_blocks } => {
+            lower_block_spmm(g, m, k, n, block, nnz_blocks, idx, spec)
+        }
+        LinOp::Twiddle { pairs, batch } => lower_twiddle(g, pairs, batch, idx, spec),
+        LinOp::Elementwise { n, flops_per_elem } => {
+            lower_elementwise(g, n, flops_per_elem, idx, spec)
+        }
+        LinOp::Permute { rows, width } => lower_permute(g, rows, width, idx, spec),
+        LinOp::Fft { n, batch } => lower_transform(g, n, batch, true, idx, spec),
+        LinOp::Fwht { n, batch } => lower_transform(g, n, batch, false, idx, spec),
+        LinOp::Copy { bytes } => g.add_host_transfer(bytes),
+    }
+}
+
+fn lower_matmul(g: &mut Graph, m: usize, k: usize, n: usize, idx: usize, spec: &IpuSpec) {
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let p = tiles_for(flops, spec);
+    let (gr, gc) = grid_for(p, m, n);
+    let p_used = gr * gc;
+
+    let a_bytes = (4 * m * k) as u64;
+    let b_bytes = (4 * k * n) as u64;
+    let c_bytes = (4 * m * n) as u64;
+    g.add_variable(format!("op{idx}.A"), a_bytes, TileMapping::Spread { start: 0, count: p_used });
+    g.add_variable(format!("op{idx}.B"), b_bytes, TileMapping::Spread { start: 0, count: p_used });
+    g.add_variable(format!("op{idx}.C"), c_bytes, TileMapping::Spread { start: 0, count: p_used });
+
+    // Distribute operand slices: each grid cell receives its A-row slice and
+    // B-column slice.
+    let mt = m.div_ceil(gr as usize).max(1);
+    let nt = n.div_ceil(gc as usize).max(1);
+    let per_tile_in = (4 * (mt * k + k * nt)) as u64;
+    let transfers: Vec<Transfer> = (0..p_used)
+        .map(|t| Transfer {
+            from: (t + p_used) % spec.tiles as u32,
+            to: t,
+            bytes: per_tile_in,
+        })
+        .collect();
+    g.add_exchange(format!("op{idx}.distribute"), transfers);
+
+    // Skew fallback: the AMP needs all three dimensions to form tiles;
+    // razor-thin matrices compile to the vectorised non-AMP codelets (the
+    // sudden IPU drop the paper observes at extreme skew and attributes to
+    // the compiler).
+    let scalar_fallback = m.min(n).min(k) < AMP_MIN_DIM;
+
+    // k-splitting into multiple compute sets plus a reduction.
+    let k_splits = k.div_ceil(K_SPLIT).max(1);
+    let k_slice = k.div_ceil(k_splits);
+    for s in 0..k_splits {
+        let vertices: Vec<u32> = (0..p_used)
+            .map(|t| {
+                let codelet = if scalar_fallback {
+                    Codelet::MatMulVector { m: mt, k: k_slice, n: nt }
+                } else {
+                    Codelet::MatMulAmp { m: mt, k: k_slice, n: nt }
+                };
+                g.add_vertex(codelet, t, 3)
+            })
+            .collect();
+        g.add_compute_set(format!("op{idx}.matmul.k{s}"), vertices);
+    }
+    if k_splits > 1 {
+        // The k-split partials accumulate into a single double buffer (the
+        // compute sets are serialised), then a final reduce merges it into C.
+        g.add_variable(
+            format!("op{idx}.partials"),
+            c_bytes,
+            TileMapping::Spread { start: 0, count: p_used },
+        );
+        let vertices: Vec<u32> = (0..p_used)
+            .map(|t| {
+                g.add_vertex(
+                    Codelet::Elementwise {
+                        n: (mt * nt) * (k_splits - 1),
+                        flops_per_elem: 1,
+                    },
+                    t,
+                    2,
+                )
+            })
+            .collect();
+        g.add_compute_set(format!("op{idx}.reduce"), vertices);
+    }
+}
+
+fn lower_spmm(
+    g: &mut Graph,
+    m: usize,
+    k: usize,
+    n: usize,
+    nnz: usize,
+    idx: usize,
+    spec: &IpuSpec,
+) {
+    let flops = 2.0 * nnz as f64 * n as f64;
+    let p = tiles_for(flops, spec);
+    let (gr, gc) = grid_for(p, m, n);
+    let p_used = gr * gc;
+
+    // CSR storage: values + column indices + row pointers.
+    let sparse_bytes = (4 * (2 * nnz + m + 1)) as u64;
+    let b_bytes = (4 * k * n) as u64;
+    let c_bytes = (4 * m * n) as u64;
+    g.add_variable(format!("op{idx}.S"), sparse_bytes, TileMapping::Spread { start: 0, count: p_used });
+    g.add_variable(format!("op{idx}.B"), b_bytes, TileMapping::Spread { start: 0, count: p_used });
+    g.add_variable(format!("op{idx}.C"), c_bytes, TileMapping::Spread { start: 0, count: p_used });
+
+    // Every row group needs its own copy of the B column slice.
+    let nt = n.div_ceil(gc as usize).max(1);
+    let b_slice = (4 * k * nt) as u64;
+    g.program.reserve(2);
+    let mut ex = broadcast(&format!("op{idx}.bcastB"), b_slice, p_used, spec);
+    // Plus the sparse slices scattered across row groups.
+    ex.transfers.extend(scatter(&format!("op{idx}.scatterS"), sparse_bytes, gr, spec).transfers);
+    let name = ex.name.clone();
+    let transfers = ex.transfers;
+    g.add_exchange(name, transfers);
+
+    // popsparse rearranges the dense operand into its bucketed layout before
+    // multiplying (read + partial write per tile): one extra compute set
+    // whose cost is part of the Table 2 sparse calibration.
+    let rearrange: Vec<u32> = (0..p_used)
+        .map(|t| g.add_vertex(Codelet::LocalCopy { bytes: b_slice * 3 / 2 }, t, 2))
+        .collect();
+    g.add_compute_set(format!("op{idx}.rearrange"), rearrange);
+
+    let nnz_per = nnz.div_ceil(gr as usize).max(1);
+    let vertices: Vec<u32> = (0..p_used)
+        .map(|t| g.add_vertex(Codelet::SparseRows { nnz: nnz_per, n: nt }, t, 4))
+        .collect();
+    g.add_compute_set(format!("op{idx}.spmm"), vertices);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_block_spmm(
+    g: &mut Graph,
+    m: usize,
+    k: usize,
+    n: usize,
+    block: usize,
+    nnz_blocks: usize,
+    idx: usize,
+    spec: &IpuSpec,
+) {
+    let flops = 2.0 * (nnz_blocks * block * block) as f64 * n as f64;
+    let p = tiles_for(flops, spec);
+    let (gr, gc) = grid_for(p, m, n);
+    let p_used = gr * gc;
+
+    let sparse_bytes = (4 * nnz_blocks * block * block + 8 * nnz_blocks) as u64;
+    let b_bytes = (4 * k * n) as u64;
+    let c_bytes = (4 * m * n) as u64;
+    g.add_variable(format!("op{idx}.Wb"), sparse_bytes, TileMapping::Spread { start: 0, count: p_used });
+    g.add_variable(format!("op{idx}.B"), b_bytes, TileMapping::Spread { start: 0, count: p_used });
+    g.add_variable(format!("op{idx}.C"), c_bytes, TileMapping::Spread { start: 0, count: p_used });
+
+    let nt = n.div_ceil(gc as usize).max(1);
+    let mut ex = broadcast(&format!("op{idx}.bcastB"), (4 * k * nt) as u64, p_used, spec);
+    ex.transfers
+        .extend(scatter(&format!("op{idx}.scatterW"), sparse_bytes, gr, spec).transfers);
+    let name = ex.name.clone();
+    let transfers = ex.transfers;
+    g.add_exchange(name, transfers);
+
+    let blocks_per = nnz_blocks.div_ceil(gr as usize).max(1);
+    let vertices: Vec<u32> = (0..p_used)
+        .map(|t| g.add_vertex(Codelet::BlockMatMul { block, blocks: blocks_per, n: nt }, t, 4))
+        .collect();
+    g.add_compute_set(format!("op{idx}.block_spmm"), vertices);
+}
+
+fn lower_twiddle(g: &mut Graph, pairs: usize, batch: usize, idx: usize, spec: &IpuSpec) {
+    // Twiddles are elementwise-grained work: the framework maps them by
+    // tensor extent (~128 elements per tile minimum), not by FLOPs.
+    let elems = (pairs * batch) as f64;
+    let p = ((elems / 128.0).ceil() as u32).clamp(1, spec.tiles as u32);
+
+    // The activation tensor is 2*pairs x batch f32; a PyTorch-level factor
+    // application re-lays half of it out across tiles between stages.
+    let tensor_bytes = (8 * pairs * batch) as u64;
+    g.add_variable(
+        format!("op{idx}.twiddles"),
+        (16 * pairs) as u64,
+        TileMapping::Spread { start: 0, count: p },
+    );
+    // The activation buffer itself is the shared `twiddle.act` variable
+    // allocated once in `lower`.
+    let half = scatter(&format!("op{idx}.relayout"), tensor_bytes / 2, p, spec);
+    let name = half.name.clone();
+    let transfers = half.transfers;
+    g.add_exchange(name, transfers);
+
+    let pairs_per = pairs.div_ceil(p as usize).max(1);
+    let vertices: Vec<u32> = (0..p)
+        .map(|t| g.add_vertex(Codelet::Twiddle { pairs: pairs_per, batch }, t, 3))
+        .collect();
+    g.add_compute_set(format!("op{idx}.twiddle"), vertices);
+}
+
+fn lower_elementwise(g: &mut Graph, n: usize, flops_per_elem: u32, idx: usize, spec: &IpuSpec) {
+    let flops = n as f64 * flops_per_elem as f64;
+    let p = tiles_for(flops.max(n as f64), spec);
+    g.add_variable(format!("op{idx}.ew"), (4 * n) as u64, TileMapping::Spread { start: 0, count: p });
+    let n_per = n.div_ceil(p as usize).max(1);
+    let vertices: Vec<u32> = (0..p)
+        .map(|t| g.add_vertex(Codelet::Elementwise { n: n_per, flops_per_elem }, t, 2))
+        .collect();
+    g.add_compute_set(format!("op{idx}.map"), vertices);
+}
+
+fn lower_permute(g: &mut Graph, rows: usize, width: usize, idx: usize, spec: &IpuSpec) {
+    let bytes = (4 * rows * width) as u64;
+    let p = tiles_for((rows * width) as f64, spec);
+    g.add_variable(format!("op{idx}.perm"), bytes, TileMapping::Spread { start: 0, count: p });
+    let ex = scatter(&format!("op{idx}.permute"), bytes, p, spec);
+    let name = ex.name.clone();
+    let transfers = ex.transfers;
+    g.add_exchange(name, transfers);
+    let per = bytes / u64::from(p);
+    let vertices: Vec<u32> =
+        (0..p).map(|t| g.add_vertex(Codelet::LocalCopy { bytes: per }, t, 2)).collect();
+    g.add_compute_set(format!("op{idx}.gather"), vertices);
+}
+
+fn lower_transform(
+    g: &mut Graph,
+    n: usize,
+    batch: usize,
+    is_fft: bool,
+    idx: usize,
+    spec: &IpuSpec,
+) {
+    let per_elem = if is_fft { 5.0 } else { 1.0 };
+    let flops = per_elem * n as f64 * (n as f64).log2().max(1.0) * batch as f64;
+    let p = tiles_for(flops, spec);
+    let width = if is_fft { 8 } else { 4 }; // complex vs real
+    let bytes = (width * n * batch) as u64;
+    let kind = if is_fft { "fft" } else { "fwht" };
+    g.add_variable(format!("op{idx}.{kind}"), bytes, TileMapping::Spread { start: 0, count: p });
+
+    // Batched transforms, transpose-style: two compute-set halves with a
+    // re-layout exchange between them. The batch splits across tiles; when
+    // tiles outnumber transforms, each transform additionally splits across
+    // a group of tiles (modelled as a shorter per-vertex slice).
+    let batch_per = batch.div_ceil(p as usize).max(1);
+    let intra_split = if (p as usize) > batch { (p as usize / batch.max(1)).max(1) } else { 1 };
+    let n_share = (n / intra_split).max(2);
+    for half in 0..2 {
+        let vertices: Vec<u32> = (0..p)
+            .map(|t| {
+                let codelet = if is_fft {
+                    Codelet::FftSlice { n: n_share, batch: batch_per.div_ceil(2) }
+                } else {
+                    Codelet::FwhtSlice { n: n_share, batch: batch_per.div_ceil(2) }
+                };
+                g.add_vertex(codelet, t, 2)
+            })
+            .collect();
+        g.add_compute_set(format!("op{idx}.{kind}{half}"), vertices);
+        if half == 0 {
+            let ex = scatter(&format!("op{idx}.{kind}.relayout"), bytes / 2, p, spec);
+            let name = ex.name.clone();
+            let transfers = ex.transfers;
+            g.add_exchange(name, transfers);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> IpuSpec {
+        IpuSpec::gc200()
+    }
+
+    #[test]
+    fn small_matmul_uses_few_tiles_one_compute_set() {
+        let c = compile(&[LinOp::MatMul { m: 32, k: 32, n: 32 }], &spec()).expect("fits");
+        assert_eq!(c.memory.compute_sets, 1);
+        assert!(c.graph.vertices.len() < 16);
+    }
+
+    #[test]
+    fn large_matmul_splits_k_into_more_compute_sets() {
+        let small = compile(&[LinOp::MatMul { m: 512, k: 512, n: 512 }], &spec()).expect("fits");
+        let large =
+            compile(&[LinOp::MatMul { m: 512, k: 8192, n: 512 }], &spec()).expect("fits");
+        assert!(large.memory.compute_sets > small.memory.compute_sets);
+    }
+
+    #[test]
+    fn compute_sets_and_memory_grow_with_problem_size() {
+        // The Fig 5 trend: edges, vertices, variables and memory all grow.
+        let mut prev_total = 0u64;
+        let mut prev_vertices = 0usize;
+        for e in [7u32, 9, 11, 12] {
+            let n = 1usize << e;
+            let g = lower(&[LinOp::MatMul { m: n, k: n, n }], &spec());
+            let r = account(&g, &spec());
+            assert!(r.total_bytes > prev_total, "memory must grow at n={n}");
+            assert!(r.vertices >= prev_vertices, "vertices must not shrink at n={n}");
+            prev_total = r.total_bytes;
+            prev_vertices = r.vertices;
+        }
+    }
+
+    #[test]
+    fn oversized_problem_reports_out_of_memory() {
+        // A 32768^2 matmul needs ~12 GB of operands — far over 900 MB.
+        let n = 32768;
+        let err = compile(&[LinOp::MatMul { m: n, k: n, n }], &spec()).expect_err("must OOM");
+        let CompileError::OutOfMemory { report } = err;
+        assert!(report.tiles_over_budget > 0);
+    }
+
+    #[test]
+    fn skewed_matmul_falls_back_to_scalar() {
+        let g = lower(&[LinOp::MatMul { m: 65536, k: 16, n: 4 }], &spec());
+        assert!(g
+            .vertices
+            .iter()
+            .all(|v| matches!(v.codelet, Codelet::MatMulVector { .. })));
+        let g2 = lower(&[LinOp::MatMul { m: 512, k: 512, n: 512 }], &spec());
+        assert!(g2.vertices.iter().all(|v| matches!(v.codelet, Codelet::MatMulAmp { .. })));
+    }
+
+    #[test]
+    fn butterfly_trace_has_one_compute_set_per_factor() {
+        let trace: Vec<LinOp> = (0..10).map(|_| LinOp::Twiddle { pairs: 512, batch: 64 }).collect();
+        let c = compile(&trace, &spec()).expect("fits");
+        assert_eq!(c.memory.compute_sets, 10);
+        assert_eq!(c.memory.exchange_phases, 10);
+    }
+
+    #[test]
+    fn spmm_memory_tracks_nnz_not_dense_size() {
+        let dense = compile(&[LinOp::MatMul { m: 2048, k: 2048, n: 2048 }], &spec())
+            .expect("fits")
+            .memory;
+        let sparse = compile(
+            &[LinOp::SpMM { m: 2048, k: 2048, n: 2048, nnz: 2048 * 20 }],
+            &spec(),
+        )
+        .expect("fits")
+        .memory;
+        assert!(sparse.data_bytes < dense.data_bytes);
+    }
+
+    #[test]
+    fn host_copy_adds_no_graph_memory() {
+        let c = compile(&[LinOp::Copy { bytes: 1 << 30 }], &spec()).expect("fits");
+        assert_eq!(c.memory.data_bytes, 0);
+        assert_eq!(c.memory.compute_sets, 0);
+    }
+}

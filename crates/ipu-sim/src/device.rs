@@ -1,0 +1,151 @@
+//! The device facade: compile-and-run for op traces, plus the tile-to-tile
+//! microbenchmark API used by the Fig 3 reproduction.
+
+use crate::compiler::{compile, Compiled, CompileError};
+use crate::exchange::{point_to_point_bandwidth, point_to_point_cycles};
+use crate::executor::{execute, ExecutionReport};
+use crate::spec::IpuSpec;
+use bfly_tensor::LinOp;
+use serde::{Deserialize, Serialize};
+
+/// A simulated IPU device.
+#[derive(Debug, Clone, Default)]
+pub struct IpuDevice {
+    spec: IpuSpec,
+}
+
+/// Result of running a trace: timing plus the compiled graph's memory report.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The compiled program (graph + memory accounting).
+    pub compiled: Compiled,
+    /// The execution timing.
+    pub execution: ExecutionReport,
+}
+
+impl RunResult {
+    /// Wall-clock seconds of the run.
+    pub fn seconds(&self, spec: &IpuSpec) -> f64 {
+        self.execution.seconds(spec)
+    }
+
+    /// Achieved GFLOP/s over the trace's nominal FLOPs.
+    pub fn gflops(&self, spec: &IpuSpec) -> f64 {
+        self.execution.gflops(self.compiled.flops, spec)
+    }
+
+    /// Effective GFLOP/s against an externally supplied FLOP count — used to
+    /// report sparse kernels in *dense-equivalent* GFLOP/s, the convention of
+    /// the paper's Table 2 (where sparse entries can exceed device peak).
+    pub fn effective_gflops(&self, dense_equivalent_flops: f64, spec: &IpuSpec) -> f64 {
+        self.execution.gflops(dense_equivalent_flops, spec)
+    }
+}
+
+/// One sample of the Fig 3 microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CopySample {
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// Effective bandwidth in bytes/s.
+    pub bandwidth: f64,
+}
+
+impl IpuDevice {
+    /// Creates a device with the GC200 specification.
+    pub fn gc200() -> Self {
+        Self { spec: IpuSpec::gc200() }
+    }
+
+    /// Creates a device with a custom specification.
+    pub fn with_spec(spec: IpuSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &IpuSpec {
+        &self.spec
+    }
+
+    /// Compiles and executes an op trace.
+    pub fn run(&self, trace: &[LinOp]) -> Result<RunResult, CompileError> {
+        let compiled = compile(trace, &self.spec)?;
+        let execution = execute(&compiled.graph, &self.spec);
+        Ok(RunResult { compiled, execution })
+    }
+
+    /// Compiles and executes, prefixed/suffixed with host-link staging of
+    /// `host_bytes` (the PopTorch situation where "performance numbers
+    /// inherently include data copy time").
+    pub fn run_with_host_io(
+        &self,
+        trace: &[LinOp],
+        host_bytes: u64,
+    ) -> Result<RunResult, CompileError> {
+        let mut full = Vec::with_capacity(trace.len() + 2);
+        full.push(LinOp::Copy { bytes: host_bytes / 2 });
+        full.extend_from_slice(trace);
+        full.push(LinOp::Copy { bytes: host_bytes - host_bytes / 2 });
+        let mut result = self.run(&full)?;
+        // Fixed StepIO synchronisation latency per execution.
+        result.execution.host_seconds += self.spec.host_sync_seconds;
+        Ok(result)
+    }
+
+    /// Measures a tile-to-tile copy (Fig 3): latency and bandwidth for a
+    /// message of `bytes` between `from` and `to`. By construction of the
+    /// exchange model, the tile ids do not affect the result (Observation 1).
+    pub fn tile_copy(&self, from: u32, to: u32, bytes: u64) -> CopySample {
+        let cycles = point_to_point_cycles(from, to, bytes, &self.spec);
+        CopySample {
+            bytes,
+            latency_s: self.spec.cycles_to_seconds(cycles),
+            bandwidth: point_to_point_bandwidth(bytes, &self.spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_reports_consistent_gflops() {
+        let dev = IpuDevice::gc200();
+        let r = dev.run(&[LinOp::MatMul { m: 512, k: 512, n: 512 }]).expect("fits");
+        let g = r.gflops(dev.spec());
+        assert!(g > 0.0 && g < dev.spec().peak_flops() / 1e9);
+    }
+
+    #[test]
+    fn host_io_adds_time() {
+        let dev = IpuDevice::gc200();
+        let trace = [LinOp::MatMul { m: 256, k: 256, n: 256 }];
+        let bare = dev.run(&trace).expect("fits");
+        let with_io = dev.run_with_host_io(&trace, 1 << 28).expect("fits");
+        assert!(with_io.seconds(dev.spec()) > bare.seconds(dev.spec()) + 0.01);
+    }
+
+    #[test]
+    fn tile_copy_is_distance_independent() {
+        let dev = IpuDevice::gc200();
+        for bytes in [8u64, 4096, 1 << 18] {
+            let near = dev.tile_copy(0, 1, bytes);
+            let far = dev.tile_copy(0, 644, bytes);
+            assert_eq!(near.latency_s, far.latency_s);
+            assert_eq!(near.bandwidth, far.bandwidth);
+        }
+    }
+
+    #[test]
+    fn bandwidth_saturates_with_size() {
+        let dev = IpuDevice::gc200();
+        let sizes = [64u64, 1024, 16384, 262144, 1 << 21];
+        let bw: Vec<f64> = sizes.iter().map(|&b| dev.tile_copy(0, 1, b).bandwidth).collect();
+        for w in bw.windows(2) {
+            assert!(w[1] >= w[0], "bandwidth must be non-decreasing in size");
+        }
+    }
+}

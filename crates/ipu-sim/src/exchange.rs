@@ -1,0 +1,162 @@
+//! The exchange-fabric timing model.
+//!
+//! The IPU-Exchange is an all-to-all, statically scheduled, jitter-free
+//! fabric: transfer time depends on the bytes each tile sends/receives, not
+//! on which tiles communicate. This is the paper's **Observation 1**
+//! ("latency and bandwidth ... are tightly coupled with data size, but are
+//! independent of their location"), and it is a structural property of this
+//! model: no distance term exists anywhere below.
+
+use crate::graph::{Exchange, Transfer};
+use crate::spec::IpuSpec;
+use std::collections::HashMap;
+
+/// Cycles to complete an exchange phase: the BSP sync plus the serialisation
+/// time of the busiest tile port (send or receive).
+pub fn exchange_cycles(exchange: &Exchange, spec: &IpuSpec) -> u64 {
+    let mut sent: HashMap<u32, u64> = HashMap::new();
+    let mut received: HashMap<u32, u64> = HashMap::new();
+    for t in &exchange.transfers {
+        if t.from == t.to {
+            // Same-tile "transfer" is a local copy, not fabric traffic.
+            continue;
+        }
+        *sent.entry(t.from).or_insert(0) += t.bytes;
+        *received.entry(t.to).or_insert(0) += t.bytes;
+    }
+    let max_port = sent.values().chain(received.values()).copied().max().unwrap_or(0);
+    spec.sync_cycles + (max_port as f64 / spec.exchange_bytes_per_cycle).ceil() as u64
+}
+
+/// Cycles for a single point-to-point copy of `bytes` between two tiles.
+///
+/// `from`/`to` are accepted to make the distance-independence explicit at
+/// the API level (and property-testable): they do not influence the result.
+pub fn point_to_point_cycles(from: u32, to: u32, bytes: u64, spec: &IpuSpec) -> u64 {
+    let transfer = Transfer { from, to, bytes };
+    exchange_cycles(&Exchange { name: "p2p".into(), transfers: vec![transfer] }, spec)
+}
+
+/// Effective point-to-point bandwidth in bytes/s for a copy of `bytes`.
+pub fn point_to_point_bandwidth(bytes: u64, spec: &IpuSpec) -> f64 {
+    let cycles = point_to_point_cycles(0, 1, bytes, spec);
+    bytes as f64 / spec.cycles_to_seconds(cycles)
+}
+
+/// Builds a "scatter" exchange: `total_bytes` moved from a host-staging tile
+/// span onto `dst_tiles` tiles evenly (used by the compiler to distribute
+/// operands).
+pub fn scatter(name: &str, total_bytes: u64, dst_tiles: u32, spec: &IpuSpec) -> Exchange {
+    let dst_tiles = dst_tiles.max(1).min(spec.tiles as u32);
+    let per = total_bytes / u64::from(dst_tiles);
+    let rem = total_bytes % u64::from(dst_tiles);
+    let transfers = (0..dst_tiles)
+        .map(|d| Transfer {
+            // Sources round-robin over all tiles: the fabric does not care.
+            from: d % spec.tiles as u32,
+            to: d,
+            bytes: per + if u64::from(d) < rem { 1 } else { 0 },
+        })
+        .filter(|t| t.bytes > 0)
+        .collect();
+    Exchange { name: name.into(), transfers }
+}
+
+/// Builds a "broadcast" exchange: every one of `dst_tiles` receives its own
+/// copy of `bytes_per_tile` (e.g. the shared dense operand of an SpMM).
+pub fn broadcast(name: &str, bytes_per_tile: u64, dst_tiles: u32, spec: &IpuSpec) -> Exchange {
+    let dst_tiles = dst_tiles.max(1).min(spec.tiles as u32);
+    let transfers = (0..dst_tiles)
+        .map(|d| Transfer {
+            from: (d + 1) % spec.tiles as u32,
+            to: d,
+            bytes: bytes_per_tile,
+        })
+        .filter(|t| t.bytes > 0)
+        .collect();
+    Exchange { name: name.into(), transfers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> IpuSpec {
+        IpuSpec::gc200()
+    }
+
+    #[test]
+    fn latency_is_independent_of_distance() {
+        // The paper's Fig 3 pairs: neighbours (0,1) vs distant (0,644).
+        let s = spec();
+        for bytes in [8u64, 1024, 65536, 262144] {
+            let near = point_to_point_cycles(0, 1, bytes, &s);
+            let far = point_to_point_cycles(0, 644, bytes, &s);
+            assert_eq!(near, far, "distance affected latency at {bytes} bytes");
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_size() {
+        let s = spec();
+        let small = point_to_point_cycles(0, 1, 64, &s);
+        let large = point_to_point_cycles(0, 1, 1 << 20, &s);
+        assert!(large > small * 10);
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        // Below ~sync_cycles * width bytes the fixed cost dominates, so
+        // effective bandwidth is far below the port rate (Fig 3's left side).
+        let s = spec();
+        let bw_small = point_to_point_bandwidth(8, &s);
+        let bw_large = point_to_point_bandwidth(1 << 20, &s);
+        assert!(bw_large > bw_small * 100.0, "{bw_small} vs {bw_large}");
+        // Large transfers approach the per-tile port bandwidth.
+        let port = s.exchange_bytes_per_cycle * s.clock_hz;
+        assert!(bw_large > 0.8 * port && bw_large <= port * 1.01);
+    }
+
+    #[test]
+    fn exchange_time_is_busiest_port() {
+        let s = spec();
+        let ex = Exchange {
+            name: "test".into(),
+            transfers: vec![
+                Transfer { from: 0, to: 1, bytes: 1000 },
+                Transfer { from: 0, to: 2, bytes: 1000 },
+                Transfer { from: 3, to: 4, bytes: 500 },
+            ],
+        };
+        // Tile 0 sends 2000 bytes — the bottleneck.
+        let expect = s.sync_cycles + (2000.0 / s.exchange_bytes_per_cycle).ceil() as u64;
+        assert_eq!(exchange_cycles(&ex, &s), expect);
+    }
+
+    #[test]
+    fn same_tile_transfers_are_free_on_the_fabric() {
+        let s = spec();
+        let ex = Exchange {
+            name: "local".into(),
+            transfers: vec![Transfer { from: 5, to: 5, bytes: 1 << 20 }],
+        };
+        assert_eq!(exchange_cycles(&ex, &s), s.sync_cycles);
+    }
+
+    #[test]
+    fn scatter_covers_all_bytes() {
+        let s = spec();
+        let ex = scatter("sc", 1001, 10, &s);
+        let total: u64 = ex.transfers.iter().map(|t| t.bytes).sum();
+        assert_eq!(total, 1001);
+        assert_eq!(ex.transfers.len(), 10);
+    }
+
+    #[test]
+    fn broadcast_replicates_bytes() {
+        let s = spec();
+        let ex = broadcast("bc", 256, 8, &s);
+        assert_eq!(ex.transfers.len(), 8);
+        assert!(ex.transfers.iter().all(|t| t.bytes == 256));
+    }
+}

@@ -1,0 +1,317 @@
+//! The compiled dataflow graph: variables, vertices, compute sets, exchange
+//! phases, and the program that sequences them (the Poplar model of §2.1:
+//! "IPU-Programs are represented as dataflow graphs, with computation as
+//! nodes (Vertices) and data as Tensors connected via edges").
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a graph variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+/// Identifier of a compute set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ComputeSetId(pub u32);
+
+/// Identifier of an exchange phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExchangeId(pub u32);
+
+/// How a variable's bytes are laid out across tiles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TileMapping {
+    /// Entirely on one tile.
+    Single(u32),
+    /// Spread evenly across `count` tiles starting at `start`.
+    Spread {
+        /// First tile of the span.
+        start: u32,
+        /// Number of tiles the variable is spread over.
+        count: u32,
+    },
+}
+
+impl TileMapping {
+    /// Number of tiles this mapping touches.
+    pub fn tile_count(&self) -> u32 {
+        match self {
+            TileMapping::Single(_) => 1,
+            TileMapping::Spread { count, .. } => *count,
+        }
+    }
+
+    /// Bytes resident on `tile` for a variable of `total_bytes`.
+    pub fn bytes_on_tile(&self, tile: u32, total_bytes: u64) -> u64 {
+        match *self {
+            TileMapping::Single(t) => {
+                if t == tile {
+                    total_bytes
+                } else {
+                    0
+                }
+            }
+            TileMapping::Spread { start, count } => {
+                if tile >= start && tile < start + count {
+                    // Even split; remainder lands on the earliest tiles.
+                    let base = total_bytes / count as u64;
+                    let rem = total_bytes % count as u64;
+                    base + if u64::from(tile - start) < rem { 1 } else { 0 }
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// A tensor variable in the graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Variable {
+    /// Debug name.
+    pub name: String,
+    /// Total byte size.
+    pub bytes: u64,
+    /// Placement across tiles.
+    pub mapping: TileMapping,
+}
+
+/// The codelet a vertex executes, with enough shape information for the cost
+/// model. All sizes are *per-vertex* (i.e. after work partitioning).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Codelet {
+    /// Dense matmul partial on the AMP unit: `m x k x n` slice.
+    MatMulAmp {
+        /// Rows of the slice.
+        m: usize,
+        /// Inner dimension of the slice.
+        k: usize,
+        /// Columns of the slice.
+        n: usize,
+    },
+    /// Dense matmul through poplin's vectorised non-AMP path (used when
+    /// shapes cannot feed the AMP, e.g. extreme skew or tiny ranks).
+    MatMulVector {
+        /// Rows of the slice.
+        m: usize,
+        /// Inner dimension of the slice.
+        k: usize,
+        /// Columns of the slice.
+        n: usize,
+    },
+    /// Dense matmul written as scalar loops (the "IPU naive" tier).
+    MatMulScalar {
+        /// Rows of the slice.
+        m: usize,
+        /// Inner dimension of the slice.
+        k: usize,
+        /// Columns of the slice.
+        n: usize,
+    },
+    /// CSR-style sparse rows times dense: `nnz` nonzeros, `n` output columns.
+    SparseRows {
+        /// Nonzeros processed by this vertex.
+        nnz: usize,
+        /// Dense columns.
+        n: usize,
+    },
+    /// Dense `block x block` blocks times dense columns (popsparse
+    /// block-sparse path; also pixelfly's access pattern).
+    BlockMatMul {
+        /// Block side length.
+        block: usize,
+        /// Number of blocks this vertex multiplies.
+        blocks: usize,
+        /// Dense columns.
+        n: usize,
+    },
+    /// Small batched 2x2 twiddle application (a butterfly factor slice):
+    /// `pairs` position pairs over `batch` batch columns.
+    Twiddle {
+        /// Number of 2x2 twiddles applied.
+        pairs: usize,
+        /// Batch width each twiddle is applied across.
+        batch: usize,
+    },
+    /// Vectorised elementwise op over `n` elements with `flops_per_elem`.
+    Elementwise {
+        /// Elements processed by this vertex.
+        n: usize,
+        /// FLOPs per element.
+        flops_per_elem: u32,
+    },
+    /// Radix-2 FFT stage work: `n`-point transform over `batch` vectors.
+    FftSlice {
+        /// Transform length.
+        n: usize,
+        /// Transforms handled by this vertex.
+        batch: usize,
+    },
+    /// FWHT work (additions only).
+    FwhtSlice {
+        /// Transform length.
+        n: usize,
+        /// Transforms handled by this vertex.
+        batch: usize,
+    },
+    /// Local data rearrangement of `bytes` bytes (no exchange).
+    LocalCopy {
+        /// Bytes copied within the tile.
+        bytes: u64,
+    },
+}
+
+/// A vertex: one codelet instance mapped to one tile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vertex {
+    /// The work it performs.
+    pub codelet: Codelet,
+    /// Tile it runs on.
+    pub tile: u32,
+    /// Number of tensor edges (inputs + outputs) connecting it.
+    pub edges: u32,
+}
+
+/// A set of vertices executed in one BSP superstep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComputeSet {
+    /// Debug name.
+    pub name: String,
+    /// Indices into the graph's vertex table.
+    pub vertices: Vec<u32>,
+}
+
+/// One point-to-point transfer within an exchange phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Source tile.
+    pub from: u32,
+    /// Destination tile.
+    pub to: u32,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// An exchange phase: a set of transfers executed in one superstep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Exchange {
+    /// Debug name.
+    pub name: String,
+    /// The transfers performed.
+    pub transfers: Vec<Transfer>,
+}
+
+/// One step of the compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// Run a compute set (all its vertices in parallel across tiles).
+    Execute(ComputeSetId),
+    /// Run an exchange phase.
+    DoExchange(ExchangeId),
+    /// Stream bytes over the host link (PopTorch-style data copies).
+    HostTransfer {
+        /// Bytes streamed.
+        bytes: u64,
+    },
+}
+
+/// The dataflow graph plus its program.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    /// Tensor variables.
+    pub variables: Vec<Variable>,
+    /// Vertex instances.
+    pub vertices: Vec<Vertex>,
+    /// Compute sets.
+    pub compute_sets: Vec<ComputeSet>,
+    /// Exchange phases.
+    pub exchanges: Vec<Exchange>,
+    /// Program step sequence.
+    pub program: Vec<Step>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable, returning its id.
+    pub fn add_variable(&mut self, name: impl Into<String>, bytes: u64, mapping: TileMapping) -> VarId {
+        self.variables.push(Variable { name: name.into(), bytes, mapping });
+        VarId(self.variables.len() as u32 - 1)
+    }
+
+    /// Adds a vertex, returning its index.
+    pub fn add_vertex(&mut self, codelet: Codelet, tile: u32, edges: u32) -> u32 {
+        self.vertices.push(Vertex { codelet, tile, edges });
+        self.vertices.len() as u32 - 1
+    }
+
+    /// Adds a compute set over the given vertex indices and appends an
+    /// Execute step for it.
+    pub fn add_compute_set(&mut self, name: impl Into<String>, vertices: Vec<u32>) -> ComputeSetId {
+        self.compute_sets.push(ComputeSet { name: name.into(), vertices });
+        let id = ComputeSetId(self.compute_sets.len() as u32 - 1);
+        self.program.push(Step::Execute(id));
+        id
+    }
+
+    /// Adds an exchange phase and appends its program step.
+    pub fn add_exchange(&mut self, name: impl Into<String>, transfers: Vec<Transfer>) -> ExchangeId {
+        self.exchanges.push(Exchange { name: name.into(), transfers });
+        let id = ExchangeId(self.exchanges.len() as u32 - 1);
+        self.program.push(Step::DoExchange(id));
+        id
+    }
+
+    /// Appends a host-link transfer step.
+    pub fn add_host_transfer(&mut self, bytes: u64) {
+        self.program.push(Step::HostTransfer { bytes });
+    }
+
+    /// Total number of tensor edges in the graph.
+    pub fn edge_count(&self) -> u64 {
+        self.vertices.iter().map(|v| u64::from(v.edges)).sum()
+    }
+
+    /// Total bytes of all variables.
+    pub fn variable_bytes(&self) -> u64 {
+        self.variables.iter().map(|v| v.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_mapping_partitions_bytes_exactly() {
+        let m = TileMapping::Spread { start: 4, count: 3 };
+        let total = 100u64;
+        let sum: u64 = (0..10).map(|t| m.bytes_on_tile(t, total)).sum();
+        assert_eq!(sum, total);
+        assert_eq!(m.bytes_on_tile(3, total), 0);
+        assert_eq!(m.bytes_on_tile(4, total), 34); // remainder on early tiles
+        assert_eq!(m.bytes_on_tile(5, total), 33);
+    }
+
+    #[test]
+    fn single_mapping_is_all_or_nothing() {
+        let m = TileMapping::Single(7);
+        assert_eq!(m.bytes_on_tile(7, 42), 42);
+        assert_eq!(m.bytes_on_tile(6, 42), 0);
+        assert_eq!(m.tile_count(), 1);
+    }
+
+    #[test]
+    fn graph_builders_sequence_program() {
+        let mut g = Graph::new();
+        let _a = g.add_variable("a", 64, TileMapping::Single(0));
+        let v = g.add_vertex(Codelet::Elementwise { n: 16, flops_per_elem: 1 }, 0, 2);
+        let cs = g.add_compute_set("map", vec![v]);
+        let ex = g.add_exchange("gather", vec![Transfer { from: 0, to: 1, bytes: 64 }]);
+        assert_eq!(g.program, vec![Step::Execute(cs), Step::DoExchange(ex)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.variable_bytes(), 64);
+    }
+}

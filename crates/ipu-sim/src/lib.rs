@@ -1,0 +1,39 @@
+//! # bfly-ipu
+//!
+//! A functional + performance simulator of a tiled MIMD accelerator modelled
+//! on the Graphcore GC200 IPU: 1472 tiles with private SRAM, an all-to-all
+//! exchange fabric whose cost is independent of tile distance, a Poplar-like
+//! graph compiler (variables / vertices / compute sets / exchanges, with
+//! per-tile memory accounting including exchange and control code), and a
+//! BSP executor with a calibrated cycle cost model.
+//!
+//! This substrate replaces the physical M2000 system the paper measures; see
+//! DESIGN.md for the substitution argument. The paper's three observations
+//! are structural properties of this model:
+//! - **Obs 1** (exchange cost independent of distance) — `exchange`;
+//! - **Obs 2** (strong skewed/sparse performance) — `codelets` + `compiler`;
+//! - **Obs 3** (memory overhead beyond data, driven by compute sets) —
+//!   `memory`.
+
+#![warn(missing_docs)]
+
+pub mod codelets;
+pub mod compiler;
+pub mod device;
+pub mod exchange;
+pub mod executor;
+pub mod graph;
+pub mod memory;
+pub mod multi;
+pub mod profile;
+pub mod streaming;
+pub mod spec;
+
+pub use compiler::{compile, lower, Compiled, CompileError};
+pub use device::{CopySample, IpuDevice, RunResult};
+pub use executor::{execute, ExecutionReport};
+pub use graph::{Codelet, ComputeSet, Exchange, Graph, Step, TileMapping, Transfer, Variable, Vertex};
+pub use memory::{account, MemoryReport};
+pub use multi::{data_parallel_step, DataParallelReport, PodSpec};
+pub use streaming::{run_streaming, StreamingError, StreamingReport, StreamingSpec};
+pub use spec::IpuSpec;

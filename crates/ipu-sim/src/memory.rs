@@ -1,0 +1,254 @@
+//! Per-tile memory accounting — the model behind the paper's
+//! **Observation 3**: "overall memory usage for the IPU does not only depend
+//! on the problem size ... there are additional effects with substantially
+//! increase overall memory usage", driven by the number of compute sets.
+//!
+//! Each tile's SRAM holds four categories:
+//! 1. **data** — the variable slices mapped to it;
+//! 2. **vertex state** — instance descriptors and edge pointers, plus one
+//!    copy of each codelet's code per tile;
+//! 3. **exchange code** — the statically compiled send/receive programs
+//!    (proportional to transfer count *and* transferred bytes);
+//! 4. **control code** — per program step per tile.
+
+use crate::codelets::{codelet_code_bytes, codelet_kind, vertex_state_bytes};
+use crate::graph::{Graph, Step};
+use crate::spec::IpuSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Bytes of exchange code per transfer endpoint (descriptor + setup).
+pub const EXCHANGE_CODE_PER_TRANSFER: u64 = 24;
+
+/// One exchange-code instruction word is emitted per this many payload bytes
+/// (the compiled copy programs scale with message size).
+pub const EXCHANGE_CODE_BYTES_PER_PAYLOAD: u64 = 32;
+
+/// Beyond this much code the compiler emits looping copy programs, so the
+/// per-payload growth slows to 1/2048 of the payload.
+pub const EXCHANGE_CODE_LOOP_THRESHOLD: u64 = 2048;
+
+/// Code bytes for one transfer endpoint of `bytes` payload.
+fn transfer_code_bytes(bytes: u64) -> u64 {
+    let unrolled = bytes / EXCHANGE_CODE_BYTES_PER_PAYLOAD;
+    let looped = EXCHANGE_CODE_LOOP_THRESHOLD + bytes / 2048;
+    EXCHANGE_CODE_PER_TRANSFER + unrolled.min(looped)
+}
+
+/// Control-code bytes per program step per tile.
+pub const CONTROL_BYTES_PER_STEP: u64 = 16;
+
+/// Memory accounting result for a compiled graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Number of graph variables.
+    pub variables: usize,
+    /// Number of vertex instances.
+    pub vertices: usize,
+    /// Total tensor edges.
+    pub edges: u64,
+    /// Number of compute sets.
+    pub compute_sets: usize,
+    /// Number of exchange phases.
+    pub exchange_phases: usize,
+    /// Bytes of variable data.
+    pub data_bytes: u64,
+    /// Bytes of vertex state + codelet code.
+    pub vertex_bytes: u64,
+    /// Bytes of compiled exchange code.
+    pub exchange_code_bytes: u64,
+    /// Bytes of per-step control code.
+    pub control_bytes: u64,
+    /// Total on-chip bytes used.
+    pub total_bytes: u64,
+    /// Bytes used on the most loaded tile.
+    pub max_tile_bytes: u64,
+    /// Remaining free memory (device total minus used); zero if over.
+    pub free_bytes: u64,
+    /// Number of tiles whose usage exceeds their SRAM.
+    pub tiles_over_budget: usize,
+}
+
+impl MemoryReport {
+    /// True when the graph fits on the device (no tile over budget).
+    pub fn fits(&self) -> bool {
+        self.tiles_over_budget == 0
+    }
+
+    /// Overhead bytes beyond the raw data footprint.
+    pub fn overhead_bytes(&self) -> u64 {
+        self.vertex_bytes + self.exchange_code_bytes + self.control_bytes
+    }
+}
+
+/// Computes the memory report of a graph on a device.
+pub fn account(graph: &Graph, spec: &IpuSpec) -> MemoryReport {
+    let tiles = spec.tiles;
+    let mut per_tile = vec![0u64; tiles];
+
+    // 1. Variable data.
+    let mut data_bytes = 0u64;
+    for v in &graph.variables {
+        data_bytes += v.bytes;
+        match &v.mapping {
+            crate::graph::TileMapping::Single(t) => {
+                per_tile[*t as usize % tiles] += v.bytes;
+            }
+            crate::graph::TileMapping::Spread { start, count } => {
+                for t in *start..start + count {
+                    per_tile[t as usize % tiles] += v.mapping.bytes_on_tile(t, v.bytes);
+                }
+            }
+        }
+    }
+
+    // 2. Vertex state + per-(kind, tile) code.
+    let mut vertex_bytes = 0u64;
+    let mut code_seen: HashSet<(u8, u32)> = HashSet::new();
+    for v in &graph.vertices {
+        let state = vertex_state_bytes(v.edges);
+        per_tile[v.tile as usize % tiles] += state;
+        vertex_bytes += state;
+        if code_seen.insert((codelet_kind(&v.codelet), v.tile)) {
+            let code = codelet_code_bytes(&v.codelet);
+            per_tile[v.tile as usize % tiles] += code;
+            vertex_bytes += code;
+        }
+    }
+
+    // 3. Exchange code on both endpoints.
+    let mut exchange_code_bytes = 0u64;
+    for ex in &graph.exchanges {
+        for t in &ex.transfers {
+            let code = transfer_code_bytes(t.bytes);
+            per_tile[t.from as usize % tiles] += code;
+            per_tile[t.to as usize % tiles] += code;
+            exchange_code_bytes += 2 * code;
+        }
+    }
+
+    // 4. Control code: every tile holds the program skeleton.
+    let steps = graph
+        .program
+        .iter()
+        .filter(|s| !matches!(s, Step::HostTransfer { .. }))
+        .count() as u64;
+    let control_per_tile = steps * CONTROL_BYTES_PER_STEP;
+    for t in per_tile.iter_mut() {
+        *t += control_per_tile;
+    }
+    let control_bytes = control_per_tile * tiles as u64;
+
+    let total_bytes: u64 = per_tile.iter().sum();
+    let max_tile_bytes = per_tile.iter().copied().max().unwrap_or(0);
+    let tiles_over_budget = per_tile.iter().filter(|&&b| b > spec.sram_per_tile).count();
+
+    MemoryReport {
+        variables: graph.variables.len(),
+        vertices: graph.vertices.len(),
+        edges: graph.edge_count(),
+        compute_sets: graph.compute_sets.len(),
+        exchange_phases: graph.exchanges.len(),
+        data_bytes,
+        vertex_bytes,
+        exchange_code_bytes,
+        control_bytes,
+        total_bytes,
+        max_tile_bytes,
+        free_bytes: spec.total_sram().saturating_sub(total_bytes),
+        tiles_over_budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Codelet, Graph, TileMapping, Transfer};
+
+    fn spec() -> IpuSpec {
+        IpuSpec::gc200()
+    }
+
+    #[test]
+    fn data_accounting_conserves_bytes() {
+        let mut g = Graph::new();
+        g.add_variable("a", 1000, TileMapping::Spread { start: 0, count: 7 });
+        g.add_variable("b", 123, TileMapping::Single(3));
+        let r = account(&g, &spec());
+        assert_eq!(r.data_bytes, 1123);
+        assert_eq!(r.variables, 2);
+    }
+
+    #[test]
+    fn overhead_grows_with_compute_sets() {
+        // Two graphs moving the same data, one split into many compute sets:
+        // the many-set graph must report more memory (Observation 3).
+        let build = |sets: usize| -> MemoryReport {
+            let mut g = Graph::new();
+            g.add_variable("x", 1 << 20, TileMapping::Spread { start: 0, count: 64 });
+            for s in 0..sets {
+                let vs: Vec<u32> = (0..64)
+                    .map(|t| {
+                        g.add_vertex(
+                            Codelet::Elementwise { n: 1024 / sets, flops_per_elem: 1 },
+                            t,
+                            2,
+                        )
+                    })
+                    .collect();
+                g.add_compute_set(format!("cs{s}"), vs);
+                g.add_exchange(
+                    format!("ex{s}"),
+                    (0..64u32).map(|t| Transfer { from: t, to: (t + 1) % 64, bytes: 64 }).collect(),
+                );
+            }
+            account(&g, &spec())
+        };
+        let few = build(2);
+        let many = build(16);
+        assert_eq!(few.data_bytes, many.data_bytes);
+        assert!(
+            many.overhead_bytes() > few.overhead_bytes() * 4,
+            "{} vs {}",
+            many.overhead_bytes(),
+            few.overhead_bytes()
+        );
+    }
+
+    #[test]
+    fn exchange_code_scales_with_payload() {
+        let mut g = Graph::new();
+        g.add_exchange("small", vec![Transfer { from: 0, to: 1, bytes: 32 }]);
+        let small = account(&g, &spec()).exchange_code_bytes;
+        let mut g2 = Graph::new();
+        g2.add_exchange("big", vec![Transfer { from: 0, to: 1, bytes: 1 << 20 }]);
+        let big = account(&g2, &spec()).exchange_code_bytes;
+        assert!(big > small * 100);
+    }
+
+    #[test]
+    fn over_budget_tiles_are_detected() {
+        let s = spec();
+        let mut g = Graph::new();
+        g.add_variable("huge", s.sram_per_tile * 2, TileMapping::Single(0));
+        let r = account(&g, &s);
+        assert_eq!(r.tiles_over_budget, 1);
+        assert!(!r.fits());
+    }
+
+    #[test]
+    fn codelet_code_is_shared_per_tile() {
+        let mut g = Graph::new();
+        let v1 = g.add_vertex(Codelet::Elementwise { n: 8, flops_per_elem: 1 }, 0, 2);
+        let v2 = g.add_vertex(Codelet::Elementwise { n: 8, flops_per_elem: 1 }, 0, 2);
+        g.add_compute_set("cs", vec![v1, v2]);
+        let two_same = account(&g, &spec()).vertex_bytes;
+
+        let mut g2 = Graph::new();
+        let v1 = g2.add_vertex(Codelet::Elementwise { n: 8, flops_per_elem: 1 }, 0, 2);
+        let v2 = g2.add_vertex(Codelet::LocalCopy { bytes: 8 }, 0, 2);
+        g2.add_compute_set("cs", vec![v1, v2]);
+        let two_diff = account(&g2, &spec()).vertex_bytes;
+        assert!(two_diff > two_same, "{two_diff} vs {two_same}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Multi-IPU (pod) scaling model — the paper's future work: "we are most
+//! interested in scaling to multiple IPUs ... for scalable learning
+//! problems".
+//!
+//! Models an M2000-style pod: `P` GC200 devices joined by IPU-Links
+//! (Table 1: 320 GB/s inter-chip bandwidth), running data-parallel training:
+//! the mini-batch splits across devices, each runs the per-device trace,
+//! then gradients are ring-allreduced over the links.
+
+use crate::compiler::CompileError;
+use crate::device::IpuDevice;
+use crate::spec::IpuSpec;
+use bfly_tensor::LinOp;
+use serde::{Deserialize, Serialize};
+
+/// A pod of identical IPUs.
+#[derive(Debug, Clone)]
+pub struct PodSpec {
+    /// Number of devices.
+    pub ipus: usize,
+    /// Per-direction inter-chip link bandwidth in bytes/s (Table 1: 320 GB/s).
+    pub inter_chip_bytes_per_sec: f64,
+    /// Fixed seconds per collective launch (sync across devices).
+    pub collective_latency_seconds: f64,
+    /// The per-device specification.
+    pub ipu: IpuSpec,
+}
+
+impl PodSpec {
+    /// The M2000 configuration: four GC200s.
+    pub fn m2000() -> Self {
+        Self {
+            ipus: 4,
+            inter_chip_bytes_per_sec: 320.0e9,
+            collective_latency_seconds: 5.0e-6,
+            ipu: IpuSpec::gc200(),
+        }
+    }
+
+    /// A pod with a custom device count (same link/device specs as M2000).
+    pub fn with_ipus(ipus: usize) -> Self {
+        assert!(ipus >= 1);
+        Self { ipus, ..Self::m2000() }
+    }
+}
+
+/// Timing breakdown of one data-parallel training step on a pod.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataParallelReport {
+    /// Devices used.
+    pub ipus: usize,
+    /// Per-device compute+exchange seconds (forward+backward).
+    pub compute_seconds: f64,
+    /// Ring-allreduce seconds for the gradients.
+    pub allreduce_seconds: f64,
+}
+
+impl DataParallelReport {
+    /// Total step seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.compute_seconds + self.allreduce_seconds
+    }
+
+    /// Scaling efficiency relative to a single-device step time
+    /// (`1.0` = perfect linear scaling).
+    pub fn scaling_efficiency(&self, single_device_seconds: f64) -> f64 {
+        single_device_seconds / (self.total_seconds() * self.ipus as f64)
+    }
+}
+
+/// Prices one data-parallel training step.
+///
+/// `trace_for(batch)` must yield the *forward* trace for a given per-device
+/// batch; forward+backward is approximated as 3x forward. `grad_bytes` is
+/// the byte size of all gradients (= 4 x parameter count for f32), which is
+/// what the allreduce moves.
+pub fn data_parallel_step(
+    pod: &PodSpec,
+    global_batch: usize,
+    grad_bytes: u64,
+    trace_for: &dyn Fn(usize) -> Vec<LinOp>,
+) -> Result<DataParallelReport, CompileError> {
+    let per_device_batch = global_batch.div_ceil(pod.ipus).max(1);
+    let dev = IpuDevice::with_spec(pod.ipu.clone());
+    let trace = trace_for(per_device_batch);
+    let forward = dev.run(&trace)?;
+    let compute_seconds = 3.0 * forward.seconds(dev.spec());
+    // Ring allreduce: each device sends/receives 2 (P-1)/P of the gradient
+    // bytes over its links; two launches (reduce-scatter + all-gather).
+    let allreduce_seconds = if pod.ipus == 1 {
+        0.0
+    } else {
+        let p = pod.ipus as f64;
+        2.0 * (p - 1.0) / p * grad_bytes as f64 / pod.inter_chip_bytes_per_sec
+            + 2.0 * pod.collective_latency_seconds
+    };
+    Ok(DataParallelReport { ipus: pod.ipus, compute_seconds, allreduce_seconds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_trace(n: usize) -> impl Fn(usize) -> Vec<LinOp> {
+        move |batch| vec![LinOp::MatMul { m: batch, k: n, n }]
+    }
+
+    #[test]
+    fn single_device_has_no_allreduce() {
+        let pod = PodSpec::with_ipus(1);
+        let r = data_parallel_step(&pod, 256, 4 * 1024 * 1024, &dense_trace(1024)).expect("fits");
+        assert_eq!(r.allreduce_seconds, 0.0);
+    }
+
+    #[test]
+    fn more_ipus_reduce_step_time_for_large_batches() {
+        let grad = 4u64 * 1024 * 1024;
+        let t1 = data_parallel_step(&PodSpec::with_ipus(1), 4096, grad, &dense_trace(2048))
+            .expect("fits")
+            .total_seconds();
+        let t4 = data_parallel_step(&PodSpec::with_ipus(4), 4096, grad, &dense_trace(2048))
+            .expect("fits")
+            .total_seconds();
+        assert!(t4 < t1, "4-IPU step {t4} should beat 1-IPU {t1}");
+    }
+
+    #[test]
+    fn allreduce_scales_with_gradient_bytes() {
+        let pod = PodSpec::m2000();
+        let small = data_parallel_step(&pod, 256, 100_000, &dense_trace(1024))
+            .expect("fits")
+            .allreduce_seconds;
+        let large = data_parallel_step(&pod, 256, 100_000_000, &dense_trace(1024))
+            .expect("fits")
+            .allreduce_seconds;
+        assert!(large > small * 20.0, "{large} vs {small}");
+    }
+
+    #[test]
+    fn small_gradients_scale_better() {
+        // The multi-IPU story for butterfly: its tiny gradient tensors make
+        // the allreduce nearly free, so scaling efficiency beats the dense
+        // layer's at the same compute volume.
+        let n = 2048usize;
+        let dense_grad = (4 * n * n) as u64;
+        let bfly_grad = (4 * 2 * n * (n.trailing_zeros() as usize)) as u64;
+        let pod = PodSpec::m2000();
+        let run = |grad: u64| {
+            let single = data_parallel_step(&PodSpec::with_ipus(1), 2048, grad, &dense_trace(n))
+                .expect("fits")
+                .total_seconds();
+            let multi =
+                data_parallel_step(&pod, 2048, grad, &dense_trace(n)).expect("fits");
+            multi.scaling_efficiency(single)
+        };
+        let eff_dense = run(dense_grad);
+        let eff_bfly = run(bfly_grad);
+        assert!(
+            eff_bfly > eff_dense,
+            "butterfly-sized gradients must scale better: {eff_bfly} vs {eff_dense}"
+        );
+    }
+
+    #[test]
+    fn per_device_batch_rounds_up() {
+        let pod = PodSpec::with_ipus(3);
+        // Global batch 50 -> 17 per device; just verify no panic and sane output.
+        let r = data_parallel_step(&pod, 50, 1 << 20, &dense_trace(512)).expect("fits");
+        assert!(r.total_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! PopVision-style text reports for compiled programs.
+
+use crate::compiler::Compiled;
+use crate::executor::ExecutionReport;
+use crate::spec::IpuSpec;
+use std::fmt::Write as _;
+
+/// Formats a graph/memory profile similar to the PopVision Graph Analyzer
+/// summary the paper uses in §4.1.
+pub fn memory_profile(compiled: &Compiled, spec: &IpuSpec) -> String {
+    let m = &compiled.memory;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== graph profile ===");
+    let _ = writeln!(out, "variables       : {}", m.variables);
+    let _ = writeln!(out, "vertices        : {}", m.vertices);
+    let _ = writeln!(out, "edges           : {}", m.edges);
+    let _ = writeln!(out, "compute sets    : {}", m.compute_sets);
+    let _ = writeln!(out, "exchange phases : {}", m.exchange_phases);
+    let _ = writeln!(out, "--- memory (bytes) ---");
+    let _ = writeln!(out, "data            : {:>14}", m.data_bytes);
+    let _ = writeln!(out, "vertex state    : {:>14}", m.vertex_bytes);
+    let _ = writeln!(out, "exchange code   : {:>14}", m.exchange_code_bytes);
+    let _ = writeln!(out, "control code    : {:>14}", m.control_bytes);
+    let _ = writeln!(out, "total           : {:>14}", m.total_bytes);
+    let _ = writeln!(out, "max tile        : {:>14} / {}", m.max_tile_bytes, spec.sram_per_tile);
+    let _ = writeln!(out, "free            : {:>14}", m.free_bytes);
+    let _ = writeln!(out, "fits            : {}", m.fits());
+    out
+}
+
+/// Formats an execution timing report.
+pub fn execution_profile(report: &ExecutionReport, flops: f64, spec: &IpuSpec) -> String {
+    let mut out = String::new();
+    let total = report.total_cycles().max(1);
+    let pct = |c: u64| 100.0 * c as f64 / total as f64;
+    let _ = writeln!(out, "=== execution profile ===");
+    let _ = writeln!(out, "steps           : {}", report.steps);
+    let _ = writeln!(
+        out,
+        "compute cycles  : {:>14} ({:5.1}%)",
+        report.compute_cycles,
+        pct(report.compute_cycles)
+    );
+    let _ = writeln!(
+        out,
+        "exchange cycles : {:>14} ({:5.1}%)",
+        report.exchange_cycles,
+        pct(report.exchange_cycles)
+    );
+    let _ = writeln!(
+        out,
+        "overhead cycles : {:>14} ({:5.1}%)",
+        report.overhead_cycles,
+        pct(report.overhead_cycles)
+    );
+    let _ = writeln!(out, "host seconds    : {:.6}", report.host_seconds);
+    let _ = writeln!(out, "total seconds   : {:.6}", report.seconds(spec));
+    let _ = writeln!(out, "throughput      : {:.1} GFLOP/s", report.gflops(flops, spec));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::executor::execute;
+    use crate::spec::IpuSpec;
+    use bfly_tensor::LinOp;
+
+    #[test]
+    fn profiles_render_key_fields() {
+        let spec = IpuSpec::gc200();
+        let c = compile(&[LinOp::MatMul { m: 256, k: 256, n: 256 }], &spec).expect("fits");
+        let mp = memory_profile(&c, &spec);
+        assert!(mp.contains("compute sets"));
+        assert!(mp.contains("fits            : true"));
+        let r = execute(&c.graph, &spec);
+        let ep = execution_profile(&r, c.flops, &spec);
+        assert!(ep.contains("GFLOP/s"));
+        assert!(ep.contains("compute cycles"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Hardware specification of the simulated IPU (Table 1, GC200 column).
+
+use serde::{Deserialize, Serialize};
+
+/// Static hardware parameters of a simulated tiled MIMD processor.
+///
+/// Defaults model the Graphcore GC200: 1472 tiles x 624 KiB SRAM (~900 MB
+/// on chip), 1.33 GHz, 62.5 TFLOPS FP32 peak through the AMP units,
+/// 47.5 TB/s aggregate on-chip exchange bandwidth, 20 GB/s host link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpuSpec {
+    /// Number of tiles (IPU-Cores with In-Processor-Memory).
+    pub tiles: usize,
+    /// SRAM bytes per tile.
+    pub sram_per_tile: u64,
+    /// Hardware worker threads per tile (time-sliced, MIMD).
+    pub threads_per_tile: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// FLOPs per cycle per tile through the AMP (Accumulating Matrix
+    /// Product) unit — only dense matmul codelets reach this.
+    pub amp_flops_per_cycle: f64,
+    /// FLOPs per cycle per tile for vectorised elementwise code.
+    pub simd_flops_per_cycle: f64,
+    /// FLOPs per cycle per tile for scalar/irregular code (gathers, sparse
+    /// rows, tiny batched ops) — what butterfly factors execute at.
+    pub scalar_flops_per_cycle: f64,
+    /// Exchange bytes per cycle per tile (send + receive each this wide).
+    pub exchange_bytes_per_cycle: f64,
+    /// Fixed cycles for one BSP superstep boundary (sync + exchange setup).
+    /// Independent of tile distance — the paper's Observation 1.
+    pub sync_cycles: u64,
+    /// Fixed cycles of control overhead to launch one compute set.
+    pub compute_set_launch_cycles: u64,
+    /// Host link bandwidth in bytes/s (off-chip streaming, 20 GB/s).
+    pub host_link_bytes_per_sec: f64,
+    /// Fixed seconds of host/framework synchronisation per execution when
+    /// running through PopTorch-style streaming (StepIO round trip).
+    pub host_sync_seconds: f64,
+}
+
+impl IpuSpec {
+    /// The GC200 configuration used throughout the paper.
+    pub fn gc200() -> Self {
+        Self {
+            tiles: 1472,
+            sram_per_tile: 624 * 1024,
+            threads_per_tile: 6,
+            clock_hz: 1.33e9,
+            // 62.5 TFLOPS / (1472 tiles * 1.33 GHz) ~= 32 FLOP/cycle/tile.
+            amp_flops_per_cycle: 32.0,
+            simd_flops_per_cycle: 4.0,
+            scalar_flops_per_cycle: 0.5,
+            // 47.5 TB/s / 1472 tiles / 1.33 GHz ~= 24 B/cycle/tile.
+            exchange_bytes_per_cycle: 24.0,
+            sync_cycles: 150,
+            compute_set_launch_cycles: 1200,
+            host_link_bytes_per_sec: 20.0e9,
+            host_sync_seconds: 60.0e-6,
+        }
+    }
+
+    /// Total on-chip memory in bytes (~900 MB for the GC200).
+    pub fn total_sram(&self) -> u64 {
+        self.sram_per_tile * self.tiles as u64
+    }
+
+    /// Peak FP32 throughput in FLOP/s (AMP path).
+    pub fn peak_flops(&self) -> f64 {
+        self.amp_flops_per_cycle * self.tiles as f64 * self.clock_hz
+    }
+
+    /// Aggregate exchange bandwidth in bytes/s.
+    pub fn exchange_bandwidth(&self) -> f64 {
+        self.exchange_bytes_per_cycle * self.tiles as f64 * self.clock_hz
+    }
+
+    /// Converts cycles to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+impl Default for IpuSpec {
+    fn default() -> Self {
+        Self::gc200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc200_matches_table1_headlines() {
+        let spec = IpuSpec::gc200();
+        // ~900 MB on-chip memory.
+        let mb = spec.total_sram() as f64 / 1e6;
+        assert!((890.0..=950.0).contains(&mb), "on-chip MB = {mb}");
+        // ~62.5 TFLOPS FP32 peak.
+        let tflops = spec.peak_flops() / 1e12;
+        assert!((60.0..=65.0).contains(&tflops), "peak TFLOPS = {tflops}");
+        // ~47.5 TB/s exchange bandwidth.
+        let tbs = spec.exchange_bandwidth() / 1e12;
+        assert!((44.0..=50.0).contains(&tbs), "exchange TB/s = {tbs}");
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let spec = IpuSpec::gc200();
+        let s = spec.cycles_to_seconds(1_330_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Activation layers.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use bfly_tensor::{LinOp, Matrix};
+
+/// Rectified linear unit — the activation function of Table 3.
+pub struct Relu {
+    mask: Option<Matrix>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        let out = input.map(|x| x.max(0.0));
+        if train {
+            self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mask =
+            self.mask.take().expect("Relu::backward called without a training-mode forward");
+        grad_output.hadamard(&mask)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn trace(&self, batch: usize) -> Vec<LinOp> {
+        // Dimension-preserving; the simulators only need elementwise volume.
+        // Width is unknown here, so report per-batch-element cost of 0 width
+        // and let the adapter supply it; layers that know their width
+        // (Dense, structured) embed it in their own traces instead.
+        let _ = batch;
+        Vec::new()
+    }
+}
+
+/// Hyperbolic tangent activation (used by ablation experiments).
+pub struct Tanh {
+    output: Option<Matrix>,
+}
+
+impl Tanh {
+    /// Creates a Tanh layer.
+    pub fn new() -> Self {
+        Self { output: None }
+    }
+}
+
+impl Default for Tanh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        let out = input.map(f32::tanh);
+        if train {
+            self.output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let out =
+            self.output.take().expect("Tanh::backward called without a training-mode forward");
+        let dtanh = out.map(|y| 1.0 - y * y);
+        grad_output.hadamard(&dtanh)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &str {
+        "tanh"
+    }
+
+    fn trace(&self, _batch: usize) -> Vec<LinOp> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut layer = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        let y = layer.forward(&x, false);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks_negatives() {
+        let mut layer = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 3.0]]);
+        let _ = layer.forward(&x, true);
+        let g = layer.backward(&Matrix::from_rows(&[&[5.0, 7.0]]));
+        assert_eq!(g.as_slice(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let mut layer = Tanh::new();
+        let x = Matrix::from_rows(&[&[0.3, -0.7]]);
+        let _y = layer.forward(&x, true);
+        let g = layer.backward(&Matrix::from_rows(&[&[1.0, 1.0]]));
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let mut l2 = Tanh::new();
+            let numeric =
+                (l2.forward(&xp, false).as_slice()[i] - l2.forward(&xm, false).as_slice()[i])
+                    / (2.0 * eps);
+            assert!((g.as_slice()[i] - numeric).abs() < 1e-3);
+        }
+    }
+}

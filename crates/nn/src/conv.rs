@@ -1,0 +1,451 @@
+//! 2-D convolution via im2col — the other layer family the paper names as a
+//! butterfly-replacement target ("every structured linear transform,
+//! including convolutional and fully-connected layers").
+//!
+//! Tensors stay in the workspace's flat `Matrix` convention: one sample per
+//! row, channel-major layout `[c][y][x]` within the row.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use bfly_tensor::matmul::{matmul, matmul_at_b};
+use bfly_tensor::{LinOp, Matrix};
+use rand::Rng;
+
+/// Spatial/channel shape of one convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+}
+
+impl ConvShape {
+    /// Output spatial height.
+    pub fn out_height(&self) -> usize {
+        self.height + 2 * self.padding + 1 - self.kernel
+    }
+
+    /// Output spatial width.
+    pub fn out_width(&self) -> usize {
+        self.width + 2 * self.padding + 1 - self.kernel
+    }
+
+    /// Flattened input row length.
+    pub fn in_len(&self) -> usize {
+        self.in_channels * self.height * self.width
+    }
+
+    /// Flattened output row length.
+    pub fn out_len(&self) -> usize {
+        self.out_channels * self.out_height() * self.out_width()
+    }
+
+    /// im2col patch length (`in_channels * kernel^2`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unfolds one flattened sample into its im2col matrix:
+/// `(out_h * out_w) x patch_len`.
+fn im2col(shape: &ConvShape, sample: &[f32]) -> Matrix {
+    let (oh, ow) = (shape.out_height(), shape.out_width());
+    let k = shape.kernel;
+    let p = shape.padding as isize;
+    let mut cols = Matrix::zeros(oh * ow, shape.patch_len());
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = cols.row_mut(oy * ow + ox);
+            let mut idx = 0;
+            for c in 0..shape.in_channels {
+                let plane = &sample[c * shape.height * shape.width..];
+                for ky in 0..k {
+                    let iy = oy as isize + ky as isize - p;
+                    for kx in 0..k {
+                        let ix = ox as isize + kx as isize - p;
+                        row[idx] = if iy >= 0
+                            && (iy as usize) < shape.height
+                            && ix >= 0
+                            && (ix as usize) < shape.width
+                        {
+                            plane[iy as usize * shape.width + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Accumulates an im2col-shaped gradient back onto a flattened sample
+/// (the adjoint of [`im2col`]).
+fn col2im(shape: &ConvShape, cols_grad: &Matrix, sample_grad: &mut [f32]) {
+    let (oh, ow) = (shape.out_height(), shape.out_width());
+    let k = shape.kernel;
+    let p = shape.padding as isize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = cols_grad.row(oy * ow + ox);
+            let mut idx = 0;
+            for c in 0..shape.in_channels {
+                let base = c * shape.height * shape.width;
+                for ky in 0..k {
+                    let iy = oy as isize + ky as isize - p;
+                    for kx in 0..k {
+                        let ix = ox as isize + kx as isize - p;
+                        if iy >= 0
+                            && (iy as usize) < shape.height
+                            && ix >= 0
+                            && (ix as usize) < shape.width
+                        {
+                            sample_grad[base + iy as usize * shape.width + ix as usize] +=
+                                row[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A stride-1 2-D convolution layer.
+pub struct Conv2d {
+    shape: ConvShape,
+    /// Weight `(out_channels) x (in_channels * kernel^2)`.
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl Conv2d {
+    /// Creates a Conv2d with Kaiming-uniform init.
+    pub fn new(shape: ConvShape, rng: &mut impl Rng) -> Self {
+        assert!(shape.kernel >= 1 && shape.kernel <= shape.height + 2 * shape.padding);
+        let fan_in = shape.patch_len() as f32;
+        let scale = 1.0 / fan_in.sqrt();
+        let weight: Vec<f32> = (0..shape.out_channels * shape.patch_len())
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        let bias: Vec<f32> =
+            (0..shape.out_channels).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Self {
+            shape,
+            weight: Param::new("conv.weight", weight),
+            bias: Param::new("conv.bias", bias),
+            cached_input: None,
+        }
+    }
+
+    /// The convolution shape.
+    pub fn shape(&self) -> ConvShape {
+        self.shape
+    }
+
+    /// Weight as an `out_channels x patch_len` matrix.
+    pub fn weight_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.shape.out_channels, self.shape.patch_len(), self.weight.value.clone())
+    }
+
+    /// Overwrites the weight matrix.
+    pub fn set_weight(&mut self, w: &Matrix) {
+        assert_eq!(w.shape(), (self.shape.out_channels, self.shape.patch_len()));
+        self.weight.value.copy_from_slice(w.as_slice());
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.shape.in_len(), "Conv2d input length mismatch");
+        let s = self.shape;
+        let (oh, ow) = (s.out_height(), s.out_width());
+        let w = self.weight_matrix();
+        let mut out = Matrix::zeros(input.rows(), s.out_len());
+        for b in 0..input.rows() {
+            let cols = im2col(&s, input.row(b));
+            // (oh*ow) x patch  @  patch x out_c  -> transpose-free via W^T.
+            let y = matmul(&cols, &w.transpose()); // (oh*ow) x out_c
+            let row = out.row_mut(b);
+            for oc in 0..s.out_channels {
+                let bias = self.bias.value[oc];
+                for pix in 0..oh * ow {
+                    row[oc * oh * ow + pix] = y[(pix, oc)] + bias;
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Conv2d::backward called without a training-mode forward");
+        let s = self.shape;
+        let (oh, ow) = (s.out_height(), s.out_width());
+        assert_eq!(grad_output.cols(), s.out_len(), "Conv2d grad length mismatch");
+        let w = self.weight_matrix();
+        let mut dweight = Matrix::zeros(s.out_channels, s.patch_len());
+        let mut dbias = vec![0.0f32; s.out_channels];
+        let mut grad_in = Matrix::zeros(input.rows(), s.in_len());
+        for b in 0..input.rows() {
+            let g = grad_output.row(b);
+            // Reassemble dY as (oh*ow) x out_c.
+            let mut dy = Matrix::zeros(oh * ow, s.out_channels);
+            for oc in 0..s.out_channels {
+                for pix in 0..oh * ow {
+                    let v = g[oc * oh * ow + pix];
+                    dy[(pix, oc)] = v;
+                    dbias[oc] += v;
+                }
+            }
+            let cols = im2col(&s, input.row(b));
+            // dW += dY^T @ cols ; dCols = dY @ W.
+            dweight.axpy(1.0, &matmul_at_b(&dy, &cols));
+            let dcols = matmul(&dy, &w);
+            col2im(&s, &dcols, grad_in.row_mut(b));
+        }
+        self.weight.accumulate_grad(dweight.as_slice());
+        self.bias.accumulate_grad(&dbias);
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn name(&self) -> &str {
+        "conv2d"
+    }
+
+    fn trace(&self, batch: usize) -> Vec<LinOp> {
+        let s = self.shape;
+        let pixels = s.out_height() * s.out_width();
+        vec![
+            // im2col gather then one big GEMM (the standard lowering).
+            LinOp::Permute { rows: batch * pixels, width: s.patch_len() },
+            LinOp::MatMul { m: batch * pixels, k: s.patch_len(), n: s.out_channels },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_tensor::seeded_rng;
+
+    fn shape() -> ConvShape {
+        ConvShape { in_channels: 2, out_channels: 3, height: 6, width: 5, kernel: 3, padding: 1 }
+    }
+
+    /// Direct (quadruple-loop) convolution for cross-checking.
+    fn conv_naive(layer: &Conv2d, input: &[f32]) -> Vec<f32> {
+        let s = layer.shape();
+        let (oh, ow) = (s.out_height(), s.out_width());
+        let w = layer.weight_matrix();
+        let mut out = vec![0.0f32; s.out_len()];
+        for oc in 0..s.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = layer.bias.value[oc];
+                    let mut widx = 0;
+                    for c in 0..s.in_channels {
+                        for ky in 0..s.kernel {
+                            for kx in 0..s.kernel {
+                                let iy = oy as isize + ky as isize - s.padding as isize;
+                                let ix = ox as isize + kx as isize - s.padding as isize;
+                                if iy >= 0
+                                    && (iy as usize) < s.height
+                                    && ix >= 0
+                                    && (ix as usize) < s.width
+                                {
+                                    acc += w[(oc, widx)]
+                                        * input[c * s.height * s.width
+                                            + iy as usize * s.width
+                                            + ix as usize];
+                                }
+                                widx += 1;
+                            }
+                        }
+                    }
+                    out[oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_size() {
+        let s = shape();
+        assert_eq!(s.out_height(), 6);
+        assert_eq!(s.out_width(), 5);
+    }
+
+    #[test]
+    fn forward_matches_naive_convolution() {
+        let mut rng = seeded_rng(1);
+        let mut layer = Conv2d::new(shape(), &mut rng);
+        let x = Matrix::random_uniform(2, layer.shape().in_len(), 1.0, &mut rng);
+        let y = layer.forward(&x, false);
+        for b in 0..2 {
+            let expect = conv_naive(&layer, x.row(b));
+            for (a, e) in y.row(b).iter().zip(&expect) {
+                assert!((a - e).abs() < 1e-4, "{a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one_conv_is_channel_mixing() {
+        // A 1x1 kernel with no padding is a per-pixel dense channel mix.
+        let s = ConvShape {
+            in_channels: 4,
+            out_channels: 4,
+            height: 3,
+            width: 3,
+            kernel: 1,
+            padding: 0,
+        };
+        let mut rng = seeded_rng(2);
+        let mut layer = Conv2d::new(s, &mut rng);
+        let x = Matrix::random_uniform(1, s.in_len(), 1.0, &mut rng);
+        let y = layer.forward(&x, false);
+        let w = layer.weight_matrix();
+        // Check pixel (1,1): out[oc] = sum_ic w[oc][ic] * x[ic][1][1] + b.
+        let pix = 4; // (y=1, x=1) in a 3x3 plane
+        for oc in 0..4 {
+            let mut expect = layer.bias.value[oc];
+            for ic in 0..4 {
+                expect += w[(oc, ic)] * x.row(0)[ic * 9 + pix];
+            }
+            assert!((y.row(0)[oc * 9 + pix] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = seeded_rng(3);
+        let s = ConvShape {
+            in_channels: 2,
+            out_channels: 2,
+            height: 4,
+            width: 4,
+            kernel: 3,
+            padding: 1,
+        };
+        let mut layer = Conv2d::new(s, &mut rng);
+        let x = Matrix::random_uniform(2, s.in_len(), 1.0, &mut rng);
+        let y = layer.forward(&x, true);
+        let gx = layer.backward(&y.clone());
+        let eps = 1e-3f32;
+        let loss = |layer: &mut Conv2d, x: &Matrix| -> f64 {
+            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
+        };
+        let analytic_w = layer.weight.grad.clone();
+        for idx in [0usize, 7, analytic_w.len() - 1] {
+            let orig = layer.weight.value[idx];
+            layer.weight.value[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.weight.value[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.weight.value[idx] = orig;
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (analytic_w[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+                "w[{idx}]: {} vs {numeric}",
+                analytic_w[idx]
+            );
+        }
+        // Input gradient via finite differences on one coordinate.
+        let coord = 5;
+        let mut xp = x.clone();
+        xp.as_mut_slice()[coord] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[coord] -= eps;
+        let numeric = ((loss(&mut layer, &xp) - loss(&mut layer, &xm)) / (2.0 * eps as f64)) as f32;
+        assert!(
+            (gx.as_slice()[coord] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+            "dx[{coord}]: {} vs {numeric}",
+            gx.as_slice()[coord]
+        );
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), g> == <x, col2im(g)> — the defining adjoint identity.
+        let s = shape();
+        let mut rng = seeded_rng(4);
+        let x = Matrix::random_uniform(1, s.in_len(), 1.0, &mut rng);
+        let cols = im2col(&s, x.row(0));
+        let g = Matrix::random_uniform(cols.rows(), cols.cols(), 1.0, &mut rng);
+        let lhs: f64 = cols
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let mut back = vec![0.0f32; s.in_len()];
+        col2im(&s, &g, &mut back);
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_trains_on_a_toy_task() {
+        use crate::optim::Sgd;
+        // Learn to detect a vertical edge: target = fixed conv of the input.
+        let s = ConvShape {
+            in_channels: 1,
+            out_channels: 1,
+            height: 5,
+            width: 5,
+            kernel: 3,
+            padding: 1,
+        };
+        let mut rng = seeded_rng(5);
+        let mut teacher = Conv2d::new(s, &mut rng);
+        teacher.bias.value.iter_mut().for_each(|b| *b = 0.0);
+        let mut student = Conv2d::new(s, &mut rng);
+        let opt = Sgd::new(0.05, 0.9);
+        let mut last = f64::MAX;
+        let mut first = None;
+        for _ in 0..300 {
+            let x = Matrix::random_uniform(8, s.in_len(), 1.0, &mut rng);
+            let want = teacher.forward(&x, false);
+            let got = student.forward(&x, true);
+            let diff = got.sub(&want);
+            last = diff.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>();
+            first.get_or_insert(last);
+            student.zero_grad();
+            let _ = student.backward(&diff.scale(1.0 / 8.0));
+            opt.step(&mut student.params());
+        }
+        assert!(last < first.expect("ran") * 0.05, "conv did not learn: {first:?} -> {last}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Fully-connected (dense) layer — the `torch.nn.Linear` baseline.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use bfly_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use bfly_tensor::{LinOp, Matrix};
+use rand::Rng;
+
+/// `y = x W^T + b` with `W: out x in`, matching `torch.nn.Linear` semantics.
+///
+/// This is the Table 4 "Baseline" method and the reference point of Fig 6.
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-uniform initialisation
+    /// (`U(-1/sqrt(in), 1/sqrt(in))`, the `torch.nn.Linear` default).
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        let scale = 1.0 / (in_dim as f32).sqrt();
+        let weight: Vec<f32> =
+            (0..out_dim * in_dim).map(|_| rng.gen_range(-scale..=scale)).collect();
+        let bias: Vec<f32> = (0..out_dim).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Self {
+            in_dim,
+            out_dim,
+            weight: Param::new("dense.weight", weight),
+            bias: Param::new("dense.bias", bias),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// View of the weight as an `out x in` matrix.
+    pub fn weight_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.out_dim, self.in_dim, self.weight.value.clone())
+    }
+
+    /// Overwrites the weight matrix (used to initialise structured-layer
+    /// comparisons from a shared dense starting point).
+    pub fn set_weight(&mut self, w: &Matrix) {
+        assert_eq!(w.shape(), (self.out_dim, self.in_dim), "weight shape mismatch");
+        self.weight.value.copy_from_slice(w.as_slice());
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "Dense input dim mismatch");
+        let w = Matrix::from_vec(self.out_dim, self.in_dim, self.weight.value.clone());
+        // y = x W^T  (batch rows kept contiguous)
+        let mut y = matmul_a_bt(input, &w);
+        for r in 0..y.rows() {
+            for (v, b) in y.row_mut(r).iter_mut().zip(&self.bias.value) {
+                *v += b;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Dense::backward called without a training-mode forward");
+        assert_eq!(grad_output.cols(), self.out_dim, "Dense grad dim mismatch");
+        // dW = dY^T X ; db = column-sum(dY) ; dX = dY W
+        let dw = matmul_at_b(grad_output, &input);
+        self.weight.accumulate_grad(dw.as_slice());
+        let mut db = vec![0.0f32; self.out_dim];
+        for r in 0..grad_output.rows() {
+            for (d, g) in db.iter_mut().zip(grad_output.row(r)) {
+                *d += g;
+            }
+        }
+        self.bias.accumulate_grad(&db);
+        let w = Matrix::from_vec(self.out_dim, self.in_dim, self.weight.value.clone());
+        matmul(grad_output, &w)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn name(&self) -> &str {
+        "dense"
+    }
+
+    fn trace(&self, batch: usize) -> Vec<LinOp> {
+        // One fused kernel: frameworks lower Linear to addmm, which applies
+        // the bias inside the matmul epilogue (no separate launch).
+        vec![LinOp::MatMul { m: batch, k: self.in_dim, n: self.out_dim }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_tensor::seeded_rng;
+
+    /// Finite-difference check of dense-layer gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = seeded_rng(11);
+        let mut layer = Dense::new(5, 3, &mut rng);
+        let x = Matrix::random_uniform(4, 5, 1.0, &mut rng);
+        // Loss = sum(y^2) / 2 so dL/dy = y.
+        let y = layer.forward(&x, true);
+        let _ = layer.backward(&y.clone());
+        let analytic = layer.weight.grad.clone();
+        let eps = 1e-3;
+        for idx in [0usize, 7, 14] {
+            let orig = layer.weight.value[idx];
+            layer.weight.value[idx] = orig + eps;
+            let lp: f64 = layer
+                .forward(&x, false)
+                .as_slice()
+                .iter()
+                .map(|v| (*v as f64) * (*v as f64) / 2.0)
+                .sum();
+            layer.weight.value[idx] = orig - eps;
+            let lm: f64 = layer
+                .forward(&x, false)
+                .as_slice()
+                .iter()
+                .map(|v| (*v as f64) * (*v as f64) / 2.0)
+                .sum();
+            layer.weight.value[idx] = orig;
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (analytic[idx] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "idx {idx}: analytic {} vs numeric {numeric}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut rng = seeded_rng(12);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        layer.weight.value = vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5];
+        layer.bias.value = vec![10.0, -10.0];
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let y = layer.forward(&x, false);
+        assert!((y[(0, 0)] - (1.0 - 3.0 + 10.0)).abs() < 1e-6);
+        assert!((y[(0, 1)] - (3.0 - 10.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn param_count_matches_baseline_formula() {
+        let mut rng = seeded_rng(13);
+        // The paper's Table 4 baseline: 1024x1024 hidden + 1024->10 classifier.
+        let hidden = Dense::new(1024, 1024, &mut rng);
+        let classifier = Dense::new(1024, 10, &mut rng);
+        assert_eq!(hidden.param_count() + classifier.param_count(), 1_059_850);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training-mode forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = seeded_rng(14);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut rng = seeded_rng(15);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let x = Matrix::filled(3, 2, 1.0);
+        let _ = layer.forward(&x, true);
+        let g = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let _ = layer.backward(&g);
+        assert_eq!(layer.bias.grad, vec![9.0, 12.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # bfly-nn
+//!
+//! A deliberately small neural-network framework: layers with explicit
+//! forward/backward, softmax cross-entropy, SGD with momentum, and a training
+//! loop reproducing the paper's single-hidden-layer (SHL) benchmark
+//! methodology (§4.2 / Table 3). Structured layers from `bfly-core` plug in
+//! through the [`Layer`] trait.
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod layer;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod pool;
+pub mod train;
+
+pub use activation::{Relu, Tanh};
+pub use conv::{Conv2d, ConvShape};
+pub use dense::Dense;
+pub use layer::{Layer, Sequential};
+pub use loss::{accuracy, softmax, softmax_cross_entropy, LossOutput};
+pub use optim::{Adam, Sgd};
+pub use param::Param;
+pub use pool::{GlobalAvgPool, MaxPool2};
+pub use train::{evaluate, fit, EpochStats, TrainConfig, TrainReport};

@@ -1,0 +1,155 @@
+//! Softmax cross-entropy loss and classification metrics (Table 3: loss
+//! function = Cross-Entropy).
+
+use bfly_tensor::Matrix;
+
+/// Result of a loss evaluation: scalar mean loss and the gradient with
+/// respect to the logits (already divided by the batch size).
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f64,
+    /// dL/dlogits, shape = logits shape.
+    pub grad: Matrix,
+}
+
+/// Numerically stable softmax cross-entropy over rows of `logits`.
+///
+/// # Panics
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> LossOutput {
+    let (batch, classes) = logits.shape();
+    assert_eq!(labels.len(), batch, "label count mismatch");
+    let mut grad = Matrix::zeros(batch, classes);
+    let mut total = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = row.iter().map(|&x| ((x - max) as f64).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let log_sum = sum.ln();
+        total += log_sum - (row[label] - max) as f64;
+        let g = grad.row_mut(r);
+        for (c, (gc, e)) in g.iter_mut().zip(&exps).enumerate() {
+            let p = e / sum;
+            *gc = ((p - if c == label { 1.0 } else { 0.0 }) / batch as f64) as f32;
+        }
+    }
+    LossOutput { loss: total / batch as f64, grad }
+}
+
+/// Row-wise softmax probabilities (for inspection/diagnostics).
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (o, e) in out.row_mut(r).iter_mut().zip(&exps) {
+            *o = e / sum;
+        }
+    }
+    out
+}
+
+/// Index of the max logit per row.
+pub fn argmax_rows(logits: &Matrix) -> Vec<usize> {
+    (0..logits.rows())
+        .map(|r| {
+            logits
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Fraction of rows whose argmax equals the label.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = argmax_rows(logits);
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_log_classes_for_uniform_logits() {
+        let logits = Matrix::zeros(4, 10);
+        let out = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((out.loss - (10f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prediction_has_small_loss_and_grad() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits[(0, 1)] = 50.0;
+        let out = softmax_cross_entropy(&logits, &[1]);
+        assert!(out.loss < 1e-6);
+        assert!(out.grad.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.2, 0.1], &[1.0, 1.0, -1.0]]);
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let numeric = (softmax_cross_entropy(&lp, &labels).loss
+                - softmax_cross_entropy(&lm, &labels).loss)
+                / (2.0 * eps as f64);
+            assert!(
+                (out.grad.as_slice()[idx] as f64 - numeric).abs() < 1e-3,
+                "idx {idx}: {} vs {numeric}",
+                out.grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[&[3.0, 1.0, 0.2], &[-5.0, 0.0, 5.0]]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Matrix::from_rows(&[&[1000.0, 1001.0, 999.0]]);
+        let p = softmax(&a);
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+        let b = Matrix::from_rows(&[&[0.0, 1.0, -1.0]]);
+        assert!(p.relative_error(&softmax(&b)) < 1e-5);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let _ = softmax_cross_entropy(&Matrix::zeros(1, 2), &[2]);
+    }
+}

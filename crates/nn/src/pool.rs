@@ -1,0 +1,230 @@
+//! Spatial pooling layers for the convolutional path.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use bfly_tensor::{LinOp, Matrix};
+
+/// 2x2 stride-2 max pooling over channel-major feature maps.
+pub struct MaxPool2 {
+    channels: usize,
+    height: usize,
+    width: usize,
+    /// Argmax index per output element, cached for backward.
+    argmax: Option<Vec<u32>>,
+}
+
+impl MaxPool2 {
+    /// Creates the layer for `channels` maps of `height x width`.
+    ///
+    /// # Panics
+    /// Panics unless height and width are even.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            height.is_multiple_of(2) && width.is_multiple_of(2),
+            "MaxPool2 needs even spatial dims"
+        );
+        Self { channels, height, width, argmax: None }
+    }
+
+    /// Output row length (`channels * h/2 * w/2`).
+    pub fn out_len(&self) -> usize {
+        self.channels * (self.height / 2) * (self.width / 2)
+    }
+
+    /// Input row length.
+    pub fn in_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_len(), "MaxPool2 input length mismatch");
+        let batch = input.rows();
+        let (oh, ow) = (self.height / 2, self.width / 2);
+        let mut out = Matrix::zeros(batch, self.out_len());
+        let mut argmax = vec![0u32; batch * self.out_len()];
+        for b in 0..batch {
+            let x = input.row(b);
+            let y = out.row_mut(b);
+            for c in 0..self.channels {
+                let plane = c * self.height * self.width;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0u32;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = plane + (2 * oy + dy) * self.width + 2 * ox + dx;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx as u32;
+                                }
+                            }
+                        }
+                        let o = c * oh * ow + oy * ow + ox;
+                        y[o] = best;
+                        argmax[b * self.out_len() + o] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let argmax =
+            self.argmax.take().expect("MaxPool2::backward called without a training-mode forward");
+        let batch = grad_output.rows();
+        let mut grad_in = Matrix::zeros(batch, self.in_len());
+        for b in 0..batch {
+            let g = grad_output.row(b);
+            let gi = grad_in.row_mut(b);
+            for (o, &gv) in g.iter().enumerate() {
+                gi[argmax[b * self.out_len() + o] as usize] += gv;
+            }
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &str {
+        "maxpool2"
+    }
+
+    fn trace(&self, batch: usize) -> Vec<LinOp> {
+        vec![LinOp::Elementwise { n: batch * self.in_len(), flops_per_elem: 1 }]
+    }
+}
+
+/// Global average pooling: each channel collapses to its spatial mean.
+pub struct GlobalAvgPool {
+    channels: usize,
+    pixels: usize,
+}
+
+impl GlobalAvgPool {
+    /// Creates the layer for `channels` maps of `height x width`.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self { channels, pixels: height * width }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.channels * self.pixels, "GlobalAvgPool length mismatch");
+        let batch = input.rows();
+        let mut out = Matrix::zeros(batch, self.channels);
+        for b in 0..batch {
+            let x = input.row(b);
+            let y = out.row_mut(b);
+            for (c, yc) in y.iter_mut().enumerate() {
+                *yc = x[c * self.pixels..(c + 1) * self.pixels].iter().sum::<f32>()
+                    / self.pixels as f32;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert_eq!(grad_output.cols(), self.channels, "GlobalAvgPool grad mismatch");
+        let batch = grad_output.rows();
+        let mut grad_in = Matrix::zeros(batch, self.channels * self.pixels);
+        let inv = 1.0 / self.pixels as f32;
+        for b in 0..batch {
+            let g = grad_output.row(b);
+            let gi = grad_in.row_mut(b);
+            for c in 0..self.channels {
+                let gv = g[c] * inv;
+                for p in 0..self.pixels {
+                    gi[c * self.pixels + p] = gv;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &str {
+        "global-avg-pool"
+    }
+
+    fn trace(&self, batch: usize) -> Vec<LinOp> {
+        vec![LinOp::Elementwise { n: batch * self.channels * self.pixels, flops_per_elem: 1 }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let mut pool = MaxPool2::new(1, 4, 4);
+        let x = Matrix::from_rows(&[&[
+            1.0, 2.0, 0.0, 0.0, //
+            3.0, 4.0, 0.0, 5.0, //
+            0.0, 0.0, -1.0, -2.0, //
+            0.0, 6.0, -3.0, -4.0,
+        ]]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.as_slice(), &[4.0, 5.0, 6.0, -1.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2::new(1, 2, 2);
+        let x = Matrix::from_rows(&[&[1.0, 7.0, 3.0, 2.0]]);
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Matrix::from_rows(&[&[10.0]]));
+        assert_eq!(g.as_slice(), &[0.0, 10.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_handles_multiple_channels() {
+        let mut pool = MaxPool2::new(2, 2, 2);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0]]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.as_slice(), &[4.0, -1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means_each_channel() {
+        let mut pool = GlobalAvgPool::new(2, 2, 2);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.as_slice(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_spreads_gradient() {
+        let mut pool = GlobalAvgPool::new(1, 2, 2);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Matrix::from_rows(&[&[8.0]]));
+        assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial dims")]
+    fn maxpool_rejects_odd_dims() {
+        let _ = MaxPool2::new(1, 3, 4);
+    }
+}

@@ -1,0 +1,131 @@
+//! Discrete cosine transform (DCT-II) — with the DFT, one of the two named
+//! transforms the paper's introduction motivates butterfly factorization
+//! with ("various transformation steps, such as the discrete Fourier
+//! transform (DFT) and discrete cosine transform (DCT)").
+//!
+//! Computed in `O(n log n)` through the radix-2 FFT via Makhoul's
+//! even-odd reordering.
+
+use crate::fft::{fft, Complex};
+use crate::matrix::Matrix;
+
+/// DCT-II of a real signal (unnormalised):
+/// `X_k = sum_j x_j cos(pi (j + 1/2) k / n)`.
+///
+/// # Panics
+/// Panics unless `x.len()` is a power of two.
+pub fn dct2(x: &[f32]) -> Vec<f32> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "DCT length {n} must be a power of two");
+    if n == 1 {
+        return vec![x[0]];
+    }
+    // Makhoul reordering: evens ascending, then odds descending.
+    let mut v = Vec::with_capacity(n);
+    for j in (0..n).step_by(2) {
+        v.push(Complex::new(x[j], 0.0));
+    }
+    for j in (1..n).step_by(2).rev() {
+        v.push(Complex::new(x[j], 0.0));
+    }
+    let f = fft(&v);
+    (0..n)
+        .map(|k| {
+            let theta = -std::f32::consts::PI * k as f32 / (2.0 * n as f32);
+            let w = Complex::from_polar(theta);
+            w.mul(f[k]).re
+        })
+        .collect()
+}
+
+/// Orthonormal DCT-II (the `scipy.fft.dct(..., norm="ortho")` convention).
+pub fn dct2_ortho(x: &[f32]) -> Vec<f32> {
+    let n = x.len();
+    let mut y = dct2(x);
+    let s0 = (1.0 / n as f32).sqrt();
+    let s = (2.0 / n as f32).sqrt();
+    for (k, v) in y.iter_mut().enumerate() {
+        *v *= if k == 0 { s0 } else { s };
+    }
+    y
+}
+
+/// Naive O(n^2) DCT-II for cross-checking.
+pub fn dct2_naive(x: &[f32]) -> Vec<f32> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|j| {
+                    x[j] * (std::f64::consts::PI * (j as f64 + 0.5) * k as f64 / n as f64).cos()
+                        as f32
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// The dense orthonormal DCT-II matrix.
+pub fn dct_matrix(n: usize) -> Matrix {
+    let s0 = (1.0 / n as f64).sqrt();
+    let s = (2.0 / n as f64).sqrt();
+    Matrix::from_fn(n, n, |k, j| {
+        let scale = if k == 0 { s0 } else { s };
+        (scale * (std::f64::consts::PI * (j as f64 + 0.5) * k as f64 / n as f64).cos()) as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matvec;
+
+    #[test]
+    fn fast_dct_matches_naive() {
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.41).sin()).collect();
+        let fast = dct2(&x);
+        let slow = dct2_naive(&x);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-3, "{f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn ortho_dct_matches_matrix() {
+        let n = 16;
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.9).cos()).collect();
+        let via_fast = dct2_ortho(&x);
+        let via_matrix = matvec(&dct_matrix(n), &x);
+        for (a, b) in via_fast.iter().zip(&via_matrix) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ortho_dct_matrix_is_orthogonal() {
+        let d = dct_matrix(16);
+        let gram = crate::matmul::matmul(&d, &d.transpose());
+        assert!(gram.relative_error(&Matrix::identity(16)) < 1e-4);
+    }
+
+    #[test]
+    fn dct_of_constant_is_impulse() {
+        let x = vec![1.0f32; 8];
+        let y = dct2_ortho(&x);
+        assert!((y[0] - (8f32).sqrt()).abs() < 1e-4);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        assert_eq!(dct2(&[3.5]), vec![3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = dct2(&[0.0; 12]);
+    }
+}

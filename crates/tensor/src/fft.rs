@@ -1,0 +1,279 @@
+//! Radix-2 complex FFT, DFT matrices, and circular convolution.
+//!
+//! Butterfly factorization is "inspired by the Cooley-Tukey FFT algorithm"
+//! (paper §2.3, Eq. 1): the FFT is the special case of a butterfly
+//! factorization with fixed twiddle factors. This module provides the FFT
+//! itself — used by the Circulant baseline and by tests that check a learned
+//! butterfly can represent the DFT — plus an explicit `dft_matrix` for
+//! cross-checking.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A complex number in rectangular form. Minimal on purpose: only the
+/// operations the FFT and circulant layer need. The `add`/`sub`/`mul`
+/// methods intentionally shadow the operator-trait names without
+/// implementing the traits (keeping the type Copy-friendly and explicit).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Complex {
+    /// Constructs `re + im*i`.
+    #[inline]
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub fn zero() -> Self {
+        Self { re: 0.0, im: 0.0 }
+    }
+
+    /// `e^{i theta}`.
+    #[inline]
+    pub fn from_polar(theta: f32) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex addition.
+    #[inline]
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtraction.
+    #[inline]
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Complex multiplication.
+    #[inline]
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// Returns true iff `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `>= n` (n must be >= 1).
+pub fn next_power_of_two(n: usize) -> usize {
+    assert!(n >= 1);
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// `inverse = true` computes the unscaled inverse transform; callers must
+/// divide by `n` themselves (done by [`ifft`]).
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two.
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation — this is exactly the P^(N) of Eq. 3.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // log2(n) butterfly stages — each stage is one butterfly factor B_k.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex::from_polar(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a complex buffer (returns a new vector).
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data, false);
+    data
+}
+
+/// Inverse FFT, including the `1/n` normalisation.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data, true);
+    let inv_n = 1.0 / data.len() as f32;
+    for c in &mut data {
+        c.re *= inv_n;
+        c.im *= inv_n;
+    }
+    data
+}
+
+/// Forward FFT of a real signal.
+pub fn fft_real(input: &[f32]) -> Vec<Complex> {
+    let data: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft(&data)
+}
+
+/// The dense `n x n` DFT matrix, split into real and imaginary parts.
+///
+/// `F[j][k] = e^{-2 pi i j k / n}`. Used as the ground-truth structured
+/// transform in the "learn the DFT with a butterfly" example and tests.
+pub fn dft_matrix(n: usize) -> (Matrix, Matrix) {
+    let mut re = Matrix::zeros(n, n);
+    let mut im = Matrix::zeros(n, n);
+    for j in 0..n {
+        for k in 0..n {
+            let theta = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+            re[(j, k)] = theta.cos() as f32;
+            im[(j, k)] = theta.sin() as f32;
+        }
+    }
+    (re, im)
+}
+
+/// Circular convolution of two real signals of the same power-of-two length,
+/// computed via FFT in O(n log n).
+pub fn circular_convolve(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "circular convolution length mismatch");
+    let fa = fft_real(a);
+    let fb = fft_real(b);
+    let prod: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| x.mul(*y)).collect();
+    ifft(&prod).into_iter().map(|c| c.re).collect()
+}
+
+/// Naive O(n^2) circular convolution for cross-checking.
+pub fn circular_convolve_naive(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    (0..n)
+        .map(|i| (0..n).map(|j| a[j] * b[(i + n - j) % n]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x.sub(*y).norm_sqr().sqrt()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::zero(); 8];
+        x[0] = Complex::new(1.0, 0.0);
+        let y = fft(&x);
+        for c in y {
+            assert!((c.re - 1.0).abs() < 1e-5 && c.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let x: Vec<Complex> =
+            (0..64).map(|i| Complex::new((i as f32).sin(), (i as f32 * 0.3).cos())).collect();
+        let y = ifft(&fft(&x));
+        assert!(max_err(&x, &y) < 1e-4);
+    }
+
+    #[test]
+    fn fft_matches_dft_matrix() {
+        let n = 16;
+        let (re, im) = dft_matrix(n);
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+        let y = fft_real(&x);
+        for j in 0..n {
+            let expect_re: f32 = (0..n).map(|k| re[(j, k)] * x[k]).sum();
+            let expect_im: f32 = (0..n).map(|k| im[(j, k)] * x[k]).sum();
+            assert!((y[j].re - expect_re).abs() < 1e-3, "row {j} re");
+            assert!((y[j].im - expect_im).abs() < 1e-3, "row {j} im");
+        }
+    }
+
+    #[test]
+    fn fft_is_linear() {
+        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f32, 0.0)).collect();
+        let y: Vec<Complex> = (0..32).map(|i| Complex::new(0.0, (i as f32).cos())).collect();
+        let sum: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| a.add(*b)).collect();
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let fsum = fft(&sum);
+        let expected: Vec<Complex> = fx.iter().zip(&fy).map(|(a, b)| a.add(*b)).collect();
+        assert!(max_err(&fsum, &expected) < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut x = vec![Complex::zero(); 12];
+        fft_in_place(&mut x, false);
+    }
+
+    #[test]
+    fn circular_convolution_matches_naive() {
+        let a: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..32).map(|i| (i as f32 * 0.11).cos()).collect();
+        let fast = circular_convolve(&a, &b);
+        let slow = circular_convolve_naive(&a, &b);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-3, "{f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex> = (0..128).map(|i| Complex::new((i as f32 * 0.9).sin(), 0.0)).collect();
+        let y = fft(&x);
+        let ex: f32 = x.iter().map(|c| c.norm_sqr()).sum();
+        let ey: f32 = y.iter().map(|c| c.norm_sqr()).sum::<f32>() / x.len() as f32;
+        assert!((ex - ey).abs() / ex < 1e-4);
+    }
+
+    #[test]
+    fn power_of_two_helpers() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(784)); // the MNIST dimension the paper notes fails
+        assert_eq!(next_power_of_two(784), 1024);
+        assert_eq!(next_power_of_two(1024), 1024);
+    }
+}

@@ -1,0 +1,94 @@
+//! Mapping layers onto the simulated IPU: graph compilation, PopVision-style
+//! memory/execution profiles, and the out-of-memory boundary that motivates
+//! the whole paper.
+//!
+//! Run with: `cargo run --release --example ipu_offload`
+
+use bfly_core::{Butterfly, ButterflyLayer};
+use bfly_ipu::profile::{execution_profile, memory_profile};
+use bfly_ipu::{execute, IpuDevice};
+use bfly_nn::{Dense, Layer};
+use bfly_tensor::seeded_rng;
+
+fn main() {
+    let dev = IpuDevice::gc200();
+    let spec = dev.spec();
+    let mut rng = seeded_rng(5);
+    println!(
+        "simulated device: {} tiles x {} KiB = {:.0} MB on-chip SRAM, {:.1} TFLOPS peak\n",
+        spec.tiles,
+        spec.sram_per_tile / 1024,
+        spec.total_sram() as f64 / 1e6,
+        spec.peak_flops() / 1e12
+    );
+
+    // 1. Compile and profile a dense layer at batch 512.
+    let n = 4096;
+    let batch = 512;
+    let dense_trace = Dense::new(n, n, &mut rng).trace(batch);
+    println!("--- dense {n}x{n} layer, batch {batch} ---");
+    match bfly_ipu::compile(&dense_trace, spec) {
+        Ok(compiled) => {
+            println!("{}", memory_profile(&compiled, spec));
+            let report = execute(&compiled.graph, spec);
+            println!("{}", execution_profile(&report, compiled.flops, spec));
+        }
+        Err(e) => println!("compilation failed: {e}\n"),
+    }
+
+    // 2. Same shape as a butterfly layer: far smaller weights, more compute
+    // sets (one per factor).
+    let bfly_trace = ButterflyLayer::new(n, n, &mut rng).trace(batch);
+    println!("--- butterfly {n}x{n} layer, batch {batch} ---");
+    match bfly_ipu::compile(&bfly_trace, spec) {
+        Ok(compiled) => {
+            println!("{}", memory_profile(&compiled, spec));
+            let report = execute(&compiled.graph, spec);
+            println!("{}", execution_profile(&report, compiled.flops, spec));
+        }
+        Err(e) => println!("compilation failed: {e}\n"),
+    }
+
+    // 3. Where dense stops fitting, butterfly still compiles: the memory
+    // cliff of §3.3.
+    let big = 16384;
+    let big_batch = 2048;
+    println!("--- scaling to {big}x{big}, batch {big_batch} ---");
+    let dense_big = Dense::new(big, big, &mut rng).trace(big_batch);
+    match bfly_ipu::compile(&dense_big, spec) {
+        Ok(_) => println!("dense: fits (unexpected at this size)"),
+        Err(e) => println!("dense: {e}"),
+    }
+    let mut rng2 = seeded_rng(6);
+    let bfly_big = ButterflyLayer::new(big, big, &mut rng2).trace(big_batch);
+    match bfly_ipu::compile(&bfly_big, spec) {
+        Ok(c) => println!(
+            "butterfly: fits with {} free bytes ({} compute sets)",
+            c.memory.free_bytes, c.memory.compute_sets
+        ),
+        Err(e) => println!("butterfly: {e}"),
+    }
+
+    // 4. Observation 1 demo: tile distance does not matter.
+    println!("\n--- exchange locality (Fig 3) ---");
+    for bytes in [64u64, 4096, 262144] {
+        let near = dev.tile_copy(0, 1, bytes);
+        let far = dev.tile_copy(0, 644, bytes);
+        println!(
+            "{bytes:>7} B: (0,1) {:.0} ns, (0,644) {:.0} ns  -> identical: {}",
+            near.latency_s * 1e9,
+            far.latency_s * 1e9,
+            near == far
+        );
+    }
+
+    // 5. A butterfly big enough to *materialise* would never fit — but its
+    // factorized form is tiny.
+    let huge = 1 << 15;
+    let b = Butterfly::random(huge, &mut rng);
+    println!(
+        "\na {huge}x{huge} transform: dense = {:.1} GB, butterfly = {:.1} MB",
+        (huge as f64).powi(2) * 4.0 / 1e9,
+        b.param_count() as f64 * 4.0 / 1e6
+    );
+}

@@ -1,0 +1,77 @@
+//! Learning a fast transform from input/output examples (Dao et al.'s
+//! headline result, paper §2.3): gradient descent over butterfly twiddles
+//! recovers a structured transform it has only seen through data.
+//!
+//! Run with: `cargo run --release --example learn_transform`
+//!
+//! The target is the orthonormal Walsh-Hadamard transform — a member of the
+//! butterfly class, so exact recovery is possible in principle; we train a
+//! randomly initialised butterfly of matching layout against (x, Hx) pairs
+//! and report the relative error of the learned operator.
+
+use bfly_core::butterfly::Butterfly;
+use bfly_tensor::{seeded_rng, Matrix, Permutation};
+
+fn main() {
+    let n = 16;
+    let mut rng = seeded_rng(123);
+    let target = Butterfly::hadamard(n, true);
+    let target_dense = target.materialize();
+
+    // Student: same factor layout (identity permutation), random twiddles.
+    let mut student = Butterfly::random_with_perm(n, Permutation::identity(n), &mut rng);
+
+    let lr = 0.03f32;
+    let momentum = 0.9f32;
+    let batch = 32usize;
+    let mut velocity: Vec<Vec<[f32; 4]>> =
+        student.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+
+    println!("learning the {n}-point Walsh-Hadamard transform from examples");
+    println!("{:>6}  {:>12}  {:>12}", "step", "mse loss", "rel op error");
+    for step in 0..=8000 {
+        // Fresh random probes each step: the supervision is (x, target(x)).
+        let x = Matrix::random_uniform(batch, n, 1.0, &mut rng);
+        let mut grads: Vec<Vec<[f32; 4]>> =
+            student.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+        let mut loss = 0.0f64;
+        for r in 0..batch {
+            let want = target.apply(x.row(r));
+            let (got, cache) = student.forward_cached(x.row(r));
+            let grad_out: Vec<f32> = got
+                .iter()
+                .zip(&want)
+                .map(|(g, w)| {
+                    let d = g - w;
+                    loss += (d as f64).powi(2);
+                    2.0 * d / (batch * n) as f32
+                })
+                .collect();
+            let _ = student.backward_cached(&cache, &grad_out, &mut grads);
+        }
+        loss /= (batch * n) as f64;
+        // SGD with momentum over the twiddles.
+        for (s, factor) in student.factors.iter_mut().enumerate() {
+            for (t, tw) in factor.twiddles.iter_mut().enumerate() {
+                for e in 0..4 {
+                    let v = momentum * velocity[s][t][e] + grads[s][t][e];
+                    velocity[s][t][e] = v;
+                    tw[e] -= lr * v;
+                }
+            }
+        }
+        if step % 1000 == 0 {
+            let err = student.materialize().relative_error(&target_dense);
+            println!("{step:>6}  {loss:>12.3e}  {err:>12.3e}");
+        }
+    }
+    let final_err = student.materialize().relative_error(&target_dense);
+    println!("\nlearned operator relative error: {final_err:.3e}");
+    println!(
+        "parameters used: {} (vs {} for the dense matrix)",
+        student.param_count(),
+        n * n
+    );
+    assert!(final_err < 0.1, "training should converge close to the target");
+    println!("=> the butterfly learned a fast O(n log n) algorithm for the transform.");
+}

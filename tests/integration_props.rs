@@ -1,0 +1,195 @@
+//! Property-based integration tests (proptest) of cross-crate invariants:
+//! math identities between the factorizations and their dense equivalents,
+//! and structural properties of the simulators.
+
+use bfly_core::{flat_butterfly_mask, BlockSparseMatrix, Butterfly, OrthoButterfly};
+use bfly_ipu::exchange::point_to_point_cycles;
+use bfly_ipu::{account, lower, IpuSpec};
+use bfly_tensor::fft::{circular_convolve, circular_convolve_naive};
+use bfly_tensor::{matvec, seeded_rng, Csr, LinOp, Matrix, Permutation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Butterfly apply always equals the materialised dense product.
+    #[test]
+    fn butterfly_apply_equals_dense(seed in 0u64..1000, log_n in 1u32..6) {
+        let n = 1usize << log_n;
+        let mut rng = seeded_rng(seed);
+        let b = Butterfly::random(n, &mut rng);
+        let x: Vec<f32> = (0..n).map(|i| ((i as f32 + seed as f32) * 0.37).sin()).collect();
+        let via_apply = b.apply(&x);
+        let via_dense = matvec(&b.materialize(), &x);
+        for (a, d) in via_apply.iter().zip(&via_dense) {
+            prop_assert!((a - d).abs() < 1e-3, "apply {a} vs dense {d}");
+        }
+    }
+
+    /// Butterfly apply is linear: B(ax + by) = a Bx + b By.
+    #[test]
+    fn butterfly_is_linear(seed in 0u64..1000, a in -2.0f32..2.0, bcoef in -2.0f32..2.0) {
+        let n = 16usize;
+        let mut rng = seeded_rng(seed);
+        let bf = Butterfly::random(n, &mut rng);
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.2).sin()).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.5).cos()).collect();
+        let mixed: Vec<f32> = x.iter().zip(&y).map(|(xv, yv)| a * xv + bcoef * yv).collect();
+        let lhs = bf.apply(&mixed);
+        let bx = bf.apply(&x);
+        let by = bf.apply(&y);
+        for ((l, xv), yv) in lhs.iter().zip(&bx).zip(&by) {
+            prop_assert!((l - (a * xv + bcoef * yv)).abs() < 1e-3);
+        }
+    }
+
+    /// CSR <-> COO <-> dense conversions round-trip exactly.
+    #[test]
+    fn sparse_round_trips(seed in 0u64..1000, rows in 1usize..30, cols in 1usize..30,
+                          density in 0.0f64..0.5) {
+        let mut rng = seeded_rng(seed);
+        let csr = Csr::random(rows, cols, density, &mut rng);
+        prop_assert!(csr.check_invariants().is_ok());
+        let via_coo = csr.to_coo().to_csr();
+        prop_assert_eq!(via_coo.to_dense(), csr.to_dense());
+        let via_dense = Csr::from_dense(&csr.to_dense(), 0.0);
+        prop_assert_eq!(via_dense.to_dense(), csr.to_dense());
+    }
+
+    /// Block-sparse matmul equals the dense product of its materialisation.
+    #[test]
+    fn block_sparse_matches_dense(seed in 0u64..1000, log_grid in 1u32..4) {
+        let grid = 1usize << log_grid;
+        let block = 4usize;
+        let n = grid * block;
+        let mut rng = seeded_rng(seed);
+        let mask = flat_butterfly_mask(grid, 2.min(grid).max(2));
+        let w = BlockSparseMatrix::random(n, n, block, mask, &mut rng);
+        let x = Matrix::random_uniform(3, n, 1.0, &mut rng);
+        let got = w.matmul_batch(&x);
+        let expect = bfly_tensor::matmul::matmul_a_bt(&x, &w.to_dense());
+        prop_assert!(got.relative_error(&expect) < 1e-4);
+    }
+
+    /// Circular convolution via FFT matches the O(n^2) definition.
+    #[test]
+    fn fft_convolution_matches_naive(seed in 0u64..1000, log_n in 2u32..8) {
+        let n = 1usize << log_n;
+        let mut rng = seeded_rng(seed);
+        let a = Matrix::random_uniform(1, n, 1.0, &mut rng).into_vec();
+        let b = Matrix::random_uniform(1, n, 1.0, &mut rng).into_vec();
+        let fast = circular_convolve(&a, &b);
+        let slow = circular_convolve_naive(&a, &b);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!((f - s).abs() < 1e-2 * (1.0 + s.abs()), "{f} vs {s}");
+        }
+    }
+
+    /// Permutations compose and invert consistently.
+    #[test]
+    fn permutation_algebra(seed in 0u64..1000, n in 1usize..64) {
+        let mut rng = seeded_rng(seed);
+        let p = Permutation::random(n, &mut rng);
+        let q = Permutation::random(n, &mut rng);
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        // (p q) x == p (q x)
+        prop_assert_eq!(p.compose(&q).apply(&x), p.apply(&q.apply(&x)));
+        // p^-1 p == identity
+        prop_assert_eq!(p.inverse().compose(&p), Permutation::identity(n));
+    }
+
+    /// Exchange cost never depends on which tiles communicate (Obs 1).
+    #[test]
+    fn exchange_is_distance_independent(from in 0u32..1472, to in 0u32..1472,
+                                        bytes in 1u64..1_000_000) {
+        prop_assume!(from != to);
+        let spec = IpuSpec::gc200();
+        let c1 = point_to_point_cycles(from, to, bytes, &spec);
+        let c2 = point_to_point_cycles(0, 1, bytes, &spec);
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// Memory accounting conserves data bytes: the sum over categories is
+    /// the reported total, and data equals the variables' bytes.
+    #[test]
+    fn memory_accounting_conserves(log_n in 4u32..9, batch in 1usize..64) {
+        let n = 1usize << log_n;
+        let spec = IpuSpec::gc200();
+        let graph = lower(&[LinOp::MatMul { m: batch, k: n, n }], &spec);
+        let report = account(&graph, &spec);
+        let vars_total: u64 = graph.variables.iter().map(|v| v.bytes).sum();
+        prop_assert_eq!(report.data_bytes, vars_total);
+        prop_assert_eq!(
+            report.total_bytes,
+            report.data_bytes
+                + report.vertex_bytes
+                + report.exchange_code_bytes
+                + report.control_bytes
+        );
+    }
+
+    /// Orthogonal butterflies preserve norms for every parameter setting.
+    #[test]
+    fn ortho_butterfly_preserves_norm(seed in 0u64..1000, log_n in 1u32..7) {
+        let n = 1usize << log_n;
+        let mut rng = seeded_rng(seed);
+        let b = OrthoButterfly::random(n, &mut rng);
+        let x: Vec<f32> = (0..n).map(|i| ((i as f32 + 1.0) * 0.29).sin()).collect();
+        let y = b.apply(&x);
+        let nx: f64 = x.iter().map(|v| (*v as f64).powi(2)).sum();
+        let ny: f64 = y.iter().map(|v| (*v as f64).powi(2)).sum();
+        prop_assert!((nx - ny).abs() < 1e-3 * nx.max(1.0), "{nx} vs {ny}");
+        // And the inverse really inverts.
+        let back = b.apply_inverse(&y);
+        for (a, c) in x.iter().zip(&back) {
+            prop_assert!((a - c).abs() < 1e-4);
+        }
+    }
+
+    /// The DCT computed via FFT matches its dense-matrix definition.
+    #[test]
+    fn dct_matches_dense_matrix(seed in 0u64..1000, log_n in 1u32..8) {
+        let n = 1usize << log_n;
+        let mut rng = seeded_rng(seed);
+        let x = Matrix::random_uniform(1, n, 1.0, &mut rng).into_vec();
+        let fast = bfly_tensor::dct2_ortho(&x);
+        let dense = bfly_tensor::matvec(&bfly_tensor::dct_matrix(n), &x);
+        for (f, d) in fast.iter().zip(&dense) {
+            prop_assert!((f - d).abs() < 1e-2 * (1.0 + d.abs()), "{f} vs {d}");
+        }
+    }
+
+    /// Compiled graphs are internally consistent: every compute-set vertex
+    /// index is valid and every program step refers to an existing phase.
+    #[test]
+    fn compiled_graphs_are_well_formed(log_n in 3u32..10) {
+        let n = 1usize << log_n;
+        let spec = IpuSpec::gc200();
+        let trace = [
+            LinOp::Permute { rows: n, width: n },
+            LinOp::Twiddle { pairs: n / 2, batch: n },
+            LinOp::MatMul { m: n, k: n, n },
+            LinOp::Elementwise { n: n * n, flops_per_elem: 1 },
+        ];
+        let graph = lower(&trace, &spec);
+        for cs in &graph.compute_sets {
+            for &v in &cs.vertices {
+                prop_assert!((v as usize) < graph.vertices.len());
+            }
+        }
+        for step in &graph.program {
+            match *step {
+                bfly_ipu::Step::Execute(id) => {
+                    prop_assert!((id.0 as usize) < graph.compute_sets.len())
+                }
+                bfly_ipu::Step::DoExchange(id) => {
+                    prop_assert!((id.0 as usize) < graph.exchanges.len())
+                }
+                bfly_ipu::Step::HostTransfer { .. } => {}
+            }
+        }
+        for v in &graph.vertices {
+            prop_assert!((v.tile as usize) < spec.tiles);
+        }
+    }
+}
