@@ -2,7 +2,7 @@
 //! dense-matrix equivalents — the O(n log n) vs O(n^2) gap that butterfly
 //! factorization generalises.
 
-use bfly_tensor::fft::{fft_real, dft_matrix};
+use bfly_tensor::fft::{dft_matrix, fft_real};
 use bfly_tensor::fwht::{fwht_in_place, hadamard_matrix};
 use bfly_tensor::{matvec, seeded_rng};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};

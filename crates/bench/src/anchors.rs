@@ -84,12 +84,66 @@ pub struct Table4Anchor {
 
 /// Table 4 (SHL on CIFAR-10) as reported.
 pub const TABLE4: [Table4Anchor; 6] = [
-    Table4Anchor { method: "Baseline", n_params: 1_059_850, acc_gpu_tc: 43.94, acc_gpu: 43.4, acc_ipu: 44.7, time_gpu_tc: 50.43, time_gpu: 49.46, time_ipu: 24.69 },
-    Table4Anchor { method: "Butterfly", n_params: 16_390, acc_gpu_tc: 42.27, acc_gpu: 40.75, acc_ipu: 41.13, time_gpu_tc: 61.93, time_gpu: 61.46, time_ipu: 37.73 },
-    Table4Anchor { method: "Fastfood", n_params: 14_346, acc_gpu_tc: 38.64, acc_gpu: 37.94, acc_ipu: 37.68, time_gpu_tc: 53.55, time_gpu: 51.15, time_ipu: 60.70 },
-    Table4Anchor { method: "Circulant", n_params: 12_298, acc_gpu_tc: 28.74, acc_gpu: 29.21, acc_ipu: 28.40, time_gpu_tc: 54.26, time_gpu: 53.92, time_ipu: 21.82 },
-    Table4Anchor { method: "Low-rank", n_params: 13_322, acc_gpu_tc: 18.64, acc_gpu: 18.49, acc_ipu: 18.59, time_gpu_tc: 49.71, time_gpu: 53.21, time_ipu: 21.75 },
-    Table4Anchor { method: "Pixelfly", n_params: 404_490, acc_gpu_tc: 42.61, acc_gpu: 43.31, acc_ipu: 43.79, time_gpu_tc: 52.79, time_gpu: 56.01, time_ipu: 71.62 },
+    Table4Anchor {
+        method: "Baseline",
+        n_params: 1_059_850,
+        acc_gpu_tc: 43.94,
+        acc_gpu: 43.4,
+        acc_ipu: 44.7,
+        time_gpu_tc: 50.43,
+        time_gpu: 49.46,
+        time_ipu: 24.69,
+    },
+    Table4Anchor {
+        method: "Butterfly",
+        n_params: 16_390,
+        acc_gpu_tc: 42.27,
+        acc_gpu: 40.75,
+        acc_ipu: 41.13,
+        time_gpu_tc: 61.93,
+        time_gpu: 61.46,
+        time_ipu: 37.73,
+    },
+    Table4Anchor {
+        method: "Fastfood",
+        n_params: 14_346,
+        acc_gpu_tc: 38.64,
+        acc_gpu: 37.94,
+        acc_ipu: 37.68,
+        time_gpu_tc: 53.55,
+        time_gpu: 51.15,
+        time_ipu: 60.70,
+    },
+    Table4Anchor {
+        method: "Circulant",
+        n_params: 12_298,
+        acc_gpu_tc: 28.74,
+        acc_gpu: 29.21,
+        acc_ipu: 28.40,
+        time_gpu_tc: 54.26,
+        time_gpu: 53.92,
+        time_ipu: 21.82,
+    },
+    Table4Anchor {
+        method: "Low-rank",
+        n_params: 13_322,
+        acc_gpu_tc: 18.64,
+        acc_gpu: 18.49,
+        acc_ipu: 18.59,
+        time_gpu_tc: 49.71,
+        time_gpu: 53.21,
+        time_ipu: 21.75,
+    },
+    Table4Anchor {
+        method: "Pixelfly",
+        n_params: 404_490,
+        acc_gpu_tc: 42.61,
+        acc_gpu: 43.31,
+        acc_ipu: 43.79,
+        time_gpu_tc: 52.79,
+        time_gpu: 56.01,
+        time_ipu: 71.62,
+    },
 ];
 
 /// Headline compression ratio for butterfly (abstract / §4.2).

@@ -74,10 +74,7 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(
-            &["IPUs", "dense step", "dense eff", "butterfly step", "bfly eff"],
-            &rows
-        )
+        format_table(&["IPUs", "dense step", "dense eff", "butterfly step", "bfly eff"], &rows)
     );
     println!(
         "shape: butterfly sustains near-linear scaling (tiny allreduce); the dense\n\

@@ -50,10 +50,7 @@ fn main() {
         for e in 6..=13u32 {
             let n = 1usize << e;
             let d = gpu_plain.run(&dense_trace(n, n), false).expect("fits").seconds();
-            let b = gpu_graph
-                .run(&butterfly_trace_fused(n, n, 1), false)
-                .expect("fits")
-                .seconds();
+            let b = gpu_graph.run(&butterfly_trace_fused(n, n, 1), false).expect("fits").seconds();
             worst = worst.max(b / d);
             if break_even.is_none() && b <= d {
                 break_even = Some(e);
@@ -67,10 +64,7 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(
-            &["butterfly dispatch cost", "break-even N", "worst degradation"],
-            &rows
-        )
+        format_table(&["butterfly dispatch cost", "break-even N", "worst degradation"], &rows)
     );
     println!(
         "=> graph-captured dispatch pulls the butterfly's break-even from 2^11\n\
@@ -98,10 +92,7 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(
-            &["N", "Linear", "bfly fuse=1", "bfly fuse=2", "bfly fuse=4"],
-            &rows
-        )
+        format_table(&["N", "Linear", "bfly fuse=1", "bfly fuse=2", "bfly fuse=4"], &rows)
     );
     println!(
         "=> fusing factors into radix-4/radix-16 supersteps trims the per-compute-set\n\

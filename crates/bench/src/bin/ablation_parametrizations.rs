@@ -54,10 +54,7 @@ fn main() {
             format!("{t_ipu:.3}"),
         ]);
     }
-    println!(
-        "{}",
-        format_table(&["method", "N_Params", "acc %", "T gpu [s]", "T ipu [s]"], &rows)
-    );
+    println!("{}", format_table(&["method", "N_Params", "acc %", "T gpu [s]", "T ipu [s]"], &rows));
     println!("paper Table 4 butterfly: N_Params = 16,390, acc 41.13 (IPU)");
     println!(
         "ortho SHL total = {} — the closest decode of the paper's butterfly budget\n\

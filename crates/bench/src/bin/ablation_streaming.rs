@@ -48,11 +48,7 @@ fn main() {
                 "{} ({}{})",
                 fmt_time(rep.seconds()),
                 if rep.fully_resident { "resident" } else { "streams " },
-                if rep.fully_resident {
-                    String::new()
-                } else {
-                    fmt_bytes(rep.streamed_bytes)
-                }
+                if rep.fully_resident { String::new() } else { fmt_bytes(rep.streamed_bytes) }
             ),
             Err(_) => {
                 let _ = flops;
@@ -66,10 +62,7 @@ fn main() {
             cell(&bfly, trace_flops(&butterfly_trace(n, batch))),
         ]);
     }
-    println!(
-        "{}",
-        format_table(&["N", "dense weights", "dense step", "butterfly step"], &rows)
-    );
+    println!("{}", format_table(&["N", "dense weights", "dense step", "butterfly step"], &rows));
     println!(
         "shape: past the SRAM boundary the dense layer's step time is set by the\n\
          20 GB/s link (weights re-streamed every step); the butterfly's O(N log N)\n\

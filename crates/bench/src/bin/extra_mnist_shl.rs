@@ -50,7 +50,8 @@ fn main() {
     ] {
         let mut rng = seeded_rng(602);
         let s = split(data.clone(), 0.2, 0.15, &mut rng);
-        let mut model = build_shl(method, dim, classes, &mut rng).expect("non-pixelfly methods pad");
+        let mut model =
+            build_shl(method, dim, classes, &mut rng).expect("non-pixelfly methods pad");
         let config = TrainConfig { epochs, seed: 603, ..TrainConfig::default() };
         let report = fit(&mut model, &s, &config);
         let acc = report.test_accuracy * 100.0;

@@ -38,19 +38,13 @@ fn main() {
         ]);
     }
     println!("Fig 4: skewed MM throughput (GFLOP/s) at constant FLOPs, base N=512");
-    println!(
-        "{}",
-        format_table(&["skew m/k", "shape", "GPU FP32", "GPU TF32", "IPU"], &rows)
-    );
+    println!("{}", format_table(&["skew m/k", "shape", "GPU FP32", "GPU TF32", "IPU"], &rows));
 
     // Shape checks: retention at moderate skew (s = 64) and the IPU cliff.
     let mid = series.len() / 2;
     let (_, g0, t0, i0) = series[mid];
-    let (_, g64, t64, i64_) = series
-        .iter()
-        .copied()
-        .find(|&(s, ..)| s == 64.0)
-        .expect("sweep contains s = 64");
+    let (_, g64, t64, i64_) =
+        series.iter().copied().find(|&(s, ..)| s == 64.0).expect("sweep contains s = 64");
     println!("retention at skew s = 64 (vs square):");
     println!("  GPU FP32: {:.1}%", 100.0 * g64 / g0);
     println!("  GPU TF32: {:.1}%  (degrades fastest, as in §3.4)", 100.0 * t64 / t0);

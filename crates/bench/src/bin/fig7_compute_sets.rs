@@ -36,9 +36,8 @@ fn main() {
             }
         }
         config.rank = config.rank.min(n / 8);
-        let pixelfly = PixelflyLayer::new(n, n, config, &mut rng)
-            .expect("power-of-two dims")
-            .trace(n);
+        let pixelfly =
+            PixelflyLayer::new(n, n, config, &mut rng).expect("power-of-two dims").trace(n);
 
         let report = |trace: &[LinOp]| {
             let g = lower(trace, spec);

@@ -110,12 +110,17 @@ fn main() {
     for a in &TABLE4 {
         println!(
             "  {:<9} N={:<8} acc {:5.2}/{:5.2}/{:5.2}  time {:6.2}/{:6.2}/{:6.2}",
-            a.method, a.n_params, a.acc_gpu_tc, a.acc_gpu, a.acc_ipu, a.time_gpu_tc, a.time_gpu,
+            a.method,
+            a.n_params,
+            a.acc_gpu_tc,
+            a.acc_gpu,
+            a.acc_ipu,
+            a.time_gpu_tc,
+            a.time_gpu,
             a.time_ipu
         );
     }
-    let compression =
-        bfly_core::compression_percent(Method::Butterfly, dim, classes);
+    let compression = bfly_core::compression_percent(Method::Butterfly, dim, classes);
     println!("\nbutterfly compression vs baseline: {compression:.1}% (paper headline 98.5%)");
     println!(
         "expected shape: Baseline >= Butterfly ~ Pixelfly > Fastfood > Circulant > Low-rank;\n\

@@ -71,10 +71,8 @@ fn sweep(
     let mut all_means = (Vec::new(), Vec::new(), Vec::new());
     let mut max_std = (0.0f64, 0.0f64, 0.0f64);
     for configs in combos {
-        let outcomes: Vec<Outcome> = configs
-            .iter()
-            .filter_map(|&c| run_config(c, data, epochs, gpu, ipu))
-            .collect();
+        let outcomes: Vec<Outcome> =
+            configs.iter().filter_map(|&c| run_config(c, data, epochs, gpu, ipu)).collect();
         if outcomes.len() < 2 {
             continue;
         }
@@ -93,9 +91,24 @@ fn sweep(
     }
     let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
     vec![
-        vec![label.into(), "Time[s]".into(), format!("{:.3}", avg(&all_means.0)), format!("{:.3}", max_std.0)],
-        vec![String::new(), "Accuracy[%]".into(), format!("{:.1}", avg(&all_means.1)), format!("{:.1}", max_std.1)],
-        vec![String::new(), "N_Params".into(), format!("{:.0}", avg(&all_means.2)), format!("{:.0}", max_std.2)],
+        vec![
+            label.into(),
+            "Time[s]".into(),
+            format!("{:.3}", avg(&all_means.0)),
+            format!("{:.3}", max_std.0),
+        ],
+        vec![
+            String::new(),
+            "Accuracy[%]".into(),
+            format!("{:.1}", avg(&all_means.1)),
+            format!("{:.1}", max_std.1),
+        ],
+        vec![
+            String::new(),
+            "N_Params".into(),
+            format!("{:.0}", avg(&all_means.2)),
+            format!("{:.0}", max_std.2),
+        ],
     ]
 }
 

@@ -80,7 +80,8 @@ mod tests {
     fn block_sparse_pays_graph_break_penalty_on_ipu() {
         let gpu = GpuDevice::a30();
         let ipu = IpuDevice::gc200();
-        let with_blocks = [LinOp::BlockSpMM { m: 1024, k: 1024, n: 50, block: 32, nnz_blocks: 128 }];
+        let with_blocks =
+            [LinOp::BlockSpMM { m: 1024, k: 1024, n: 50, block: 32, nnz_blocks: 128 }];
         let without = [LinOp::MatMul { m: 50, k: 1024, n: 1024 }];
         let (_, _, t_blocks) =
             simulated_training_seconds(&with_blocks, 50, 1024, 100, 5, &gpu, &ipu);

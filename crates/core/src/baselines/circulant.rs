@@ -63,9 +63,7 @@ impl CirculantLayer {
     pub fn effective_weight(&self) -> Matrix {
         // circ(c)[i][j] = c[(i - j) mod n], cropped to out x in.
         let n = self.n;
-        Matrix::from_fn(self.out_dim, self.in_dim, |i, j| {
-            self.c.value[(i + n - j % n) % n]
-        })
+        Matrix::from_fn(self.out_dim, self.in_dim, |i, j| self.c.value[(i + n - j % n) % n])
     }
 }
 
@@ -189,6 +187,7 @@ mod tests {
         let loss = |layer: &mut CirculantLayer, x: &Matrix| -> f64 {
             layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
         };
+        #[allow(clippy::needless_range_loop)] // index also mutates layer.c.value
         for idx in 0..8 {
             let orig = layer.c.value[idx];
             layer.c.value[idx] = orig + eps;

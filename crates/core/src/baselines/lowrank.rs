@@ -75,8 +75,7 @@ impl Layer for LowRankLayer {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input =
-            self.cached_input.take().expect("LowRankLayer::backward without forward");
+        let input = self.cached_input.take().expect("LowRankLayer::backward without forward");
         let vx = self.cached_vx.take().expect("missing vx cache");
         assert_eq!(grad_output.cols(), self.out_dim, "LowRankLayer grad dim mismatch");
         let mut dbias = vec![0.0f32; self.out_dim];

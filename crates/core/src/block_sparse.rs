@@ -6,7 +6,7 @@
 //! coordinates plus a dense payload per block.
 
 use bfly_tensor::matmul::matmul;
-use bfly_tensor::{Matrix, Csr};
+use bfly_tensor::{Csr, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -61,11 +61,8 @@ impl BlockSparseMatrix {
     ) -> Self {
         let mut m = Self::zeros(rows, cols, block, blocks);
         // Effective fan-in: average nonzero columns per row.
-        let fan_in = if rows == 0 {
-            1.0
-        } else {
-            (m.blocks.len() * block * block) as f32 / rows as f32
-        };
+        let fan_in =
+            if rows == 0 { 1.0 } else { (m.blocks.len() * block * block) as f32 / rows as f32 };
         let scale = 1.0 / fan_in.max(1.0).sqrt();
         for x in &mut m.data {
             *x = rng.gen_range(-scale..=scale);

@@ -40,7 +40,7 @@ impl ButterflyFactor {
             .map(|_| {
                 let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
                 let (s, c) = theta.sin_cos();
-                let eps = 0.01;
+                let eps = 0.01f32;
                 [
                     c + rng.gen_range(-eps..eps),
                     -s + rng.gen_range(-eps..eps),
@@ -105,12 +105,7 @@ impl ButterflyFactor {
     /// `grad` is dL/d output on entry and dL/d input on exit;
     /// `grad_twiddles` accumulates dL/d twiddle.
     #[inline]
-    pub fn backward_in_place(
-        &self,
-        x: &[f32],
-        grad: &mut [f32],
-        grad_twiddles: &mut [[f32; 4]],
-    ) {
+    pub fn backward_in_place(&self, x: &[f32], grad: &mut [f32], grad_twiddles: &mut [[f32; 4]]) {
         let n = x.len();
         let k = self.block_size;
         let half = k / 2;
@@ -163,8 +158,7 @@ impl Butterfly {
         assert!(n.is_power_of_two() && n >= 2, "butterfly size {n} must be a power of two >= 2");
         assert_eq!(perm.len(), n, "permutation size mismatch");
         let stages = n.trailing_zeros() as usize;
-        let factors =
-            (1..=stages).map(|s| ButterflyFactor::random(n, 1 << s, rng)).collect();
+        let factors = (1..=stages).map(|s| ButterflyFactor::random(n, 1 << s, rng)).collect();
         Self { n, factors, perm }
     }
 
@@ -228,13 +222,12 @@ impl Butterfly {
     pub fn apply_batch(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.n, "butterfly batch width mismatch");
         let mut out = Matrix::zeros(x.rows(), self.n);
-        out.as_mut_slice()
-            .par_chunks_mut(self.n)
-            .zip(x.as_slice().par_chunks(self.n))
-            .for_each(|(dst, src)| {
+        out.as_mut_slice().par_chunks_mut(self.n).zip(x.as_slice().par_chunks(self.n)).for_each(
+            |(dst, src)| {
                 let y = self.apply(src);
                 dst.copy_from_slice(&y);
-            });
+            },
+        );
         out
     }
 
@@ -408,6 +401,7 @@ mod tests {
         let loss = |b: &Butterfly, x: &[f32]| -> f64 {
             b.apply(x).iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
         };
+        #[allow(clippy::needless_range_loop)] // indices also mutate b.factors
         for s in 0..b.stages() {
             for t in [0usize, b.factors[s].twiddles.len() - 1] {
                 for e in 0..4 {

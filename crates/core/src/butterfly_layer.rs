@@ -103,8 +103,7 @@ impl Layer for ButterflyLayer {
         // Crop to out_dim and add bias.
         let mut out = Matrix::zeros(batch, self.out_dim);
         for r in 0..batch {
-            for (o, (v, b)) in
-                out.row_mut(r).iter_mut().zip(y.row(r).iter().zip(&self.bias.value))
+            for (o, (v, b)) in out.row_mut(r).iter_mut().zip(y.row(r).iter().zip(&self.bias.value))
             {
                 *o = v + b;
             }
@@ -133,32 +132,14 @@ impl Layer for ButterflyLayer {
         // Pad grad to transform width.
         let mut g = grad_output.zero_pad(batch, n);
 
-        // Walk factors in reverse; rows processed in parallel with
-        // per-thread twiddle-gradient accumulators reduced at the end.
+        // Walk factors in reverse; rows accumulate into one shared
+        // twiddle-gradient buffer.
         for (s, f) in self.butterfly.factors.iter().enumerate().rev() {
             let x_cache = &cache[s];
-            let gt: Vec<[f32; 4]> = g
-                .as_mut_slice()
-                .par_chunks_mut(n)
-                .zip(x_cache.as_slice().par_chunks(n))
-                .fold(
-                    || vec![[0.0f32; 4]; f.twiddles.len()],
-                    |mut acc, (grow, xrow)| {
-                        f.backward_in_place(xrow, grow, &mut acc);
-                        acc
-                    },
-                )
-                .reduce(
-                    || vec![[0.0f32; 4]; f.twiddles.len()],
-                    |mut a, b| {
-                        for (x, y) in a.iter_mut().zip(&b) {
-                            for e in 0..4 {
-                                x[e] += y[e];
-                            }
-                        }
-                        a
-                    },
-                );
+            let mut gt = vec![[0.0f32; 4]; f.twiddles.len()];
+            for (grow, xrow) in g.as_mut_slice().chunks_mut(n).zip(x_cache.as_slice().chunks(n)) {
+                f.backward_in_place(xrow, grow, &mut gt);
+            }
             let flat: Vec<f32> = gt.iter().flatten().copied().collect();
             self.factor_params[s].accumulate_grad(&flat);
         }
@@ -257,12 +238,12 @@ mod tests {
         let x = Matrix::random_uniform(2, 8, 1.0, &mut rng);
         let y = layer.forward(&x, true);
         let _ = layer.backward(&y.clone());
-        let analytic: Vec<Vec<f32>> =
-            layer.factor_params.iter().map(|p| p.grad.clone()).collect();
+        let analytic: Vec<Vec<f32>> = layer.factor_params.iter().map(|p| p.grad.clone()).collect();
         let eps = 1e-3f32;
         let loss = |layer: &mut ButterflyLayer, x: &Matrix| -> f64 {
             layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
         };
+        #[allow(clippy::needless_range_loop)] // index also mutates layer.factor_params
         for s in 0..layer.factor_params.len() {
             for idx in [0usize, layer.factor_params[s].len() - 1] {
                 let orig = layer.factor_params[s].value[idx];
@@ -297,8 +278,7 @@ mod tests {
         let mut rng = seeded_rng(47);
         let layer = ButterflyLayer::new(1024, 1024, &mut rng);
         let trace = layer.trace(50);
-        let twiddle_count =
-            trace.iter().filter(|op| matches!(op, LinOp::Twiddle { .. })).count();
+        let twiddle_count = trace.iter().filter(|op| matches!(op, LinOp::Twiddle { .. })).count();
         assert_eq!(twiddle_count, 10);
     }
 
@@ -323,8 +303,7 @@ mod tests {
             let want = matmul_a_bt(&x, &target);
             let got = student.forward(&x, true);
             let diff = got.sub(&want);
-            final_loss =
-                diff.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / 16.0;
+            final_loss = diff.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / 16.0;
             initial_loss.get_or_insert(final_loss);
             student.zero_grad();
             let _ = student.backward(&diff.scale(1.0 / 16.0));

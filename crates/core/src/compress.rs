@@ -143,7 +143,8 @@ mod tests {
         let mut rng = seeded_rng(74);
         let teacher = Butterfly::random(8, &mut rng);
         let target = teacher.materialize();
-        let short = fit_butterfly(&target, &FitConfig { steps: 10, ..Default::default() }, &mut rng);
+        let short =
+            fit_butterfly(&target, &FitConfig { steps: 10, ..Default::default() }, &mut rng);
         let mut rng2 = seeded_rng(74);
         let long =
             fit_butterfly(&target, &FitConfig { steps: 800, ..Default::default() }, &mut rng2);

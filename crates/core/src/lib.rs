@@ -40,4 +40,4 @@ pub use compress::{fit_butterfly, FitConfig, FitReport};
 pub use conv_butterfly::ButterflyConv1x1;
 pub use ortho::{OrthoButterfly, OrthoButterflyLayer};
 pub use pixelfly::{flat_butterfly_mask, PixelflyConfig, PixelflyError, PixelflyLayer};
-pub use shl::{build_shl, compression_percent, shl_param_count, Method};
+pub use shl::{build_shl, build_shl_inference, compression_percent, shl_param_count, Method};

@@ -30,8 +30,7 @@ pub struct OrthoFactor {
 impl OrthoFactor {
     /// Uniformly random angles in `[0, 2 pi)`.
     pub fn random(n: usize, block_size: usize, rng: &mut impl Rng) -> Self {
-        let angles =
-            (0..n / 2).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
+        let angles = (0..n / 2).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
         Self { block_size, angles }
     }
 
@@ -231,8 +230,7 @@ impl Layer for OrthoButterflyLayer {
         self.sync_params();
         let n = self.butterfly.n();
         let batch = input.rows();
-        let padded =
-            if input.cols() == n { input.clone() } else { input.zero_pad(batch, n) };
+        let padded = if input.cols() == n { input.clone() } else { input.zero_pad(batch, n) };
         let mut y = self.butterfly.perm.apply_to_rows(&padded);
         let mut cache = Vec::with_capacity(self.butterfly.stages());
         for f in &self.butterfly.factors {
@@ -246,8 +244,7 @@ impl Layer for OrthoButterflyLayer {
         }
         let mut out = Matrix::zeros(batch, self.out_dim);
         for r in 0..batch {
-            for (o, (v, b)) in
-                out.row_mut(r).iter_mut().zip(y.row(r).iter().zip(&self.bias.value))
+            for (o, (v, b)) in out.row_mut(r).iter_mut().zip(y.row(r).iter().zip(&self.bias.value))
             {
                 *o = v + b;
             }
@@ -273,26 +270,10 @@ impl Layer for OrthoButterflyLayer {
         let mut g = grad_output.zero_pad(batch, n);
         for (s, f) in self.butterfly.factors.iter().enumerate().rev() {
             let x_cache = &cache[s];
-            let ga: Vec<f32> = g
-                .as_mut_slice()
-                .par_chunks_mut(n)
-                .zip(x_cache.as_slice().par_chunks(n))
-                .fold(
-                    || vec![0.0f32; f.angles.len()],
-                    |mut acc, (grow, xrow)| {
-                        f.backward_in_place(xrow, grow, &mut acc);
-                        acc
-                    },
-                )
-                .reduce(
-                    || vec![0.0f32; f.angles.len()],
-                    |mut a, b| {
-                        for (x, y) in a.iter_mut().zip(&b) {
-                            *x += y;
-                        }
-                        a
-                    },
-                );
+            let mut ga = vec![0.0f32; f.angles.len()];
+            for (grow, xrow) in g.as_mut_slice().chunks_mut(n).zip(x_cache.as_slice().chunks(n)) {
+                f.backward_in_place(xrow, grow, &mut ga);
+            }
             self.angle_params[s].accumulate_grad(&ga);
         }
         let g = self.butterfly.perm.inverse().apply_to_rows(&g);
@@ -397,6 +378,7 @@ mod tests {
         let loss = |layer: &mut OrthoButterflyLayer, x: &Matrix| -> f64 {
             layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
         };
+        #[allow(clippy::needless_range_loop)] // index also mutates layer.angle_params
         for s in 0..layer.angle_params.len() {
             for idx in [0usize, layer.angle_params[s].len() - 1] {
                 let orig = layer.angle_params[s].value[idx];

@@ -91,10 +91,7 @@ impl fmt::Display for PixelflyError {
                 write!(f, "block size {block_size} invalid for dimension {dim}")
             }
             PixelflyError::BadButterflySize { butterfly_size, grid } => {
-                write!(
-                    f,
-                    "butterfly size {butterfly_size} invalid for a {grid}-block grid"
-                )
+                write!(f, "butterfly size {butterfly_size} invalid for a {grid}-block grid")
             }
         }
     }

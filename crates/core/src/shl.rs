@@ -107,6 +107,22 @@ pub fn build_shl(
         .push(Box::new(Dense::new(dim, classes, rng))))
 }
 
+/// Builds the SHL model in forward-only (inference) mode: identical
+/// initialisation to [`build_shl`] for the same RNG state, but every
+/// parameter's gradient and momentum buffer is released immediately, so the
+/// model holds one f32 per parameter instead of three. This is the
+/// constructor the serving runtime uses.
+pub fn build_shl_inference(
+    method: Method,
+    dim: usize,
+    classes: usize,
+    rng: &mut impl Rng,
+) -> Result<Sequential, PixelflyError> {
+    let mut model = build_shl(method, dim, classes, rng)?;
+    model.freeze();
+    Ok(model)
+}
+
 /// Total parameter count of the SHL model for a method without building it
 /// (used in reports; must agree with `build_shl(...)?.param_count()`).
 pub fn shl_param_count(method: Method, dim: usize, classes: usize) -> usize {
@@ -126,8 +142,8 @@ pub fn shl_param_count(method: Method, dim: usize, classes: usize) -> usize {
         }
         Method::Pruned { density_permille } => {
             // per-row kept count mirrors PrunedDenseLayer::new.
-            let per_row = ((dim as f64 * density_permille as f64 / 1000.0).round() as usize)
-                .clamp(1, dim);
+            let per_row =
+                ((dim as f64 * density_permille as f64 / 1000.0).round() as usize).clamp(1, dim);
             dim * per_row + dim
         }
     };
@@ -234,6 +250,29 @@ mod tests {
     fn ortho_butterfly_compression_matches_paper_headline() {
         let c = compression_percent(Method::OrthoButterfly, 1024, 10);
         assert!((c - 98.5).abs() < 0.1, "ortho compression {c} vs paper 98.5");
+    }
+
+    #[test]
+    fn inference_mode_forward_is_bit_identical() {
+        use bfly_nn::Layer as _;
+        for method in Method::table4_all() {
+            // Same seed -> same initial weights in both modes.
+            let mut train_model =
+                build_shl(method, 1024, 10, &mut seeded_rng(95)).expect("1024 is valid");
+            let mut infer_model =
+                build_shl_inference(method, 1024, 10, &mut seeded_rng(95)).expect("1024 is valid");
+            assert_eq!(train_model.train_state_bytes(), 2 * 4 * train_model.param_count());
+            assert_eq!(infer_model.train_state_bytes(), 0, "{method} kept training state");
+
+            let x = bfly_tensor::Matrix::random_uniform(4, 1024, 1.0, &mut seeded_rng(96));
+            let y_train = train_model.forward(&x, true);
+            let y_infer = infer_model.forward(&x, false);
+            assert_eq!(
+                y_train.as_slice(),
+                y_infer.as_slice(),
+                "inference forward diverged from training forward for {method}"
+            );
+        }
     }
 
     #[test]

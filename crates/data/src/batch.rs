@@ -79,9 +79,10 @@ mod tests {
         let d = toy(17);
         let mut rng = seeded_rng(1);
         let bs = shuffled_batches(&d, 4, &mut rng);
-        let mut seen: Vec<f32> = bs.iter().flat_map(|b| {
-            (0..b.labels.len()).map(|r| b.features[(r, 0)]).collect::<Vec<_>>()
-        }).collect();
+        let mut seen: Vec<f32> = bs
+            .iter()
+            .flat_map(|b| (0..b.labels.len()).map(|r| b.features[(r, 0)]).collect::<Vec<_>>())
+            .collect();
         seen.sort_by(f32::total_cmp);
         let mut expected: Vec<f32> = (0..17).map(|r| (r * 2) as f32).collect();
         expected.sort_by(f32::total_cmp);

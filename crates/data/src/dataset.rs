@@ -83,8 +83,7 @@ impl Dataset {
             }
         }
         let mean: Vec<f32> = mean.into_iter().map(|m| m as f32).collect();
-        let std: Vec<f32> =
-            var.into_iter().map(|v| ((v / n).sqrt().max(1e-6)) as f32).collect();
+        let std: Vec<f32> = var.into_iter().map(|v| ((v / n).sqrt().max(1e-6)) as f32).collect();
         self.standardize_with(&mean, &std);
         (mean, std)
     }
@@ -116,7 +115,12 @@ pub struct Split {
 ///
 /// `val_fraction` is taken from the *training* portion after removing the
 /// test samples, following Table 3 ("validation set: 15 % of training set").
-pub fn split(mut data: Dataset, test_fraction: f64, val_fraction: f64, rng: &mut impl Rng) -> Split {
+pub fn split(
+    mut data: Dataset,
+    test_fraction: f64,
+    val_fraction: f64,
+    rng: &mut impl Rng,
+) -> Split {
     assert!((0.0..1.0).contains(&test_fraction));
     assert!((0.0..1.0).contains(&val_fraction));
     data.shuffle(rng);

@@ -209,11 +209,8 @@ mod tests {
         // Same-class samples should on average be closer than cross-class
         // samples — otherwise no model could learn anything. Uses a
         // moderate-noise spec so the separation is unambiguous.
-        let spec = SynthSpec {
-            latent_noise: 0.6,
-            pixel_noise: 0.1,
-            ..SynthSpec::cifar10_like(200, 5)
-        };
+        let spec =
+            SynthSpec { latent_noise: 0.6, pixel_noise: 0.1, ..SynthSpec::cifar10_like(200, 5) };
         let d = generate(&spec);
         let dist = |a: &[f32], b: &[f32]| -> f32 {
             a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()

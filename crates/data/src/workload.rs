@@ -94,13 +94,17 @@ pub const TABLE2_DIM: usize = 2048;
 /// on sparse data.
 pub fn dense_with_sparsity(n: usize, sparsity: f64, rng: &mut WorkspaceRng) -> Matrix {
     assert!((0.0..=1.0).contains(&sparsity));
-    Matrix::from_fn(n, n, |_, _| {
-        if rng.gen_bool(sparsity) {
-            0.0
-        } else {
-            rng.gen_range(-1.0f32..1.0)
-        }
-    })
+    Matrix::from_fn(
+        n,
+        n,
+        |_, _| {
+            if rng.gen_bool(sparsity) {
+                0.0
+            } else {
+                rng.gen_range(-1.0f32..1.0)
+            }
+        },
+    )
 }
 
 #[cfg(test)]

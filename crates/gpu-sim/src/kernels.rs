@@ -104,8 +104,7 @@ pub fn op_cost(op: &LinOp, tensor_cores: bool, spec: &GpuSpec) -> KernelCost {
         }
         LinOp::BlockSpMM { m, k, n, block, nnz_blocks } => {
             let flops = 2.0 * (nnz_blocks * block * block) as f64 * n as f64;
-            let bytes =
-                (4 * (nnz_blocks * block * block + k * n + m * n)) as u64;
+            let bytes = (4 * (nnz_blocks * block * block + k * n + m * n)) as u64;
             // Block alignment lets the dense pipelines work: this is the
             // whole point of pixelfly on a "dense processor" (§4.2). The
             // effective shape per batched GEMM is block x block x n.
@@ -153,12 +152,7 @@ pub fn op_cost(op: &LinOp, tensor_cores: bool, spec: &GpuSpec) -> KernelCost {
             let flops = 5.0 * n as f64 * (n as f64).log2().max(1.0) * batch as f64;
             let bytes = (16 * n * batch) as u64;
             KernelCost {
-                busy_seconds: roofline(
-                    flops,
-                    spec.fp32_peak * 0.5,
-                    bytes,
-                    spec.hbm_bytes_per_sec,
-                ),
+                busy_seconds: roofline(flops, spec.fp32_peak * 0.5, bytes, spec.hbm_bytes_per_sec),
                 kernels: 3,
             }
         }
@@ -170,10 +164,9 @@ pub fn op_cost(op: &LinOp, tensor_cores: bool, spec: &GpuSpec) -> KernelCost {
                 kernels: 1,
             }
         }
-        LinOp::Copy { bytes } => KernelCost {
-            busy_seconds: bytes as f64 / spec.host_link_bytes_per_sec,
-            kernels: 0,
-        },
+        LinOp::Copy { bytes } => {
+            KernelCost { busy_seconds: bytes as f64 / spec.host_link_bytes_per_sec, kernels: 0 }
+        }
     }
 }
 
@@ -223,7 +216,7 @@ mod tests {
     }
 
     #[test]
-    fn skew_hurts_tc_more_than_cuda_cores(){
+    fn skew_hurts_tc_more_than_cuda_cores() {
         let s = spec();
         let square = LinOp::MatMul { m: 1024, k: 1024, n: 1024 };
         let skewed = LinOp::MatMul { m: 16384, k: 64, n: 1024 };

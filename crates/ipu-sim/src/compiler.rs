@@ -155,11 +155,7 @@ fn lower_matmul(g: &mut Graph, m: usize, k: usize, n: usize, idx: usize, spec: &
     let nt = n.div_ceil(gc as usize).max(1);
     let per_tile_in = (4 * (mt * k + k * nt)) as u64;
     let transfers: Vec<Transfer> = (0..p_used)
-        .map(|t| Transfer {
-            from: (t + p_used) % spec.tiles as u32,
-            to: t,
-            bytes: per_tile_in,
-        })
+        .map(|t| Transfer { from: (t + p_used) % spec.tiles as u32, to: t, bytes: per_tile_in })
         .collect();
     g.add_exchange(format!("op{idx}.distribute"), transfers);
 
@@ -196,10 +192,7 @@ fn lower_matmul(g: &mut Graph, m: usize, k: usize, n: usize, idx: usize, spec: &
         let vertices: Vec<u32> = (0..p_used)
             .map(|t| {
                 g.add_vertex(
-                    Codelet::Elementwise {
-                        n: (mt * nt) * (k_splits - 1),
-                        flops_per_elem: 1,
-                    },
+                    Codelet::Elementwise { n: (mt * nt) * (k_splits - 1), flops_per_elem: 1 },
                     t,
                     2,
                 )
@@ -209,15 +202,7 @@ fn lower_matmul(g: &mut Graph, m: usize, k: usize, n: usize, idx: usize, spec: &
     }
 }
 
-fn lower_spmm(
-    g: &mut Graph,
-    m: usize,
-    k: usize,
-    n: usize,
-    nnz: usize,
-    idx: usize,
-    spec: &IpuSpec,
-) {
+fn lower_spmm(g: &mut Graph, m: usize, k: usize, n: usize, nnz: usize, idx: usize, spec: &IpuSpec) {
     let flops = 2.0 * nnz as f64 * n as f64;
     let p = tiles_for(flops, spec);
     let (gr, gc) = grid_for(p, m, n);
@@ -227,7 +212,11 @@ fn lower_spmm(
     let sparse_bytes = (4 * (2 * nnz + m + 1)) as u64;
     let b_bytes = (4 * k * n) as u64;
     let c_bytes = (4 * m * n) as u64;
-    g.add_variable(format!("op{idx}.S"), sparse_bytes, TileMapping::Spread { start: 0, count: p_used });
+    g.add_variable(
+        format!("op{idx}.S"),
+        sparse_bytes,
+        TileMapping::Spread { start: 0, count: p_used },
+    );
     g.add_variable(format!("op{idx}.B"), b_bytes, TileMapping::Spread { start: 0, count: p_used });
     g.add_variable(format!("op{idx}.C"), c_bytes, TileMapping::Spread { start: 0, count: p_used });
 
@@ -276,14 +265,17 @@ fn lower_block_spmm(
     let sparse_bytes = (4 * nnz_blocks * block * block + 8 * nnz_blocks) as u64;
     let b_bytes = (4 * k * n) as u64;
     let c_bytes = (4 * m * n) as u64;
-    g.add_variable(format!("op{idx}.Wb"), sparse_bytes, TileMapping::Spread { start: 0, count: p_used });
+    g.add_variable(
+        format!("op{idx}.Wb"),
+        sparse_bytes,
+        TileMapping::Spread { start: 0, count: p_used },
+    );
     g.add_variable(format!("op{idx}.B"), b_bytes, TileMapping::Spread { start: 0, count: p_used });
     g.add_variable(format!("op{idx}.C"), c_bytes, TileMapping::Spread { start: 0, count: p_used });
 
     let nt = n.div_ceil(gc as usize).max(1);
     let mut ex = broadcast(&format!("op{idx}.bcastB"), (4 * k * nt) as u64, p_used, spec);
-    ex.transfers
-        .extend(scatter(&format!("op{idx}.scatterW"), sparse_bytes, gr, spec).transfers);
+    ex.transfers.extend(scatter(&format!("op{idx}.scatterW"), sparse_bytes, gr, spec).transfers);
     let name = ex.name.clone();
     let transfers = ex.transfers;
     g.add_exchange(name, transfers);
@@ -317,16 +309,19 @@ fn lower_twiddle(g: &mut Graph, pairs: usize, batch: usize, idx: usize, spec: &I
     g.add_exchange(name, transfers);
 
     let pairs_per = pairs.div_ceil(p as usize).max(1);
-    let vertices: Vec<u32> = (0..p)
-        .map(|t| g.add_vertex(Codelet::Twiddle { pairs: pairs_per, batch }, t, 3))
-        .collect();
+    let vertices: Vec<u32> =
+        (0..p).map(|t| g.add_vertex(Codelet::Twiddle { pairs: pairs_per, batch }, t, 3)).collect();
     g.add_compute_set(format!("op{idx}.twiddle"), vertices);
 }
 
 fn lower_elementwise(g: &mut Graph, n: usize, flops_per_elem: u32, idx: usize, spec: &IpuSpec) {
     let flops = n as f64 * flops_per_elem as f64;
     let p = tiles_for(flops.max(n as f64), spec);
-    g.add_variable(format!("op{idx}.ew"), (4 * n) as u64, TileMapping::Spread { start: 0, count: p });
+    g.add_variable(
+        format!("op{idx}.ew"),
+        (4 * n) as u64,
+        TileMapping::Spread { start: 0, count: p },
+    );
     let n_per = n.div_ceil(p as usize).max(1);
     let vertices: Vec<u32> = (0..p)
         .map(|t| g.add_vertex(Codelet::Elementwise { n: n_per, flops_per_elem }, t, 2))
@@ -410,8 +405,7 @@ mod tests {
     #[test]
     fn large_matmul_splits_k_into_more_compute_sets() {
         let small = compile(&[LinOp::MatMul { m: 512, k: 512, n: 512 }], &spec()).expect("fits");
-        let large =
-            compile(&[LinOp::MatMul { m: 512, k: 8192, n: 512 }], &spec()).expect("fits");
+        let large = compile(&[LinOp::MatMul { m: 512, k: 8192, n: 512 }], &spec()).expect("fits");
         assert!(large.memory.compute_sets > small.memory.compute_sets);
     }
 
@@ -443,10 +437,7 @@ mod tests {
     #[test]
     fn skewed_matmul_falls_back_to_scalar() {
         let g = lower(&[LinOp::MatMul { m: 65536, k: 16, n: 4 }], &spec());
-        assert!(g
-            .vertices
-            .iter()
-            .all(|v| matches!(v.codelet, Codelet::MatMulVector { .. })));
+        assert!(g.vertices.iter().all(|v| matches!(v.codelet, Codelet::MatMulVector { .. })));
         let g2 = lower(&[LinOp::MatMul { m: 512, k: 512, n: 512 }], &spec());
         assert!(g2.vertices.iter().all(|v| matches!(v.codelet, Codelet::MatMulAmp { .. })));
     }
@@ -461,15 +452,11 @@ mod tests {
 
     #[test]
     fn spmm_memory_tracks_nnz_not_dense_size() {
-        let dense = compile(&[LinOp::MatMul { m: 2048, k: 2048, n: 2048 }], &spec())
+        let dense =
+            compile(&[LinOp::MatMul { m: 2048, k: 2048, n: 2048 }], &spec()).expect("fits").memory;
+        let sparse = compile(&[LinOp::SpMM { m: 2048, k: 2048, n: 2048, nnz: 2048 * 20 }], &spec())
             .expect("fits")
             .memory;
-        let sparse = compile(
-            &[LinOp::SpMM { m: 2048, k: 2048, n: 2048, nnz: 2048 * 20 }],
-            &spec(),
-        )
-        .expect("fits")
-        .memory;
         assert!(sparse.data_bytes < dense.data_bytes);
     }
 

@@ -1,7 +1,7 @@
 //! The device facade: compile-and-run for op traces, plus the tile-to-tile
 //! microbenchmark API used by the Fig 3 reproduction.
 
-use crate::compiler::{compile, Compiled, CompileError};
+use crate::compiler::{compile, CompileError, Compiled};
 use crate::exchange::{point_to_point_bandwidth, point_to_point_cycles};
 use crate::executor::{execute, ExecutionReport};
 use crate::spec::IpuSpec;

@@ -67,11 +67,7 @@ pub fn scatter(name: &str, total_bytes: u64, dst_tiles: u32, spec: &IpuSpec) -> 
 pub fn broadcast(name: &str, bytes_per_tile: u64, dst_tiles: u32, spec: &IpuSpec) -> Exchange {
     let dst_tiles = dst_tiles.max(1).min(spec.tiles as u32);
     let transfers = (0..dst_tiles)
-        .map(|d| Transfer {
-            from: (d + 1) % spec.tiles as u32,
-            to: d,
-            bytes: bytes_per_tile,
-        })
+        .map(|d| Transfer { from: (d + 1) % spec.tiles as u32, to: d, bytes: bytes_per_tile })
         .filter(|t| t.bytes > 0)
         .collect();
     Exchange { name: name.into(), transfers }

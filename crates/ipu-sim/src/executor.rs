@@ -173,10 +173,7 @@ mod tests {
         let c = compile(&trace, &s).expect("fits");
         let r = execute(&c.graph, &s);
         let gflops = r.gflops(c.flops, &s);
-        assert!(
-            (20_000.0..62_500.0).contains(&gflops),
-            "poplin-tier matmul at {gflops} GFLOP/s"
-        );
+        assert!((20_000.0..62_500.0).contains(&gflops), "poplin-tier matmul at {gflops} GFLOP/s");
     }
 
     #[test]

@@ -236,7 +236,12 @@ impl Graph {
     }
 
     /// Adds a variable, returning its id.
-    pub fn add_variable(&mut self, name: impl Into<String>, bytes: u64, mapping: TileMapping) -> VarId {
+    pub fn add_variable(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        mapping: TileMapping,
+    ) -> VarId {
         self.variables.push(Variable { name: name.into(), bytes, mapping });
         VarId(self.variables.len() as u32 - 1)
     }
@@ -257,7 +262,11 @@ impl Graph {
     }
 
     /// Adds an exchange phase and appends its program step.
-    pub fn add_exchange(&mut self, name: impl Into<String>, transfers: Vec<Transfer>) -> ExchangeId {
+    pub fn add_exchange(
+        &mut self,
+        name: impl Into<String>,
+        transfers: Vec<Transfer>,
+    ) -> ExchangeId {
         self.exchanges.push(Exchange { name: name.into(), transfers });
         let id = ExchangeId(self.exchanges.len() as u32 - 1);
         self.program.push(Step::DoExchange(id));

@@ -26,14 +26,16 @@ pub mod graph;
 pub mod memory;
 pub mod multi;
 pub mod profile;
-pub mod streaming;
 pub mod spec;
+pub mod streaming;
 
-pub use compiler::{compile, lower, Compiled, CompileError};
+pub use compiler::{compile, lower, CompileError, Compiled};
 pub use device::{CopySample, IpuDevice, RunResult};
 pub use executor::{execute, ExecutionReport};
-pub use graph::{Codelet, ComputeSet, Exchange, Graph, Step, TileMapping, Transfer, Variable, Vertex};
+pub use graph::{
+    Codelet, ComputeSet, Exchange, Graph, Step, TileMapping, Transfer, Variable, Vertex,
+};
 pub use memory::{account, MemoryReport};
 pub use multi::{data_parallel_step, DataParallelReport, PodSpec};
-pub use streaming::{run_streaming, StreamingError, StreamingReport, StreamingSpec};
 pub use spec::IpuSpec;
+pub use streaming::{run_streaming, StreamingError, StreamingReport, StreamingSpec};

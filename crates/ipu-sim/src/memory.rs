@@ -128,11 +128,8 @@ pub fn account(graph: &Graph, spec: &IpuSpec) -> MemoryReport {
     }
 
     // 4. Control code: every tile holds the program skeleton.
-    let steps = graph
-        .program
-        .iter()
-        .filter(|s| !matches!(s, Step::HostTransfer { .. }))
-        .count() as u64;
+    let steps =
+        graph.program.iter().filter(|s| !matches!(s, Step::HostTransfer { .. })).count() as u64;
     let control_per_tile = steps * CONTROL_BYTES_PER_STEP;
     for t in per_tile.iter_mut() {
         *t += control_per_tile;

@@ -149,8 +149,7 @@ mod tests {
             let single = data_parallel_step(&PodSpec::with_ipus(1), 2048, grad, &dense_trace(n))
                 .expect("fits")
                 .total_seconds();
-            let multi =
-                data_parallel_step(&pod, 2048, grad, &dense_trace(n)).expect("fits");
+            let multi = data_parallel_step(&pod, 2048, grad, &dense_trace(n)).expect("fits");
             multi.scaling_efficiency(single)
         };
         let eff_dense = run(dense_grad);

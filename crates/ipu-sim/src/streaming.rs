@@ -127,8 +127,7 @@ pub fn run_streaming(
         Err(CompileError::OutOfMemory { .. }) => {
             let graph = lower(trace, spec);
             let mem = account(&graph, spec);
-            let staging =
-                (spec.total_sram() as f64 * streaming.staging_fraction) as u64;
+            let staging = (spec.total_sram() as f64 * streaming.staging_fraction) as u64;
             if mem.total_bytes > streaming.capacity_bytes {
                 return Err(StreamingError::ExceedsStreamingMemory {
                     required: mem.total_bytes,
@@ -211,22 +210,16 @@ mod tests {
         )
         .expect("runs")
         .gflops(2.0 * 2048f64.powi(3));
-        assert!(
-            gflops < on_chip / 4.0,
-            "streaming {gflops} must be far below on-chip {on_chip}"
-        );
+        assert!(gflops < on_chip / 4.0, "streaming {gflops} must be far below on-chip {on_chip}");
     }
 
     #[test]
     fn beyond_streaming_capacity_errors() {
         // ~4.6 TB of operands: over the 64 GB streaming memory.
         let n = 620_000;
-        let err = run_streaming(
-            &[LinOp::MatMul { m: n, k: n, n: 4 }],
-            &spec(),
-            &StreamingSpec::m2000(),
-        )
-        .expect_err("must not fit");
+        let err =
+            run_streaming(&[LinOp::MatMul { m: n, k: n, n: 4 }], &spec(), &StreamingSpec::m2000())
+                .expect_err("must not fit");
         assert!(matches!(err, StreamingError::ExceedsStreamingMemory { .. }));
     }
 
@@ -235,12 +228,8 @@ mod tests {
         // All compiler-produced variables are tile-spread (sliceable), so a
         // 2 GB weight streams fine instead of erroring.
         let n = 23_170; // ~2.1 GB weight matrix
-        let r = run_streaming(
-            &[LinOp::MatMul { m: 8, k: n, n }],
-            &spec(),
-            &StreamingSpec::m2000(),
-        )
-        .expect("streams in slices");
+        let r = run_streaming(&[LinOp::MatMul { m: 8, k: n, n }], &spec(), &StreamingSpec::m2000())
+            .expect("streams in slices");
         assert!(!r.fully_resident);
         assert!(r.streamed_bytes as f64 > 1.5e9);
     }

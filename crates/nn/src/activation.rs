@@ -32,8 +32,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let mask =
-            self.mask.take().expect("Relu::backward called without a training-mode forward");
+        let mask = self.mask.take().expect("Relu::backward called without a training-mode forward");
         grad_output.hadamard(&mask)
     }
 
@@ -144,9 +143,9 @@ mod tests {
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= eps;
             let mut l2 = Tanh::new();
-            let numeric =
-                (l2.forward(&xp, false).as_slice()[i] - l2.forward(&xm, false).as_slice()[i])
-                    / (2.0 * eps);
+            let numeric = (l2.forward(&xp, false).as_slice()[i]
+                - l2.forward(&xm, false).as_slice()[i])
+                / (2.0 * eps);
             assert!((g.as_slice()[i] - numeric).abs() < 1e-3);
         }
     }

@@ -111,8 +111,7 @@ fn col2im(shape: &ConvShape, cols_grad: &Matrix, sample_grad: &mut [f32]) {
                             && ix >= 0
                             && (ix as usize) < shape.width
                         {
-                            sample_grad[base + iy as usize * shape.width + ix as usize] +=
-                                row[idx];
+                            sample_grad[base + iy as usize * shape.width + ix as usize] += row[idx];
                         }
                         idx += 1;
                     }
@@ -399,20 +398,11 @@ mod tests {
         let x = Matrix::random_uniform(1, s.in_len(), 1.0, &mut rng);
         let cols = im2col(&s, x.row(0));
         let g = Matrix::random_uniform(cols.rows(), cols.cols(), 1.0, &mut rng);
-        let lhs: f64 = cols
-            .as_slice()
-            .iter()
-            .zip(g.as_slice())
-            .map(|(a, b)| (*a as f64) * (*b as f64))
-            .sum();
+        let lhs: f64 =
+            cols.as_slice().iter().zip(g.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         let mut back = vec![0.0f32; s.in_len()];
         col2im(&s, &g, &mut back);
-        let rhs: f64 = x
-            .as_slice()
-            .iter()
-            .zip(&back)
-            .map(|(a, b)| (*a as f64) * (*b as f64))
-            .sum();
+        let rhs: f64 = x.as_slice().iter().zip(&back).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
     }
 

@@ -12,7 +12,10 @@ use bfly_tensor::{LinOp, Matrix};
 /// reentrant across interleaved forward calls — the training loop runs
 /// strictly forward-then-backward per batch, which is all the paper's SHL
 /// benchmark needs.
-pub trait Layer {
+///
+/// `Send` is a supertrait so model stacks can move into serving worker
+/// threads; every layer is plain owned data, so this costs nothing.
+pub trait Layer: Send {
     /// Computes the layer output for a batch (one sample per row).
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
 
@@ -42,6 +45,22 @@ pub trait Layer {
         for p in self.params() {
             p.zero_grad();
         }
+    }
+
+    /// Converts the layer to forward-only (inference) mode: every parameter's
+    /// gradient and momentum buffer is released, cutting parameter memory to
+    /// a third. `forward(_, false)` results are unchanged; `backward` and
+    /// optimizer steps must not be called afterwards.
+    fn freeze(&mut self) {
+        for p in self.params() {
+            p.freeze();
+        }
+    }
+
+    /// Bytes held by training-only state (gradients + momentum) across all
+    /// parameters. Zero after [`Layer::freeze`].
+    fn train_state_bytes(&mut self) -> usize {
+        self.params().iter().map(|p| p.train_state_bytes()).sum()
     }
 }
 

@@ -30,6 +30,7 @@ impl Sgd {
     /// `zero_grad` separately, mirroring the usual framework contract).
     pub fn step(&self, params: &mut [&mut Param]) {
         for p in params.iter_mut() {
+            assert!(!p.is_frozen(), "SGD step on frozen (forward-only) parameter {}", p.name());
             for i in 0..p.value.len() {
                 let v = self.momentum * p.velocity[i] + p.grad[i];
                 p.velocity[i] = v;
@@ -72,6 +73,7 @@ impl Adam {
         let b1t = 1.0 - self.beta1.powi(self.step as i32);
         let b2t = 1.0 - self.beta2.powi(self.step as i32);
         for (p, (m, v)) in params.iter_mut().zip(&mut self.moments) {
+            assert!(!p.is_frozen(), "Adam step on frozen (forward-only) parameter {}", p.name());
             for i in 0..p.value.len() {
                 let g = p.grad[i];
                 m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;

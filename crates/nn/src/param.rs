@@ -11,17 +11,44 @@ pub struct Param {
     name: String,
     /// Current parameter values.
     pub value: Vec<f32>,
-    /// Accumulated gradient (same length as `value`).
+    /// Accumulated gradient (same length as `value`; empty when frozen).
     pub grad: Vec<f32>,
-    /// SGD momentum buffer (same length as `value`).
+    /// SGD momentum buffer (same length as `value`; empty when frozen).
     pub velocity: Vec<f32>,
+    frozen: bool,
 }
 
 impl Param {
     /// Creates a parameter from initial values.
     pub fn new(name: impl Into<String>, value: Vec<f32>) -> Self {
         let n = value.len();
-        Self { name: name.into(), value, grad: vec![0.0; n], velocity: vec![0.0; n] }
+        Self { name: name.into(), value, grad: vec![0.0; n], velocity: vec![0.0; n], frozen: false }
+    }
+
+    /// Creates a forward-only parameter: no gradient or momentum buffer is
+    /// allocated, cutting the parameter's memory to a third. Calling
+    /// [`Param::accumulate_grad`] on it panics.
+    pub fn new_frozen(name: impl Into<String>, value: Vec<f32>) -> Self {
+        Self { name: name.into(), value, grad: Vec::new(), velocity: Vec::new(), frozen: true }
+    }
+
+    /// Releases the gradient and momentum buffers, converting the parameter
+    /// to forward-only (inference) mode. Idempotent; not reversible.
+    pub fn freeze(&mut self) {
+        self.grad = Vec::new();
+        self.velocity = Vec::new();
+        self.frozen = true;
+    }
+
+    /// True when the parameter is forward-only (no training buffers).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Bytes held by the training-only buffers (gradient + momentum).
+    /// Zero after [`Param::freeze`] — this is the saving inference mode buys.
+    pub fn train_state_bytes(&self) -> usize {
+        (self.grad.len() + self.velocity.len()) * std::mem::size_of::<f32>()
     }
 
     /// Human-readable parameter name (for debugging and reports).
@@ -49,6 +76,7 @@ impl Param {
     /// # Panics
     /// Panics if lengths differ.
     pub fn accumulate_grad(&mut self, delta: &[f32]) {
+        assert!(!self.frozen, "accumulate_grad on frozen (forward-only) parameter {}", self.name);
         assert_eq!(delta.len(), self.grad.len(), "gradient length mismatch for {}", self.name);
         for (g, d) in self.grad.iter_mut().zip(delta) {
             *g += d;
@@ -88,6 +116,33 @@ mod tests {
     fn mismatched_grad_panics() {
         let mut p = Param::new("w", vec![0.0; 2]);
         p.accumulate_grad(&[1.0]);
+    }
+
+    #[test]
+    fn frozen_param_holds_no_training_state() {
+        let mut p = Param::new("w", vec![1.0; 8]);
+        assert_eq!(p.train_state_bytes(), 8 * 2 * 4);
+        p.freeze();
+        assert!(p.is_frozen());
+        assert_eq!(p.train_state_bytes(), 0);
+        assert_eq!(p.grad.capacity(), 0);
+        assert_eq!(p.velocity.capacity(), 0);
+        assert_eq!(p.value, vec![1.0; 8], "freezing must not touch values");
+    }
+
+    #[test]
+    fn new_frozen_matches_freeze() {
+        let p = Param::new_frozen("w", vec![2.0; 3]);
+        assert!(p.is_frozen());
+        assert_eq!(p.train_state_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn frozen_param_rejects_gradients() {
+        let mut p = Param::new("w", vec![0.0; 2]);
+        p.freeze();
+        p.accumulate_grad(&[1.0, 1.0]);
     }
 
     #[test]

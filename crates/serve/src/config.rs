@@ -1,0 +1,74 @@
+//! Server configuration.
+
+use std::time::Duration;
+
+/// Tunables of a [`crate::Server`].
+///
+/// The defaults serve the paper's SHL benchmark shape (1024-dimensional
+/// inputs, 10 classes) with moderate batching; benches sweep `max_batch`
+/// and `max_wait` to show the batching win.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Input dimensionality every registered model accepts.
+    pub dim: usize,
+    /// Output classes of every registered model.
+    pub classes: usize,
+    /// RNG seed for model initialisation (same seed => same weights).
+    pub seed: u64,
+    /// Largest micro-batch the batcher will form. `1` disables coalescing
+    /// (every request is its own batch) — the baseline the bench compares
+    /// against.
+    pub max_batch: usize,
+    /// How long the batcher holds an under-full batch open waiting for more
+    /// requests before dispatching it anyway.
+    pub max_wait: Duration,
+    /// Admission-queue capacity per model; a full queue sheds load with
+    /// [`crate::SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Worker threads executing batches (shared across all models).
+    pub workers: usize,
+    /// Whether the GPU time attribution uses the TF32 tensor-core path.
+    pub tensor_cores: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            dim: 1024,
+            classes: 10,
+            seed: 0xB1F7,
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 256,
+            workers: std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(2),
+            tensor_cores: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Panics unless the configuration is usable.
+    pub fn validate(&self) {
+        assert!(self.dim > 0, "dim must be positive");
+        assert!(self.classes > 0, "classes must be positive");
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(self.workers > 0, "workers must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServeConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_batch_rejected() {
+        ServeConfig { max_batch: 0, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,49 @@
+//! # bfly-serve — dynamic-batching inference serving for compressed SHL models
+//!
+//! The paper compresses the SHL benchmark's hidden layer with butterfly
+//! factorizations to fit IPU SRAM; this crate answers the operational
+//! question that follows: *what does serving such a model look like?* It is
+//! a thread-based serving runtime (no async runtime) that:
+//!
+//! - registers one forward-only model per compression method
+//!   ([`ModelRegistry`], built on `bfly_core::build_shl_inference` so no
+//!   gradient or momentum memory is ever allocated);
+//! - admits requests through a bounded queue with immediate load shedding
+//!   ([`SubmitError::Overloaded`]) when the queue is full;
+//! - coalesces single-sample requests into micro-batches (up to
+//!   `max_batch`, held at most `max_wait`) — the dynamic-batching win the
+//!   `serve_throughput` bench quantifies;
+//! - executes batches on a worker pool running the repository's real Rust
+//!   kernels, and prices each batch's op trace on the IPU and GPU
+//!   simulators so every response carries predicted device time next to
+//!   measured wall time ([`Timing`]);
+//! - tracks latency percentiles, throughput, shed rate, queue depth and
+//!   batch-size distribution, exportable as JSON ([`ServeSnapshot`]);
+//! - shuts down gracefully: every admitted request is answered before
+//!   [`Server::shutdown`] returns.
+//!
+//! ```no_run
+//! use bfly_core::Method;
+//! use bfly_serve::{ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default(), &[Method::Butterfly]).unwrap();
+//! let handle = server.submit("butterfly", 0, 0, vec![0.0; 1024]).unwrap();
+//! let response = handle.wait().unwrap();
+//! println!("scores: {:?}, batch {}", response.output, response.timing.batch_size);
+//! let final_metrics = server.shutdown();
+//! println!("{}", final_metrics.to_json());
+//! ```
+
+pub mod config;
+pub mod loadgen;
+pub mod metrics;
+pub mod registry;
+pub mod request;
+pub mod server;
+
+pub use config::ServeConfig;
+pub use loadgen::{closed_loop, open_loop, LoadReport};
+pub use metrics::{Histogram, ModelMetrics, ModelStats, ServeSnapshot};
+pub use registry::{DeviceEstimate, ModelEntry, ModelRegistry};
+pub use request::{InferResponse, ResponseHandle, SubmitError, Timing};
+pub use server::Server;

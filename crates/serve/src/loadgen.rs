@@ -1,0 +1,241 @@
+//! Load generators: seeded open-loop (Poisson arrivals) and closed-loop
+//! (fixed concurrency) drivers, with client-side latency accounting.
+
+use crate::request::{ResponseHandle, SubmitError};
+use crate::server::Server;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// How many distinct random input vectors a generator cycles through
+/// (pre-generated so the submission path measures the server, not the RNG).
+const INPUT_POOL: usize = 32;
+
+/// Client-side result of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests the generator attempted to submit.
+    pub offered: u64,
+    /// Requests admitted by the server.
+    pub accepted: u64,
+    /// Requests shed at admission ([`SubmitError::Overloaded`]).
+    pub shed: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// Seconds from first submission to last response.
+    pub elapsed_s: f64,
+    /// Offered request rate over the submission window.
+    pub offered_rps: f64,
+    /// Completed responses per second over the whole run.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency, microseconds (server-attributed).
+    pub latency_p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub latency_p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Mean latency, microseconds.
+    pub latency_mean_us: f64,
+    /// Mean micro-batch size the responses were served in.
+    pub mean_batch: f64,
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn report_from(
+    offered: u64,
+    accepted: u64,
+    shed: u64,
+    mut latencies: Vec<u64>,
+    batch_sizes: Vec<usize>,
+    elapsed_s: f64,
+    submit_window_s: f64,
+) -> LoadReport {
+    latencies.sort_unstable();
+    let completed = latencies.len() as u64;
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    let mean_batch = if batch_sizes.is_empty() {
+        0.0
+    } else {
+        batch_sizes.iter().sum::<usize>() as f64 / batch_sizes.len() as f64
+    };
+    LoadReport {
+        offered,
+        accepted,
+        shed,
+        completed,
+        elapsed_s,
+        offered_rps: if submit_window_s > 0.0 { offered as f64 / submit_window_s } else { 0.0 },
+        throughput_rps: if elapsed_s > 0.0 { completed as f64 / elapsed_s } else { 0.0 },
+        latency_p50_us: quantile(&latencies, 0.50),
+        latency_p95_us: quantile(&latencies, 0.95),
+        latency_p99_us: quantile(&latencies, 0.99),
+        latency_mean_us: mean,
+        mean_batch,
+    }
+}
+
+fn input_pool(dim: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f32>> {
+    (0..INPUT_POOL).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+/// Open-loop generator: submits `total` requests with seeded Poisson
+/// arrivals at `rate_hz`, never waiting for responses during the submission
+/// window (arrivals are independent of service — the generator that can
+/// overload the server and exercise shedding).
+pub fn open_loop(server: &Server, model: &str, rate_hz: f64, total: u64, seed: u64) -> LoadReport {
+    assert!(rate_hz > 0.0, "open_loop needs a positive rate");
+    let dim = server.config().dim;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inputs = input_pool(dim, &mut rng);
+
+    let mut handles: Vec<ResponseHandle> = Vec::with_capacity(total as usize);
+    let mut shed = 0u64;
+    let start = Instant::now();
+    let mut next_arrival = start;
+    for i in 0..total {
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = rng.gen();
+        next_arrival += Duration::from_secs_f64(-(1.0 - u).ln() / rate_hz);
+        let now = Instant::now();
+        if next_arrival > now {
+            std::thread::sleep(next_arrival - now);
+        }
+        match server.submit(model, i, i, inputs[(i as usize) % INPUT_POOL].clone()) {
+            Ok(handle) => handles.push(handle),
+            Err(SubmitError::Overloaded) => shed += 1,
+            Err(e) => panic!("open_loop submit failed: {e}"),
+        }
+    }
+    let submit_window_s = start.elapsed().as_secs_f64();
+
+    let accepted = handles.len() as u64;
+    let mut latencies = Vec::with_capacity(handles.len());
+    let mut batch_sizes = Vec::with_capacity(handles.len());
+    for handle in handles {
+        let response = handle.wait().expect("admitted requests are always answered");
+        latencies.push(response.timing.total_us);
+        batch_sizes.push(response.timing.batch_size);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    report_from(total, accepted, shed, latencies, batch_sizes, elapsed_s, submit_window_s)
+}
+
+/// Closed-loop generator: `clients` threads each keep exactly one request in
+/// flight for `per_client` iterations (throughput is admission-controlled by
+/// construction; sheds are retried, not dropped).
+pub fn closed_loop(
+    server: &Server,
+    model: &str,
+    clients: u64,
+    per_client: u64,
+    seed: u64,
+) -> LoadReport {
+    let dim = server.config().dim;
+    let start = Instant::now();
+    let results: Vec<(u64, Vec<u64>, Vec<usize>)> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c + 1));
+                    let inputs = input_pool(dim, &mut rng);
+                    let mut sheds = 0u64;
+                    let mut latencies = Vec::with_capacity(per_client as usize);
+                    let mut batch_sizes = Vec::with_capacity(per_client as usize);
+                    for s in 0..per_client {
+                        let input = inputs[(s as usize) % INPUT_POOL].clone();
+                        let handle = loop {
+                            match server.submit(model, c, s, input.clone()) {
+                                Ok(handle) => break handle,
+                                Err(SubmitError::Overloaded) => {
+                                    sheds += 1;
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                Err(e) => panic!("closed_loop submit failed: {e}"),
+                            }
+                        };
+                        let response =
+                            handle.wait().expect("admitted requests are always answered");
+                        assert_eq!(response.seq, s, "closed-loop response out of order");
+                        latencies.push(response.timing.total_us);
+                        batch_sizes.push(response.timing.batch_size);
+                    }
+                    (sheds, latencies, batch_sizes)
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().expect("client thread panicked")).collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut shed = 0u64;
+    let mut latencies = Vec::new();
+    let mut batch_sizes = Vec::new();
+    for (s, l, b) in results {
+        shed += s;
+        latencies.extend(l);
+        batch_sizes.extend(b);
+    }
+    let offered = clients * per_client + shed;
+    let accepted = clients * per_client;
+    report_from(offered, accepted, shed, latencies, batch_sizes, elapsed_s, elapsed_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use bfly_core::Method;
+
+    fn test_server(max_batch: usize) -> Server {
+        let config = ServeConfig {
+            dim: 64,
+            classes: 10,
+            seed: 21,
+            max_batch,
+            max_wait: Duration::from_micros(300),
+            queue_capacity: 128,
+            workers: 2,
+            ..Default::default()
+        };
+        Server::start(config, &[Method::Butterfly]).expect("valid")
+    }
+
+    #[test]
+    fn open_loop_completes_all_accepted() {
+        let server = test_server(8);
+        let report = open_loop(&server, "butterfly", 2000.0, 200, 3);
+        assert_eq!(report.offered, 200);
+        assert_eq!(report.accepted + report.shed, 200);
+        assert_eq!(report.completed, report.accepted);
+        assert!(report.latency_p50_us <= report.latency_p99_us);
+        server.shutdown();
+    }
+
+    #[test]
+    fn closed_loop_keeps_every_request() {
+        let server = test_server(4);
+        let report = closed_loop(&server, "butterfly", 4, 25, 9);
+        assert_eq!(report.completed, 100);
+        assert!(report.throughput_rps > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn quantile_edges() {
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.5), 7);
+        assert_eq!(quantile(&[1, 2, 3, 4], 0.5), 2);
+        assert_eq!(quantile(&[1, 2, 3, 4], 1.0), 4);
+    }
+}

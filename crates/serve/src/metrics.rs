@@ -1,0 +1,245 @@
+//! Serving metrics: latency/queue histograms, throughput, shed accounting,
+//! batch-size distribution, and a `serde`-exportable snapshot.
+
+use crate::request::Timing;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bound on retained samples per histogram; beyond it the recorder
+/// keeps every k-th sample so long runs stay bounded without losing the
+/// distribution's shape.
+const MAX_SAMPLES: usize = 1 << 17;
+
+/// An exact-sample histogram with percentile queries.
+///
+/// Samples are stored raw (bounded by [`MAX_SAMPLES`] with systematic
+/// thinning) and sorted on demand at snapshot time — serving benches record
+/// at most a few hundred thousand samples, where exactness beats bucketing.
+#[derive(Default)]
+pub struct Histogram {
+    state: Mutex<HistogramState>,
+}
+
+#[derive(Default)]
+struct HistogramState {
+    samples: Vec<u64>,
+    /// Total observations (exceeds `samples.len()` once thinning kicks in).
+    count: u64,
+    sum: u64,
+    stride: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let mut s = self.state.lock();
+        s.count += 1;
+        s.sum += value;
+        if s.stride == 0 {
+            s.stride = 1;
+        }
+        if s.count.is_multiple_of(s.stride) {
+            if s.samples.len() >= MAX_SAMPLES {
+                // Halve resolution: keep every other retained sample.
+                let kept: Vec<u64> = s.samples.iter().copied().step_by(2).collect();
+                s.samples = kept;
+                s.stride *= 2;
+            }
+            s.samples.push(value);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.state.lock().count
+    }
+
+    /// Mean of all observations (not just retained samples).
+    pub fn mean(&self) -> f64 {
+        let s = self.state.lock();
+        if s.count == 0 {
+            0.0
+        } else {
+            s.sum as f64 / s.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) over retained samples, 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let s = self.state.lock();
+        if s.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = s.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+/// Live counters for one served model.
+#[derive(Default)]
+pub struct ModelMetrics {
+    /// Requests accepted into the admission queue.
+    pub admitted: AtomicU64,
+    /// Requests rejected because the queue was full.
+    pub shed: AtomicU64,
+    /// Responses delivered.
+    pub completed: AtomicU64,
+    /// End-to-end latency (admission -> response), microseconds.
+    pub latency_us: Histogram,
+    /// Queueing + batch-formation delay, microseconds.
+    pub queue_us: Histogram,
+    /// Micro-batch sizes dispatched.
+    pub batch_size: Histogram,
+}
+
+impl ModelMetrics {
+    /// Records one dispatched batch.
+    pub fn record_batch(&self, size: usize) {
+        self.batch_size.record(size as u64);
+    }
+
+    /// Records one delivered response.
+    pub fn record_response(&self, timing: &Timing) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency_us.record(timing.total_us);
+        self.queue_us.record(timing.queue_us);
+    }
+
+    /// Builds the serializable view.
+    pub fn snapshot(&self, name: &str, elapsed_s: f64, queue_depth: usize) -> ModelStats {
+        let admitted = self.admitted.load(Ordering::Relaxed);
+        let shed = self.shed.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let offered = admitted + shed;
+        ModelStats {
+            model: name.to_string(),
+            admitted,
+            shed,
+            completed,
+            shed_rate: if offered == 0 { 0.0 } else { shed as f64 / offered as f64 },
+            throughput_rps: if elapsed_s > 0.0 { completed as f64 / elapsed_s } else { 0.0 },
+            latency_p50_us: self.latency_us.quantile(0.50),
+            latency_p95_us: self.latency_us.quantile(0.95),
+            latency_p99_us: self.latency_us.quantile(0.99),
+            latency_mean_us: self.latency_us.mean(),
+            queue_mean_us: self.queue_us.mean(),
+            mean_batch: self.batch_size.mean(),
+            batches: self.batch_size.count(),
+            queue_depth,
+        }
+    }
+}
+
+/// Serializable per-model statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelStats {
+    /// Model name (registry key).
+    pub model: String,
+    /// Requests accepted.
+    pub admitted: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// shed / (admitted + shed).
+    pub shed_rate: f64,
+    /// Completed requests per second over the snapshot window.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency, microseconds.
+    pub latency_p50_us: u64,
+    /// 95th-percentile end-to-end latency, microseconds.
+    pub latency_p95_us: u64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Mean end-to-end latency, microseconds.
+    pub latency_mean_us: f64,
+    /// Mean queueing delay, microseconds.
+    pub queue_mean_us: f64,
+    /// Mean dispatched micro-batch size.
+    pub mean_batch: f64,
+    /// Number of dispatched batches.
+    pub batches: u64,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: usize,
+}
+
+/// Serializable whole-server snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeSnapshot {
+    /// Seconds since the server started.
+    pub elapsed_s: f64,
+    /// Per-model statistics, in registration order.
+    pub models: Vec<ModelStats>,
+}
+
+impl ServeSnapshot {
+    /// Pretty-printed JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 50);
+        assert_eq!(h.quantile(0.95), 95);
+        assert_eq!(h.quantile(1.0), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_thins_but_keeps_count() {
+        let h = Histogram::default();
+        let n = (MAX_SAMPLES as u64) * 2 + 10;
+        for v in 0..n {
+            h.record(v);
+        }
+        assert_eq!(h.count(), n);
+        let s = h.state.lock();
+        assert!(s.samples.len() <= MAX_SAMPLES + 1);
+        assert!(s.stride > 1, "thinning engaged");
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = ModelMetrics::default();
+        m.admitted.fetch_add(10, Ordering::Relaxed);
+        m.shed.fetch_add(2, Ordering::Relaxed);
+        m.record_batch(4);
+        let t = Timing {
+            queue_us: 10,
+            service_us: 20,
+            total_us: 30,
+            batch_size: 4,
+            ipu_batch_us: None,
+            gpu_batch_us: None,
+        };
+        m.record_response(&t);
+        let snap = ServeSnapshot { elapsed_s: 1.0, models: vec![m.snapshot("butterfly", 1.0, 3)] };
+        let json = snap.to_json();
+        assert!(json.contains("\"model\": \"butterfly\""), "{json}");
+        assert!(json.contains("\"shed\": 2"), "{json}");
+        assert!(json.contains("\"queue_depth\": 3"), "{json}");
+    }
+
+    #[test]
+    fn shed_rate_is_fraction_of_offered() {
+        let m = ModelMetrics::default();
+        m.admitted.fetch_add(3, Ordering::Relaxed);
+        m.shed.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot("x", 1.0, 0);
+        assert!((s.shed_rate - 0.25).abs() < 1e-12);
+    }
+}

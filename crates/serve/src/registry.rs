@@ -1,0 +1,183 @@
+//! The model registry: one forward-only SHL model per compression method.
+
+use bfly_core::{build_shl_inference, shl_param_count, Method, PixelflyError};
+use bfly_gpu::GpuDevice;
+use bfly_ipu::IpuDevice;
+use bfly_nn::{Layer, Sequential};
+use bfly_tensor::{derived_rng, Matrix};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Predicted device time for one batch of a model's forward trace.
+///
+/// `None` means the trace could not be priced on that device (e.g. the
+/// compiled graph does not fit — the paper's Fig 6 memory-limit situation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceEstimate {
+    /// Predicted IPU (GC200) microseconds for the whole batch.
+    pub ipu_us: Option<f64>,
+    /// Predicted GPU (A30) microseconds for the whole batch.
+    pub gpu_us: Option<f64>,
+}
+
+/// One served model: a frozen (forward-only) SHL network.
+pub struct ModelEntry {
+    name: String,
+    method: Method,
+    dim: usize,
+    classes: usize,
+    param_count: usize,
+    model: Mutex<Sequential>,
+}
+
+impl ModelEntry {
+    /// Registry key (the lowercased Table 4 label, e.g. `"butterfly"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compression method behind this model.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Scalar parameter count (forward-only: one f32 each, no grad/momentum).
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Runs one forward batch (one sample per row) under the model lock.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.model.lock().forward(x, false)
+    }
+
+    /// Predicted IPU/GPU time for a batch of the given size.
+    ///
+    /// Each batch is priced individually (the server attributes *every*
+    /// batch it executes), so attribution cost is per batch, not per
+    /// request — one more fixed overhead that micro-batching amortises.
+    pub fn device_estimate(
+        &self,
+        batch: usize,
+        ipu: &IpuDevice,
+        gpu: &GpuDevice,
+        tensor_cores: bool,
+    ) -> DeviceEstimate {
+        let trace = self.model.lock().trace(batch);
+        DeviceEstimate {
+            ipu_us: ipu.run(&trace).ok().map(|r| r.seconds(ipu.spec()) * 1e6),
+            gpu_us: gpu.run(&trace, tensor_cores).ok().map(|r| r.seconds() * 1e6),
+        }
+    }
+}
+
+/// All models a server instance can answer for, keyed by method label.
+pub struct ModelRegistry {
+    entries: Vec<Arc<ModelEntry>>,
+}
+
+impl ModelRegistry {
+    /// Builds a forward-only model per requested method. Every model derives
+    /// its weights from `seed` and its method index, so two registries built
+    /// with the same arguments are weight-identical.
+    ///
+    /// Methods whose construction fails for the given dimension (pixelfly on
+    /// non-conforming shapes) are reported in the error.
+    pub fn build(
+        dim: usize,
+        classes: usize,
+        seed: u64,
+        methods: &[Method],
+    ) -> Result<Self, PixelflyError> {
+        let mut entries = Vec::with_capacity(methods.len());
+        for (i, &method) in methods.iter().enumerate() {
+            let mut rng = derived_rng(seed, i as u64);
+            let model = build_shl_inference(method, dim, classes, &mut rng)?;
+            entries.push(Arc::new(ModelEntry {
+                name: method.label().to_ascii_lowercase(),
+                method,
+                dim,
+                classes,
+                param_count: shl_param_count(method, dim, classes),
+                model: Mutex::new(model),
+            }));
+        }
+        Ok(Self { entries })
+    }
+
+    /// The registered models, in registration order.
+    pub fn entries(&self) -> &[Arc<ModelEntry>] {
+        &self.entries
+    }
+
+    /// Index of the model with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name() == name)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_all_table4_methods() {
+        let methods = Method::table4_all();
+        let reg = ModelRegistry::build(1024, 10, 7, &methods).expect("1024 fits all methods");
+        assert_eq!(reg.len(), methods.len());
+        assert_eq!(reg.index_of("baseline"), Some(0));
+        assert!(reg.index_of("butterfly").is_some());
+        assert!(reg.index_of("nope").is_none());
+    }
+
+    #[test]
+    fn same_seed_gives_identical_outputs() {
+        let methods = [Method::Butterfly];
+        let a = ModelRegistry::build(64, 10, 3, &methods).expect("valid");
+        let b = ModelRegistry::build(64, 10, 3, &methods).expect("valid");
+        let x = Matrix::filled(2, 64, 0.25);
+        let ya = a.entries()[0].forward(&x);
+        let yb = b.entries()[0].forward(&x);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    fn device_estimates_are_positive_and_deterministic() {
+        let reg = ModelRegistry::build(256, 10, 5, &[Method::Butterfly]).expect("valid");
+        let ipu = IpuDevice::gc200();
+        let gpu = GpuDevice::a30();
+        let e = reg.entries()[0].device_estimate(8, &ipu, &gpu, false);
+        assert!(e.ipu_us.expect("prices on IPU") > 0.0);
+        assert!(e.gpu_us.expect("prices on GPU") > 0.0);
+        let again = reg.entries()[0].device_estimate(8, &ipu, &gpu, false);
+        assert_eq!(e.ipu_us, again.ipu_us);
+        assert_eq!(e.gpu_us, again.gpu_us);
+    }
+
+    #[test]
+    fn registry_reports_pixelfly_dim_error() {
+        let config = bfly_core::PixelflyConfig::paper_default();
+        let result = ModelRegistry::build(784, 10, 1, &[Method::Pixelfly(config)]);
+        assert!(result.is_err(), "pixelfly must reject dim=784");
+    }
+}

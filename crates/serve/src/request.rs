@@ -1,0 +1,152 @@
+//! Request and response types of the serving API.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-request timing attribution attached to every response.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Microseconds from admission to the start of the batch's forward pass
+    /// (queueing plus batch-formation wait).
+    pub queue_us: u64,
+    /// Microseconds the batch's forward pass took on the host CPU kernels.
+    pub service_us: u64,
+    /// Microseconds from admission to response emission (end-to-end).
+    pub total_us: u64,
+    /// Size of the micro-batch this request was served in.
+    pub batch_size: usize,
+    /// Predicted IPU (GC200) microseconds for the whole batch, from the
+    /// performance simulator; `None` when the trace does not compile.
+    pub ipu_batch_us: Option<f64>,
+    /// Predicted GPU (A30) microseconds for the whole batch.
+    pub gpu_batch_us: Option<f64>,
+}
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// Client id echoed from the request.
+    pub client: u64,
+    /// Client-local sequence number echoed from the request.
+    pub seq: u64,
+    /// Class scores (one per configured class).
+    pub output: Vec<f32>,
+    /// Global completion index: the order in which the worker pool finished
+    /// requests, across all clients and models.
+    pub completed_index: u64,
+    /// Timing attribution.
+    pub timing: Timing,
+}
+
+/// An admitted request travelling to the batcher (crate-internal).
+pub(crate) struct InferRequest {
+    pub client: u64,
+    pub seq: u64,
+    pub input: Vec<f32>,
+    pub submitted: Instant,
+    pub reply: Sender<InferResponse>,
+}
+
+/// The caller's handle to a pending response.
+pub struct ResponseHandle {
+    rx: Receiver<InferResponse>,
+}
+
+impl ResponseHandle {
+    pub(crate) fn channel() -> (Sender<InferResponse>, ResponseHandle) {
+        let (tx, rx) = channel::bounded(1);
+        (tx, ResponseHandle { rx })
+    }
+
+    /// Blocks until the response arrives. Returns `None` only if the server
+    /// dropped the request without answering (it never does for admitted
+    /// requests; this covers a crashed worker).
+    pub fn wait(self) -> Option<InferResponse> {
+        self.rx.recv().ok()
+    }
+
+    /// Waits up to `timeout` for the response.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<InferResponse> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<InferResponse> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Why a submission was rejected at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The model's admission queue is at capacity (load shedding).
+    Overloaded,
+    /// The server is shutting down and admits nothing new.
+    ShuttingDown,
+    /// No model registered under the given name.
+    UnknownModel,
+    /// The input length does not match the configured dimensionality.
+    WrongInputLen {
+        /// Configured model input dimensionality.
+        expected: usize,
+        /// Length actually submitted.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded => f.write_str("admission queue full (load shed)"),
+            SubmitError::ShuttingDown => f.write_str("server is shutting down"),
+            SubmitError::UnknownModel => f.write_str("unknown model name"),
+            SubmitError::WrongInputLen { expected, got } => {
+                write!(f, "input length {got} does not match model dimension {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_delivers_one_response() {
+        let (tx, handle) = ResponseHandle::channel();
+        let resp = InferResponse {
+            client: 1,
+            seq: 2,
+            output: vec![0.5],
+            completed_index: 0,
+            timing: Timing {
+                queue_us: 1,
+                service_us: 2,
+                total_us: 3,
+                batch_size: 1,
+                ipu_batch_us: None,
+                gpu_batch_us: None,
+            },
+        };
+        tx.send(resp).expect("handle alive");
+        let got = handle.wait().expect("response sent");
+        assert_eq!(got.client, 1);
+        assert_eq!(got.seq, 2);
+    }
+
+    #[test]
+    fn dropped_sender_yields_none() {
+        let (tx, handle) = ResponseHandle::channel();
+        drop(tx);
+        assert!(handle.wait().is_none());
+    }
+
+    #[test]
+    fn submit_errors_have_readable_messages() {
+        assert!(SubmitError::Overloaded.to_string().contains("full"));
+        assert!(SubmitError::WrongInputLen { expected: 4, got: 2 }.to_string().contains('4'));
+    }
+}

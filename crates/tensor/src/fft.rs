@@ -183,9 +183,7 @@ pub fn circular_convolve(a: &[f32], b: &[f32]) -> Vec<f32> {
 pub fn circular_convolve_naive(a: &[f32], b: &[f32]) -> Vec<f32> {
     assert_eq!(a.len(), b.len());
     let n = a.len();
-    (0..n)
-        .map(|i| (0..n).map(|j| a[j] * b[(i + n - j) % n]).sum())
-        .collect()
+    (0..n).map(|i| (0..n).map(|j| a[j] * b[(i + n - j) % n]).sum()).collect()
 }
 
 #[cfg(test)]

@@ -121,8 +121,8 @@ mod tests {
             })
             .collect();
         fwht_rows(&mut m);
-        for r in 0..3 {
-            assert_eq!(m.row(r), expected[r].as_slice());
+        for (r, exp) in expected.iter().enumerate() {
+            assert_eq!(m.row(r), exp.as_slice());
         }
     }
 

@@ -34,7 +34,13 @@ pub fn matmul_with(kind: MatmulKind, a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Default high-performance multiply: rayon-parallel, register-blocked.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch: {:?} x {:?}", a.shape(), b.shape());
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul inner dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
     let (m, k) = a.shape();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
@@ -46,21 +52,18 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     // is k-major so B rows are streamed sequentially (good hardware prefetch)
     // and the compiler can vectorise the `axpy` over the output row.
     let b_data = b.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, c_row)| {
-            let a_row = a.row(i);
-            for (kk, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row) {
-                    *c_ij += a_ik * b_kj;
-                }
+    c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        let a_row = a.row(i);
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
             }
-        });
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ik * b_kj;
+            }
+        }
+    });
     c
 }
 
@@ -122,9 +125,7 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> Matrix {
 /// Panics if `x.len() != A.cols()`.
 pub fn matvec(a: &Matrix, x: &[f32]) -> Vec<f32> {
     assert_eq!(a.cols(), x.len(), "matvec dimension mismatch");
-    a.rows_iter()
-        .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
-        .collect()
+    a.rows_iter().map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
 }
 
 /// `C = A^T * B` without materialising the transpose.
@@ -160,16 +161,13 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, _k) = a.shape();
     let n = b.rows();
     let mut c = Matrix::zeros(m, n);
-    c.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, c_row)| {
-            let a_row = a.row(i);
-            for (j, c_ij) in c_row.iter_mut().enumerate() {
-                let b_row = b.row(j);
-                *c_ij = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
-            }
-        });
+    c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        let a_row = a.row(i);
+        for (j, c_ij) in c_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            *c_ij = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+        }
+    });
     c
 }
 

@@ -458,8 +458,8 @@ mod tests {
         let mut rng = seeded_rng(42);
         let m = Matrix::random_normal(100, 100, 2.0, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|x| (*x as f64 - mean).powi(2)).sum::<f64>()
-            / m.len() as f64;
+        let var =
+            m.as_slice().iter().map(|x| (*x as f64 - mean).powi(2)).sum::<f64>() / m.len() as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -108,12 +108,8 @@ impl LinOp {
             LinOp::Permute { .. } | LinOp::Copy { .. } => 0.0,
             // 5 n log2 n is the standard radix-2 FFT operation count;
             // FWHT is additions only: n log2 n.
-            LinOp::Fft { n, batch } => {
-                5.0 * (n as f64) * (n as f64).log2().max(0.0) * batch as f64
-            }
-            LinOp::Fwht { n, batch } => {
-                (n as f64) * (n as f64).log2().max(0.0) * batch as f64
-            }
+            LinOp::Fft { n, batch } => 5.0 * (n as f64) * (n as f64).log2().max(0.0) * batch as f64,
+            LinOp::Fwht { n, batch } => (n as f64) * (n as f64).log2().max(0.0) * batch as f64,
         }
     }
 

@@ -85,7 +85,7 @@ mod tests {
         let mut v = vec![0.0; 100];
         fill_signs(&mut v, &mut rng);
         assert!(v.iter().all(|&x| x == 1.0 || x == -1.0));
-        assert!(v.iter().any(|&x| x == 1.0) && v.iter().any(|&x| x == -1.0));
+        assert!(v.contains(&1.0) && v.contains(&-1.0));
     }
 
     #[test]

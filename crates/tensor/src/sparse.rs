@@ -181,7 +181,7 @@ impl Csr {
         let mut cols_scratch: Vec<u32> = (0..cols as u32).collect();
         for _ in 0..rows {
             // Jitter row occupancy by +-1 so the total is close to target.
-            let k_f = per_row + rng.gen_range(-0.5..0.5);
+            let k_f = per_row + rng.gen_range(-0.5f64..0.5);
             let k = (k_f.round().max(0.0) as usize).min(cols);
             let (chosen, _) = cols_scratch.partial_shuffle(rng, k);
             chosen.sort_unstable();
@@ -258,20 +258,17 @@ impl Csr {
         let n = dense.cols();
         let mut out = Matrix::zeros(self.rows, n);
         let dense_data = dense.as_slice();
-        out.as_mut_slice()
-            .par_chunks_mut(n.max(1))
-            .enumerate()
-            .for_each(|(r, out_row)| {
-                let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-                for i in start..end {
-                    let c = self.col_idx[i] as usize;
-                    let v = self.values[i];
-                    let src = &dense_data[c * n..(c + 1) * n];
-                    for (d, s) in out_row.iter_mut().zip(src) {
-                        *d += v * s;
-                    }
+        out.as_mut_slice().par_chunks_mut(n.max(1)).enumerate().for_each(|(r, out_row)| {
+            let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            for i in start..end {
+                let c = self.col_idx[i] as usize;
+                let v = self.values[i];
+                let src = &dense_data[c * n..(c + 1) * n];
+                for (d, s) in out_row.iter_mut().zip(src) {
+                    *d += v * s;
                 }
-            });
+            }
+        });
         out
     }
 

@@ -102,11 +102,8 @@ fn main() {
     // 5. Reference: butterfly trained from scratch for longer.
     let mut scratch =
         build_shl(Method::Butterfly, dim, classes, &mut seeded_rng(48)).expect("valid");
-    let scratch_report = fit(
-        &mut scratch,
-        &s,
-        &TrainConfig { epochs: 12, seed: 49, ..TrainConfig::default() },
-    );
+    let scratch_report =
+        fit(&mut scratch, &s, &TrainConfig { epochs: 12, seed: 49, ..TrainConfig::default() });
     println!(
         "4) butterfly trained from scratch (12 epochs): {:.2}%",
         scratch_report.test_accuracy * 100.0

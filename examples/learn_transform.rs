@@ -67,11 +67,7 @@ fn main() {
     }
     let final_err = student.materialize().relative_error(&target_dense);
     println!("\nlearned operator relative error: {final_err:.3e}");
-    println!(
-        "parameters used: {} (vs {} for the dense matrix)",
-        student.param_count(),
-        n * n
-    );
+    println!("parameters used: {} (vs {} for the dense matrix)", student.param_count(), n * n);
     assert!(final_err < 0.1, "training should converge close to the target");
     println!("=> the butterfly learned a fast O(n log n) algorithm for the transform.");
 }

@@ -20,10 +20,16 @@ fn main() {
     let dense = Dense::new(n, n, &mut rng);
     let butterfly = ButterflyLayer::new(n, n, &mut rng);
 
-    println!("dense layer      : {:>9} parameters ({} KiB)", dense.param_count(),
-        dense.param_count() * 4 / 1024);
-    println!("butterfly layer  : {:>9} parameters ({} KiB)", butterfly.param_count(),
-        butterfly.param_count() * 4 / 1024);
+    println!(
+        "dense layer      : {:>9} parameters ({} KiB)",
+        dense.param_count(),
+        dense.param_count() * 4 / 1024
+    );
+    println!(
+        "butterfly layer  : {:>9} parameters ({} KiB)",
+        butterfly.param_count(),
+        butterfly.param_count() * 4 / 1024
+    );
     println!(
         "compression      : {:.1}% fewer parameters\n",
         100.0 * (1.0 - butterfly.param_count() as f64 / dense.param_count() as f64)
@@ -35,10 +41,16 @@ fn main() {
     let x = Matrix::random_uniform(8, n, 1.0, &mut rng);
     let y_dense = dense.forward(&x, false);
     let y_bfly = butterfly.forward(&x, false);
-    println!("dense output     : {:?} (first row, 4 entries) {:?}", y_dense.shape(),
-        &y_dense.row(0)[..4]);
-    println!("butterfly output : {:?} (first row, 4 entries) {:?}\n", y_bfly.shape(),
-        &y_bfly.row(0)[..4]);
+    println!(
+        "dense output     : {:?} (first row, 4 entries) {:?}",
+        y_dense.shape(),
+        &y_dense.row(0)[..4]
+    );
+    println!(
+        "butterfly output : {:?} (first row, 4 entries) {:?}\n",
+        y_bfly.shape(),
+        &y_bfly.row(0)[..4]
+    );
 
     // The butterfly *exactly* represents classic fast transforms: here the
     // Walsh-Hadamard transform, with zero error.
@@ -47,11 +59,8 @@ fn main() {
     let probe: Vec<f32> = (0..16).map(|i| (i as f32 * 0.3).sin()).collect();
     let via_butterfly = h_exact.apply(&probe);
     let via_dense = bfly_tensor::matvec(&h_dense, &probe);
-    let max_err = via_butterfly
-        .iter()
-        .zip(&via_dense)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_err =
+        via_butterfly.iter().zip(&via_dense).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     println!("Hadamard-16 as a butterfly: max error vs dense H = {max_err:.2e}");
     println!("(Eq. 1 of the paper: the FFT itself is the complex special case)");
 }

@@ -1,0 +1,66 @@
+//! Serving demo: a multi-model inference server with dynamic batching.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+//!
+//! Starts a `bfly-serve` server holding a dense baseline and a butterfly
+//! SHL model (both forward-only — no gradient or momentum memory), pushes a
+//! burst of concurrent requests at it, and shows what every response
+//! carries: the class scores, the micro-batch the request was coalesced
+//! into, and the predicted IPU/GPU device time for that batch next to the
+//! measured wall time. Ends with a graceful shutdown and the final metrics
+//! snapshot as JSON.
+
+use bfly_core::Method;
+use bfly_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+fn main() {
+    let config = ServeConfig {
+        dim: 256,
+        classes: 10,
+        seed: 0xD310,
+        max_batch: 16,
+        max_wait: Duration::from_micros(300),
+        queue_capacity: 256,
+        workers: 2,
+        tensor_cores: false,
+    };
+    let dim = config.dim;
+    let server = Server::start(config, &[Method::Baseline, Method::Butterfly])
+        .expect("dim 256 fits both methods");
+
+    println!("serving models: {:?}\n", server.model_names());
+
+    // A burst of requests from 4 client threads, alternating models — the
+    // batchers coalesce each model's stream independently.
+    std::thread::scope(|scope| {
+        for client in 0..4u64 {
+            let server = &server;
+            scope.spawn(move || {
+                let model = if client % 2 == 0 { "baseline" } else { "butterfly" };
+                for seq in 0..50u64 {
+                    let input: Vec<f32> =
+                        (0..dim).map(|i| ((client + seq + i as u64) as f32 * 0.1).sin()).collect();
+                    let handle = server.submit(model, client, seq, input).expect("admitted");
+                    let r = handle.wait().expect("answered");
+                    if seq == 49 {
+                        println!(
+                            "client {client} ({model:<9}): top score {:+.3}, served in a \
+                             batch of {:>2}, wall {:>4} us, predicted IPU {:>6.1} us, \
+                             GPU {:>6.1} us",
+                            r.output.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+                            r.timing.batch_size,
+                            r.timing.total_us,
+                            r.timing.ipu_batch_us.unwrap_or(f64::NAN),
+                            r.timing.gpu_batch_us.unwrap_or(f64::NAN),
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    println!("\nfinal metrics snapshot:");
+    let snapshot = server.shutdown();
+    println!("{}", snapshot.to_json());
+}

@@ -19,16 +19,13 @@ fn main() {
     let dim = 1024;
     let classes = 10;
 
-    println!("generating synthetic CIFAR-10-like data ({samples} samples, {dim}-dim, {classes} classes)");
+    println!(
+        "generating synthetic CIFAR-10-like data ({samples} samples, {dim}-dim, {classes} classes)"
+    );
     let data = generate(&SynthSpec::cifar10_like(samples, 7));
     let mut rng = seeded_rng(8);
     let s = split(data, 0.2, 0.15, &mut rng);
-    println!(
-        "split: {} train / {} val / {} test\n",
-        s.train.len(),
-        s.val.len(),
-        s.test.len()
-    );
+    println!("split: {} train / {} val / {} test\n", s.train.len(), s.val.len(), s.test.len());
 
     // Table 3 hyperparameters: SGD(lr 0.001, momentum 0.9), batch 50, ReLU,
     // cross-entropy, 15% validation.

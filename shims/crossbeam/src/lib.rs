@@ -1,0 +1,5 @@
+//! Offline shim of the `crossbeam` API surface this workspace uses:
+//! [`channel`] — MPMC bounded/unbounded channels with blocking, non-blocking
+//! and timed operations, built on `std::sync::{Mutex, Condvar}`.
+
+pub mod channel;

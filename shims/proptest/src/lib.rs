@@ -1,0 +1,285 @@
+//! Offline shim of the `proptest` surface this workspace uses.
+//!
+//! Supports the `proptest! { #![proptest_config(...)] #[test] fn f(x in
+//! strategy, ...) { ... } }` DSL with range strategies, `Just`,
+//! `prop::collection::vec`, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!` / `prop_assume!` macros. Each test runs
+//! `ProptestConfig::cases` random cases from a generator seeded
+//! deterministically from the test name (override with `PROPTEST_SEED`).
+//! Failing inputs are reported but *not shrunk* — acceptable for CI-style
+//! regression testing, which is all the workspace needs.
+
+use rand::{Rng, SplitMix64};
+use std::ops::{Range, RangeInclusive};
+
+/// Sentinel error used by `prop_assume!` to discard a case.
+pub const ASSUME_REJECTED: &str = "__proptest_assume_rejected__";
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Creates the deterministic generator backing one proptest-style test.
+pub fn test_rng(test_name: &str) -> SplitMix64 {
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v.parse::<u64>().unwrap_or(0xB77F_00D5),
+        Err(_) => 0xB77F_00D5,
+    };
+    // FNV-1a over the test name keeps per-test streams distinct.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SplitMix64::new(seed ^ h)
+}
+
+/// A source of random values for one macro argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut SplitMix64) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SplitMix64) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SplitMix64) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy always producing a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SplitMix64) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy sampling `bool` uniformly.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut SplitMix64) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+pub mod prop {
+    //! Mirrors `proptest::prop` (collection strategies).
+
+    pub mod collection {
+        //! `prop::collection::vec` — vectors of a given length range.
+
+        use crate::Strategy;
+        use rand::{Rng, SplitMix64};
+        use std::ops::Range;
+
+        /// Strategy for vectors with length drawn from `len` and elements
+        /// drawn from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Creates a [`VecStrategy`].
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut SplitMix64) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Declares property tests (see module docs for the supported DSL subset).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(e) if e == $crate::ASSUME_REJECTED => {}
+                        ::std::result::Result::Err(e) => panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), __case + 1, __config.cases, e
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Proptest-style assertion: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Proptest-style equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`: {}", l, r, ::std::format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Proptest-style inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::string::String::from(
+                $crate::ASSUME_REJECTED,
+            ));
+        }
+    };
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, AnyBool, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, f in -1.0f32..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&f), "f out of range: {f}");
+        }
+
+        #[test]
+        fn assume_discards_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_length(v in prop::collection::vec(0u8..5, 1usize..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            fn always_fails(x in 0u32..4) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline shim of the `rayon` API surface this workspace uses.
+//!
+//! `par_chunks`, `par_chunks_mut`, `par_iter`, `par_iter_mut` and
+//! `into_par_iter` return the corresponding *standard sequential* iterators,
+//! so every downstream combinator chain (`zip`, `enumerate`, `map`,
+//! `for_each`, `sum`, `collect`, …) compiles and behaves identically — minus
+//! the parallel speedup. Real multi-threading in the workspace comes from the
+//! explicit worker pools (e.g. `bfly-serve`), which use `std::thread`
+//! directly; the data-parallel kernels degrade gracefully to sequential
+//! execution here.
+
+/// `rayon::join` — sequential fallback preserving the return contract.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads a real pool would use on this host.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// `slice.par_chunks(n)` — sequential [`std::slice::Chunks`].
+pub trait ParallelSlice<T> {
+    /// Chunked iteration, `rayon` spelling.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `slice.par_chunks_mut(n)` — sequential [`std::slice::ChunksMut`].
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunked iteration, `rayon` spelling.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// `collection.par_iter()` — sequential shared iteration.
+pub trait IntoParallelRefIterator<'a> {
+    /// Iterator type.
+    type Iter: Iterator;
+    /// Shared iteration, `rayon` spelling.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator<Item = &'a T>,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `collection.par_iter_mut()` — sequential exclusive iteration.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Iterator type.
+    type Iter: Iterator;
+    /// Exclusive iteration, `rayon` spelling.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator<Item = &'a mut T>,
+{
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `collection.into_par_iter()` — sequential owning iteration.
+pub trait IntoParallelIterator {
+    /// Iterator type.
+    type Iter: Iterator;
+    /// Owning iteration, `rayon` spelling.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Iter = C::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_zip_enumerate_for_each_compiles_and_runs() {
+        let src = [1.0f32, 2.0, 3.0, 4.0];
+        let mut dst = [0.0f32; 4];
+        dst.par_chunks_mut(2).zip(src.par_chunks(2)).enumerate().for_each(|(i, (d, s))| {
+            for (dv, sv) in d.iter_mut().zip(s) {
+                *dv = sv * (i + 1) as f32;
+            }
+        });
+        assert_eq!(dst, [1.0, 2.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn par_iter_sums() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.par_iter().sum::<u64>(), 6);
+        assert_eq!(v.into_par_iter().map(|x| x * 2).sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline shim of `serde`.
+//!
+//! The workspace only ever serializes (to JSON, via `serde_json`), so this
+//! shim replaces serde's visitor architecture with a direct value-tree model:
+//! [`Serialize`] converts any value into a [`Value`], and `serde_json`
+//! renders that tree. [`Deserialize`] is a marker trait so that
+//! `#[derive(Deserialize)]` sites keep compiling; nothing in the workspace
+//! parses JSON back.
+
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON-shaped value tree (the serialization target).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] tree (the shim's serialization trait).
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker trait backing `#[derive(Deserialize)]` sites (no deserialization
+/// happens in this workspace).
+pub trait Deserialize {}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value(), self.2.to_json_value()])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_json_value(&self) -> Value {
+        // Deterministic output: sort hash-map keys.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_json_value(), Value::UInt(3));
+        assert_eq!((-3i32).to_json_value(), Value::Int(-3));
+        assert_eq!(1.5f32.to_json_value(), Value::Float(1.5));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!("x".to_json_value(), Value::Str("x".into()));
+        assert_eq!(Option::<u32>::None.to_json_value(), Value::Null);
+    }
+
+    #[test]
+    fn collections_nest() {
+        let v = vec![1u32, 2];
+        assert_eq!(v.to_json_value(), Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+        let pair = ("a".to_string(), 1u8);
+        assert_eq!(
+            pair.to_json_value(),
+            Value::Array(vec![Value::Str("a".into()), Value::UInt(1)])
+        );
+    }
+
+    #[test]
+    fn derived_struct_serializes_named_fields_in_order() {
+        #[derive(Serialize)]
+        struct Row {
+            n: usize,
+            value: f64,
+        }
+        let v = Row { n: 1, value: 2.0 }.to_json_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![("n".into(), Value::UInt(1)), ("value".into(), Value::Float(2.0)),])
+        );
+    }
+
+    #[test]
+    fn derived_enum_covers_all_variant_shapes() {
+        #[derive(Serialize)]
+        enum E {
+            Unit,
+            Newtype(u32),
+            Tuple(u32, u32),
+            Struct { a: u32 },
+        }
+        assert_eq!(E::Unit.to_json_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            E::Newtype(1).to_json_value(),
+            Value::Object(vec![("Newtype".into(), Value::UInt(1))])
+        );
+        assert_eq!(
+            E::Tuple(1, 2).to_json_value(),
+            Value::Object(vec![(
+                "Tuple".into(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+            )])
+        );
+        assert_eq!(
+            E::Struct { a: 5 }.to_json_value(),
+            Value::Object(vec![(
+                "Struct".into(),
+                Value::Object(vec![("a".into(), Value::UInt(5))])
+            )])
+        );
+    }
+
+    #[test]
+    fn derived_tuple_struct_is_newtype_or_array() {
+        #[derive(Serialize, Deserialize)]
+        struct Id(u32);
+        #[derive(Serialize)]
+        struct Pair(u32, u32);
+        assert_eq!(Id(7).to_json_value(), Value::UInt(7));
+        assert_eq!(Pair(1, 2).to_json_value(), Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+    }
+
+    #[test]
+    fn derived_struct_with_generic_like_field_types() {
+        #[derive(Serialize)]
+        struct Nested {
+            items: Vec<(String, u64)>,
+            opt: Option<f32>,
+        }
+        let v = Nested { items: vec![("k".into(), 9)], opt: Some(0.5) }.to_json_value();
+        match v {
+            Value::Object(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[0].0, "items");
+                assert_eq!(fields[1].0, "opt");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shimmed `serde` crate without depending on `syn`/`quote`: the item is
+//! parsed directly from the [`proc_macro::TokenStream`] and the impl is
+//! emitted as a source string. Supported item shapes (everything this
+//! workspace derives on): non-generic named structs, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants.
+//!
+//! `Serialize` follows serde's externally-tagged JSON data model:
+//! - named struct -> object of fields;
+//! - newtype struct -> the inner value;
+//! - tuple struct -> array;
+//! - unit variant -> `"Name"`;
+//! - newtype variant -> `{"Name": value}`;
+//! - tuple variant -> `{"Name": [values...]}`;
+//! - struct variant -> `{"Name": {fields...}}`.
+//!
+//! `Deserialize` emits an empty marker impl — nothing in the workspace
+//! deserializes, but the derives must still compile.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    let src = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{ {} }}\n\
+         }}",
+        item.name, body
+    );
+    src.parse().expect("serde_derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src =
+        format!("#[automatically_derived]\n impl ::serde::Deserialize for {} {{}}", item.name);
+    src.parse().expect("serde_derive: generated impl must parse")
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tok: &TokenTree, word: &str) -> bool {
+    matches!(tok, TokenTree::Ident(id) if id.to_string() == word)
+}
+
+/// Advances past `#[...]` attributes and visibility modifiers.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // '#' plus the bracket group
+        } else if i < toks.len() && is_ident(&toks[i], "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!("serde_derive shim: expected `struct` or `enum`, got {:?}", toks[i]);
+    };
+    i += 1;
+
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(toks.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    let kind = if is_enum {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            Some(t) if is_punct(t, ';') => ItemKind::Struct(Fields::Unit),
+            other => panic!("serde_derive shim: expected struct body, got {other:?}"),
+        }
+    };
+
+    Item { name, kind }
+}
+
+/// Skips tokens until a comma at angle-bracket depth zero; returns the index
+/// *after* that comma (or the end of the slice).
+fn skip_past_top_level_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i64;
+    while i < toks.len() {
+        match &toks[i] {
+            t if is_punct(t, '<') => depth += 1,
+            t if is_punct(t, '>') => depth -= 1,
+            t if is_punct(t, ',') && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(toks.get(i), Some(t) if is_punct(t, ':')),
+            "serde_derive shim: expected `:` after field `{name}`"
+        );
+        i = skip_past_top_level_comma(&toks, i + 1);
+        names.push(name);
+    }
+    names
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_past_top_level_comma(&toks, i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        i = skip_past_top_level_comma(&toks, i);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn named_fields_object(accessor: impl Fn(&str) -> String, names: &[String]) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json_value({})),",
+                accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", entries.join(" "))
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_json_value(&self.0)".to_string()
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_json_value(&self.{k}),")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(" "))
+        }
+        ItemKind::Struct(Fields::Named(names)) => {
+            named_fields_object(|f| format!("&self.{f}"), names)
+        }
+        ItemKind::Enum(variants) => {
+            let ty = &item.name;
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.fields {
+                    Fields::Unit => format!(
+                        "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{ty}::{vn}(__f0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                          ::serde::Serialize::to_json_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b}),"))
+                            .collect();
+                        format!(
+                            "{ty}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                              ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(" ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        let inner = named_fields_object(|f| f.to_string(), names);
+                        format!(
+                            "{ty}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {inner})]),",
+                            names.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!("match self {{ {arms} }}")
+        }
+    }
+}

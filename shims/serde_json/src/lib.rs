@@ -1,0 +1,201 @@
+//! Offline shim of `serde_json`.
+//!
+//! Renders the [`serde::Value`] tree produced by the shimmed `serde` crate
+//! as JSON text, in compact (`to_string`) or pretty (`to_string_pretty`,
+//! two-space indent — same layout as upstream) form, plus a [`json!`] macro
+//! covering the object/array/scalar forms the workspace uses.
+//!
+//! Non-finite floats render as `null` (upstream behaviour for the default
+//! configuration).
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization error. The value-tree model cannot actually fail, so this
+/// is only here to keep `Result`-shaped call sites compiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Compact JSON encoding.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Pretty JSON encoding (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn push_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` keeps a trailing `.0` on whole floats, matching the
+                // number formatting readers of these files expect.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            push_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, level + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            push_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from literal-ish syntax.
+///
+/// Supports the three forms the workspace uses: `json!({"k": expr, ...})`,
+/// `json!([expr, ...])` and `json!(expr)`. Values are arbitrary expressions
+/// implementing `serde::Serialize` (including nested `json!` results).
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$val) ),* ])
+    };
+    ($val:expr) => {
+        $crate::to_value(&$val)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_encoding_matches_expected_text() {
+        let v = json!({"a": 1u32, "b": [1u8, 2u8], "c": "x"});
+        assert_eq!(to_string(&v).expect("infallible"), r#"{"a":1,"b":[1,2],"c":"x"}"#);
+    }
+
+    #[test]
+    fn pretty_encoding_uses_two_space_indent() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            n: usize,
+            value: f64,
+        }
+        let body = to_string_pretty(&vec![Row { n: 1, value: 2.0 }]).expect("infallible");
+        assert!(body.contains("\"n\": 1"), "body: {body}");
+        assert!(body.contains("\"value\": 2.0"), "body: {body}");
+        assert!(body.starts_with("[\n  {"), "body: {body}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = "line\nwith \"quotes\" and \\backslash";
+        let enc = to_string(&s).expect("infallible");
+        assert_eq!(enc, r#""line\nwith \"quotes\" and \\backslash""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).expect("infallible"), "null");
+        assert_eq!(to_string(&f64::INFINITY).expect("infallible"), "null");
+    }
+
+    #[test]
+    fn json_macro_nests_through_expressions() {
+        let inner: Vec<Value> = (0..2).map(|i| json!({"i": i})).collect();
+        let v = json!({"series": inner, "name": "fig"});
+        let text = to_string(&v).expect("infallible");
+        assert_eq!(text, r#"{"series":[{"i":0},{"i":1}],"name":"fig"}"#);
+    }
+
+    #[test]
+    fn empty_containers_render_compactly_in_pretty_mode() {
+        let v = json!({"a": Value::Array(vec![]), "b": Value::Object(vec![])});
+        let text = to_string_pretty(&v).expect("infallible");
+        assert!(text.contains("\"a\": []"), "{text}");
+        assert!(text.contains("\"b\": {}"), "{text}");
+    }
+}

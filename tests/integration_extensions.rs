@@ -7,7 +7,9 @@ use bfly_data::{generate_images, split, ImageSpec};
 use bfly_ipu::multi::{data_parallel_step, PodSpec};
 use bfly_ipu::streaming::{run_streaming, StreamingSpec};
 use bfly_ipu::IpuDevice;
-use bfly_nn::{fit, Conv2d, ConvShape, Dense, GlobalAvgPool, Layer, MaxPool2, Relu, Sequential, TrainConfig};
+use bfly_nn::{
+    fit, Conv2d, ConvShape, Dense, GlobalAvgPool, Layer, MaxPool2, Relu, Sequential, TrainConfig,
+};
 use bfly_tensor::{seeded_rng, LinOp, Matrix};
 
 #[test]
@@ -61,20 +63,20 @@ fn pruned_method_budget_tracks_density() {
     assert!(hi > 5 * lo);
     // And the built model agrees with the formula.
     let mut rng = seeded_rng(25);
-    let model = build_shl(Method::Pruned { density_permille: 21 }, 1024, 10, &mut rng)
-        .expect("valid");
-    assert_eq!(model.param_count(), shl_param_count(Method::Pruned { density_permille: 21 }, 1024, 10));
+    let model =
+        build_shl(Method::Pruned { density_permille: 21 }, 1024, 10, &mut rng).expect("valid");
+    assert_eq!(
+        model.param_count(),
+        shl_param_count(Method::Pruned { density_permille: 21 }, 1024, 10)
+    );
 }
 
 #[test]
 fn cnn_with_butterfly_mix_learns_gratings() {
     // Small images and four well-separated orientations keep the test fast
     // (cargo test runs unoptimised) while exercising the whole conv stack.
-    let data = generate_images(&ImageSpec {
-        num_classes: 4,
-        side: 16,
-        ..ImageSpec::gratings32(400, 31)
-    });
+    let data =
+        generate_images(&ImageSpec { num_classes: 4, side: 16, ..ImageSpec::gratings32(400, 31) });
     let mut rng = seeded_rng(32);
     let s = split(data, 0.2, 0.15, &mut rng);
     let channels = 16usize;

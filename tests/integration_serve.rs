@@ -1,0 +1,149 @@
+//! Property-based integration tests of the `bfly-serve` runtime invariants:
+//! no admitted request is ever lost or duplicated, per-client FIFO holds
+//! under a single worker, and batched execution is bit-identical to
+//! unbatched execution of the same frozen model.
+
+use bfly_core::{build_shl_inference, Method};
+use bfly_nn::Layer;
+use bfly_serve::{ServeConfig, Server};
+use bfly_tensor::{derived_rng, Matrix};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+use std::time::Duration;
+
+fn server_config(dim: usize, seed: u64, max_batch: usize, workers: usize) -> ServeConfig {
+    ServeConfig {
+        dim,
+        classes: 10,
+        seed,
+        max_batch,
+        max_wait: Duration::from_micros(200),
+        // Large enough that these tests never shed: the invariants below
+        // are about admitted requests.
+        queue_capacity: 4096,
+        workers,
+        tensor_cores: false,
+    }
+}
+
+fn random_input(dim: usize, rng: &mut ChaCha8Rng) -> Vec<f32> {
+    (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every admitted request is answered exactly once, with its own
+    /// identity echoed back: nothing lost, nothing duplicated, under any
+    /// batching configuration.
+    #[test]
+    fn no_request_lost_or_duplicated(seed in 0u64..500, clients in 1u64..5,
+                                     per_client in 1u64..30, max_batch in 1usize..9) {
+        let dim = 32;
+        let server = Server::start(server_config(dim, 11, max_batch, 2), &[Method::Butterfly])
+            .expect("valid config");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let mut handles = Vec::new();
+        for s in 0..per_client {
+            for c in 0..clients {
+                let input = random_input(dim, &mut rng);
+                let handle = server.submit("butterfly", c, s, input).expect("queue never fills");
+                handles.push(((c, s), handle));
+            }
+        }
+
+        let total = (clients * per_client) as usize;
+        let mut seen = HashSet::with_capacity(total);
+        let mut completion_ids = HashSet::with_capacity(total);
+        for ((c, s), handle) in handles {
+            let r = handle.wait().expect("admitted requests are always answered");
+            prop_assert_eq!(r.client, c);
+            prop_assert_eq!(r.seq, s);
+            prop_assert!(seen.insert((c, s)), "duplicate response for ({}, {})", c, s);
+            prop_assert!(completion_ids.insert(r.completed_index),
+                "completion index {} reused", r.completed_index);
+        }
+        prop_assert_eq!(seen.len(), total);
+
+        let snapshot = server.shutdown();
+        prop_assert_eq!(snapshot.models[0].completed, total as u64);
+        prop_assert_eq!(snapshot.models[0].shed, 0);
+    }
+
+    /// With a single worker, each client's requests complete in submission
+    /// order (the admission queue is FIFO, the batcher preserves arrival
+    /// order within and across batches, and one worker serialises batches).
+    #[test]
+    fn per_client_fifo_with_single_worker(seed in 0u64..500, clients in 1u64..4,
+                                          per_client in 2u64..20, max_batch in 1usize..7) {
+        let dim = 32;
+        let server = Server::start(server_config(dim, 23, max_batch, 1), &[Method::Butterfly])
+            .expect("valid config");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let mut handles = Vec::new();
+        for s in 0..per_client {
+            for c in 0..clients {
+                let input = random_input(dim, &mut rng);
+                let handle = server.submit("butterfly", c, s, input).expect("queue never fills");
+                handles.push((c, s, handle));
+            }
+        }
+
+        let mut last_completion: Vec<Option<u64>> = vec![None; clients as usize];
+        let mut responses = Vec::new();
+        for (c, s, handle) in handles {
+            let r = handle.wait().expect("answered");
+            responses.push((c, s, r.completed_index));
+        }
+        responses.sort_by_key(|&(c, s, _)| (c, s));
+        for (c, _s, idx) in responses {
+            if let Some(prev) = last_completion[c as usize] {
+                prop_assert!(idx > prev,
+                    "client {} completed seq out of order: {} after {}", c, idx, prev);
+            }
+            last_completion[c as usize] = Some(idx);
+        }
+        server.shutdown();
+    }
+
+    /// A response computed inside a micro-batch is bit-identical to running
+    /// the same input alone through an identically-seeded frozen model:
+    /// coalescing never changes the numbers.
+    #[test]
+    fn batched_output_bit_identical_to_unbatched(seed in 0u64..500, n in 1usize..40,
+                                                 max_batch in 2usize..9) {
+        let dim = 64;
+        let serve_seed = 31u64;
+        let server = Server::start(server_config(dim, serve_seed, max_batch, 2),
+            &[Method::Butterfly]).expect("valid config");
+        // The registry derives model i's weights from (seed, i); rebuild
+        // model 0 out-of-band as the unbatched reference.
+        let mut reference =
+            build_shl_inference(Method::Butterfly, dim, 10, &mut derived_rng(serve_seed, 0))
+                .expect("valid dim");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inputs: Vec<Vec<f32>> = (0..n).map(|_| random_input(dim, &mut rng)).collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                server.submit("butterfly", 0, i as u64, input.clone()).expect("queue never fills")
+            })
+            .collect();
+
+        for (input, handle) in inputs.iter().zip(handles) {
+            let r = handle.wait().expect("answered");
+            let x = Matrix::from_vec(1, dim, input.clone());
+            let expect = reference.forward(&x, false);
+            prop_assert_eq!(r.output.as_slice(), expect.as_slice(),
+                "batched output differs bit-for-bit from unbatched");
+            prop_assert!(r.timing.batch_size >= 1);
+        }
+        server.shutdown();
+    }
+}

@@ -75,8 +75,9 @@ fn pixelfly_rejects_mnist_but_butterfly_accepts() {
     // The paper: "the pixelfly approach did not work on the MNIST dataset
     // due to the requirements of the matrix sizes being a power of two".
     let mut rng = seeded_rng(84);
-    assert!(build_shl(Method::Pixelfly(PixelflyConfig::paper_default()), 784, 10, &mut rng)
-        .is_err());
+    assert!(
+        build_shl(Method::Pixelfly(PixelflyConfig::paper_default()), 784, 10, &mut rng).is_err()
+    );
     let mut model =
         build_shl(Method::Butterfly, 784, 10, &mut rng).expect("butterfly pads to 1024");
     // And the butterfly SHL actually runs on MNIST-like data.
@@ -110,7 +111,7 @@ fn butterfly_beats_equal_budget_low_rank() {
     // butterfly's structure is worth more than a low-rank factorization.
     let s = small_task(64);
     let mut rng = seeded_rng(89);
-    let butterfly_params = shl_param_count(Method::Butterfly, 64, 4, );
+    let butterfly_params = shl_param_count(Method::Butterfly, 64, 4);
     // Match the budget with a low-rank model: 2*64*r + 64 ~ butterfly hidden.
     let hidden_budget = butterfly_params - (64 * 4 + 4);
     let rank = ((hidden_budget - 64) / (2 * 64)).max(1);

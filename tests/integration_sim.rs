@@ -4,7 +4,7 @@
 
 use bfly_core::{ButterflyLayer, PixelflyConfig, PixelflyLayer};
 use bfly_gpu::GpuDevice;
-use bfly_ipu::{IpuDevice};
+use bfly_ipu::IpuDevice;
 use bfly_nn::{Dense, Layer};
 use bfly_tensor::{seeded_rng, LinOp};
 
@@ -132,9 +132,8 @@ fn pixelfly_memory_sits_between_dense_and_butterfly() {
 fn compute_sets_scale_with_butterfly_depth() {
     // Fig 7: one compute set per factor.
     let ipu = IpuDevice::gc200();
-    let cs_at = |n: usize| {
-        ipu.run(&butterfly_trace(n, 64)).expect("fits").compiled.memory.compute_sets
-    };
+    let cs_at =
+        |n: usize| ipu.run(&butterfly_trace(n, 64)).expect("fits").compiled.memory.compute_sets;
     let small = cs_at(256); // 8 factors
     let large = cs_at(4096); // 12 factors
     assert_eq!(large - small, 4, "compute sets must grow one per factor");
