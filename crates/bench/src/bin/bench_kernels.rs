@@ -1,0 +1,378 @@
+//! bench_kernels — times the fused stage-major butterfly kernels against
+//! the pre-fusion reference implementation (`bfly_bench::legacy`) on
+//! identical inputs, and the lock-free serve forward path against a
+//! mutex-guarded model.
+//!
+//! Four kernel measurements per (n, batch) point:
+//!   * `apply`    — raw transform `B P x` (legacy per-row heap allocation
+//!     vs the fused scratch-arena pass),
+//!   * `train`    — layer forward with stage caching (legacy per-stage
+//!     matrix clones vs the flat arena),
+//!   * `backward` — gradient pass (legacy whole-matrix per-stage sweeps vs
+//!     the fused row-major walk),
+//!   * `infer`    — eval-mode forward (legacy pad + permute + stage
+//!     matrices vs the single fused pass).
+//!
+//! The serve section runs the same offered load through a
+//! `Mutex<Sequential>` (the pre-PR serialised hot path) and through the
+//! shared `&Sequential` inference path with one scratch arena per thread,
+//! and reports requests/second for each.
+//!
+//! Results print as tables and are written to `BENCH_kernels.json` at the
+//! workspace root. `BFLY_BENCH_SMOKE=1` runs a seconds-long smoke version
+//! (tiny sizes, few iterations) and skips the JSON write — used by CI to
+//! keep the binary from rotting.
+//!
+//! Environment knobs: BFLY_BENCH_SMOKE (0/1), BFLY_BENCH_ITERS_SCALE
+//! (default 1.0, multiplies iteration counts), BFLY_BENCH_SERVE_THREADS
+//! (default 4), BFLY_BENCH_SERVE_REQUESTS (per thread, default 2000).
+
+use bfly_bench::format_table;
+use bfly_bench::legacy::{legacy_apply_batch, legacy_backward, legacy_forward, LegacyButterfly};
+use bfly_core::{
+    build_shl_inference, fused_backward, fused_forward, fused_forward_train, Butterfly, Method,
+};
+use bfly_nn::{Layer, Sequential};
+use bfly_tensor::{seeded_rng, Matrix, Scratch};
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelPoint {
+    n: usize,
+    batch: usize,
+    apply_legacy_us: f64,
+    apply_fused_us: f64,
+    apply_speedup: f64,
+    train_legacy_us: f64,
+    train_fused_us: f64,
+    train_speedup: f64,
+    backward_legacy_us: f64,
+    backward_fused_us: f64,
+    backward_speedup: f64,
+    infer_legacy_us: f64,
+    infer_fused_us: f64,
+    infer_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ServeComparison {
+    dim: usize,
+    classes: usize,
+    threads: usize,
+    requests_per_thread: usize,
+    /// Hardware threads on the benchmarking host. With a single core the
+    /// workers serialize and the mutex is never contended, so the
+    /// locked/lock-free ratio only shows a gap on multi-core hosts.
+    host_cores: usize,
+    locked_rps: f64,
+    lock_free_rps: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchOutput {
+    kernels: Vec<KernelPoint>,
+    serve: ServeComparison,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Mean microseconds per call for a (legacy, fused) pair, measured in
+/// strict alternation (after one untimed warm-up call each) so slow clock
+/// drift — thermal throttling, frequency governors — hits both sides
+/// equally instead of whichever happened to run later.
+fn time_pair_us(iters: usize, mut old: impl FnMut(), mut new: impl FnMut()) -> (f64, f64) {
+    old();
+    new();
+    let mut old_secs = 0.0;
+    let mut new_secs = 0.0;
+    for _ in 0..iters {
+        let t = Instant::now();
+        old();
+        old_secs += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        new();
+        new_secs += t.elapsed().as_secs_f64();
+    }
+    (old_secs * 1e6 / iters as f64, new_secs * 1e6 / iters as f64)
+}
+
+fn speedup(old_us: f64, new_us: f64) -> f64 {
+    if new_us > 0.0 {
+        old_us / new_us
+    } else {
+        0.0
+    }
+}
+
+fn bench_point(n: usize, batch: usize, iters_scale: f64) -> KernelPoint {
+    let mut rng = seeded_rng(0xF00D + n as u64);
+    let b = Butterfly::random(n, &mut rng);
+    let mut lb = LegacyButterfly::from_butterfly(&b);
+    let x = Matrix::random_uniform(batch, n, 1.0, &mut rng);
+    let bias = vec![0.01f32; n];
+
+    // Budget iterations by work so every point takes a comparable slice of
+    // wall clock: ~50M touched elements per measurement at scale 1.
+    let work = (n * batch * n.trailing_zeros() as usize).max(1);
+    let iters = (((50_000_000.0 * iters_scale) / work as f64) as usize).clamp(3, 200);
+
+    let mut scratch = Scratch::new();
+    let mut arena = Vec::new();
+
+    let (apply_legacy_us, apply_fused_us) = time_pair_us(
+        iters,
+        || {
+            black_box(legacy_apply_batch(&lb, &x));
+        },
+        || {
+            black_box(b.apply_batch(&x));
+        },
+    );
+
+    let (train_legacy_us, train_fused_us) = time_pair_us(
+        iters,
+        || {
+            black_box(legacy_forward(&mut lb, &x, &bias, n, true));
+        },
+        || {
+            black_box(fused_forward_train(
+                &x,
+                &b.perm,
+                &b.factors,
+                &bias,
+                &mut arena,
+                &mut scratch,
+            ));
+        },
+    );
+
+    // Backward consumes forward caches; build each once outside the timed
+    // loop (the caches are read-only for backward).
+    let (y, cache) = legacy_forward(&mut lb, &x, &bias, n, true);
+    let _ = fused_forward_train(&x, &b.perm, &b.factors, &bias, &mut arena, &mut scratch);
+    let mut legacy_gt: Vec<Vec<f32>> =
+        b.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
+    let mut fused_gt: Vec<Vec<f32>> =
+        b.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
+    let (backward_legacy_us, backward_fused_us) = time_pair_us(
+        iters,
+        || {
+            black_box(legacy_backward(&lb, &y, &cache, n, &mut legacy_gt));
+        },
+        || {
+            black_box(fused_backward(&y, &b.perm, &b.factors, &arena, n, |s, flat| {
+                for (acc, v) in fused_gt[s].iter_mut().zip(flat) {
+                    *acc += v;
+                }
+            }));
+        },
+    );
+
+    let (infer_legacy_us, infer_fused_us) = time_pair_us(
+        iters,
+        || {
+            black_box(legacy_forward(&mut lb, &x, &bias, n, false));
+        },
+        || {
+            black_box(fused_forward(&x, &b.perm, &b.factors, &bias, &mut scratch));
+        },
+    );
+
+    KernelPoint {
+        n,
+        batch,
+        apply_legacy_us,
+        apply_fused_us,
+        apply_speedup: speedup(apply_legacy_us, apply_fused_us),
+        train_legacy_us,
+        train_fused_us,
+        train_speedup: speedup(train_legacy_us, train_fused_us),
+        backward_legacy_us,
+        backward_fused_us,
+        backward_speedup: speedup(backward_legacy_us, backward_fused_us),
+        infer_legacy_us,
+        infer_fused_us,
+        infer_speedup: speedup(infer_legacy_us, infer_fused_us),
+    }
+}
+
+/// One round of the mutex-serialised hot path: every request takes the lock
+/// and runs an exclusive forward, as the pre-PR server did.
+fn run_locked(model: &Arc<Mutex<Sequential>>, x: &Matrix, threads: usize, reqs: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let model = Arc::clone(model);
+            let x = x.clone();
+            s.spawn(move || {
+                for _ in 0..reqs {
+                    let mut m = model.lock().expect("not poisoned");
+                    black_box(m.forward(&x, false));
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// One round of the lock-free hot path: the frozen model is shared through a
+/// plain `Arc` and every thread owns its scratch arena.
+fn run_lock_free(model: &Arc<Sequential>, x: &Matrix, threads: usize, reqs: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let model = Arc::clone(model);
+            let x = x.clone();
+            s.spawn(move || {
+                let mut scratch = Scratch::new();
+                for _ in 0..reqs {
+                    black_box(model.forward_inference(&x, &mut scratch));
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Offered-load comparison: every thread hammers the same model with
+/// single-row requests, once through a mutex (the pre-PR serialised path)
+/// and once lock-free. The two variants run in alternating rounds (same
+/// drift argument as [`time_pair_us`]); the models are seed-identical.
+fn bench_serve(dim: usize, threads: usize, requests_per_thread: usize) -> ServeComparison {
+    let classes = 10;
+    let seed = 0x5EE5;
+    let mut rng = seeded_rng(seed);
+    let locked = Arc::new(Mutex::new(
+        build_shl_inference(Method::Butterfly, dim, classes, &mut rng)
+            .expect("butterfly fits any dim"),
+    ));
+    let mut rng = seeded_rng(seed);
+    let free = Arc::new(
+        build_shl_inference(Method::Butterfly, dim, classes, &mut rng)
+            .expect("butterfly fits any dim"),
+    );
+    let x = Matrix::random_uniform(1, dim, 1.0, &mut rng);
+
+    const ROUNDS: usize = 4;
+    let per_round = (requests_per_thread / ROUNDS).max(1);
+    // Warm-up round each, untimed.
+    run_locked(&locked, &x, threads, per_round);
+    run_lock_free(&free, &x, threads, per_round);
+    let mut locked_secs = 0.0;
+    let mut lock_free_secs = 0.0;
+    for _ in 0..ROUNDS {
+        locked_secs += run_locked(&locked, &x, threads, per_round);
+        lock_free_secs += run_lock_free(&free, &x, threads, per_round);
+    }
+
+    let total = (threads * per_round * ROUNDS) as f64;
+    let locked_rps = total / locked_secs;
+    let lock_free_rps = total / lock_free_secs;
+    ServeComparison {
+        dim,
+        classes,
+        threads,
+        requests_per_thread,
+        host_cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        locked_rps,
+        lock_free_rps,
+        speedup: speedup(1.0 / locked_rps, 1.0 / lock_free_rps),
+    }
+}
+
+fn main() {
+    let smoke = env_usize("BFLY_BENCH_SMOKE", 0) == 1;
+    let iters_scale = if smoke { 0.001 } else { env_f64("BFLY_BENCH_ITERS_SCALE", 1.0) };
+    let (sizes, batches): (&[usize], &[usize]) =
+        if smoke { (&[64, 256], &[1, 8]) } else { (&[256, 1024, 4096], &[1, 8, 32, 128]) };
+    let serve_threads = env_usize("BFLY_BENCH_SERVE_THREADS", if smoke { 2 } else { 4 });
+    let serve_requests = env_usize("BFLY_BENCH_SERVE_REQUESTS", if smoke { 50 } else { 2000 });
+
+    println!(
+        "bench_kernels: legacy vs fused butterfly kernels{}\n",
+        if smoke { " (smoke mode)" } else { "" }
+    );
+
+    let mut points = Vec::new();
+    for &n in sizes {
+        for &batch in batches {
+            points.push(bench_point(n, batch, iters_scale));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                p.batch.to_string(),
+                format!("{:.1}", p.apply_legacy_us),
+                format!("{:.1}", p.apply_fused_us),
+                format!("{:.2}x", p.apply_speedup),
+                format!("{:.1}", p.train_legacy_us),
+                format!("{:.1}", p.train_fused_us),
+                format!("{:.2}x", p.train_speedup),
+                format!("{:.1}", p.backward_legacy_us),
+                format!("{:.1}", p.backward_fused_us),
+                format!("{:.2}x", p.backward_speedup),
+                format!("{:.1}", p.infer_legacy_us),
+                format!("{:.1}", p.infer_fused_us),
+                format!("{:.2}x", p.infer_speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "n",
+                "batch",
+                "apply old",
+                "new",
+                "x",
+                "train old",
+                "new",
+                "x",
+                "bwd old",
+                "new",
+                "x",
+                "infer old",
+                "new",
+                "x",
+            ],
+            &rows
+        )
+    );
+
+    let serve = bench_serve(256, serve_threads, serve_requests);
+    println!(
+        "serve ({} threads x {} reqs, dim {}, {} host cores): mutex {:.0} rps, \
+         lock-free {:.0} rps ({:.2}x)",
+        serve.threads,
+        serve.requests_per_thread,
+        serve.dim,
+        serve.host_cores,
+        serve.locked_rps,
+        serve.lock_free_rps,
+        serve.speedup,
+    );
+
+    if smoke {
+        println!("\nsmoke mode: skipping BENCH_kernels.json");
+        return;
+    }
+    let output = BenchOutput { kernels: points, serve };
+    let body = serde_json::to_string_pretty(&output).expect("serializable");
+    std::fs::write("BENCH_kernels.json", body).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json");
+}

@@ -1,0 +1,269 @@
+//! Pre-fusion reference kernels, kept solely for benchmarking.
+//!
+//! These types replicate the butterfly hot path exactly as it existed
+//! before the fused stage-major kernels landed, including every overhead the
+//! fusion PR removed:
+//!
+//! - quad-array twiddle storage (`Vec<[f32; 4]>`) with per-pair indexed
+//!   access, instead of today's flat `[f32]` layout;
+//! - an unconditional `sync_params_into_butterfly` on **every** forward,
+//!   copying all `2 n log n` parameter values into the factor storage;
+//! - a full-matrix pad/copy even when the input is already transform-width,
+//!   a separate permutation matrix, one whole-matrix parallel pass per
+//!   stage, and a full activation-matrix `clone()` per stage in training
+//!   mode;
+//! - a fresh `vec![[0.0; 4]; pairs]` gradient buffer per stage in backward,
+//!   flattened through a `collect()` before accumulation, and a
+//!   `perm.inverse()` recomputed on every backward call;
+//! - a per-row heap allocation inside `apply_batch`.
+//!
+//! `bench_kernels` times these against the fused kernels on identical
+//! inputs; they are *not* part of the library's API surface and nothing
+//! outside the bench harness should call them. The arithmetic per twiddle
+//! pair is identical to the fused kernels, so outputs are bit-identical —
+//! the comparison isolates layout, traversal and allocation behaviour.
+
+use bfly_core::Butterfly;
+use bfly_tensor::{Matrix, Permutation};
+use rayon::prelude::*;
+
+/// Pre-PR butterfly factor: quad-array twiddle storage.
+pub struct LegacyFactor {
+    /// Width of each block-diagonal block.
+    pub block_size: usize,
+    /// Twiddles `[a, b, c, d]`, one array per mixed pair.
+    pub twiddles: Vec<[f32; 4]>,
+}
+
+impl LegacyFactor {
+    /// The old `ButterflyFactor::apply_in_place`: indexed pair loop over
+    /// quad arrays.
+    #[inline]
+    pub fn apply_in_place(&self, x: &mut [f32]) {
+        let n = x.len();
+        let k = self.block_size;
+        let half = k / 2;
+        let mut t = 0usize;
+        for start in (0..n).step_by(k) {
+            for j in 0..half {
+                let p = start + j;
+                let q = p + half;
+                let [a, b, c, d] = self.twiddles[t];
+                let xp = x[p];
+                let xq = x[q];
+                x[p] = a * xp + b * xq;
+                x[q] = c * xp + d * xq;
+                t += 1;
+            }
+        }
+    }
+
+    /// The old `ButterflyFactor::backward_in_place`, accumulating into
+    /// quad-array gradients.
+    #[inline]
+    pub fn backward_in_place(&self, x: &[f32], grad: &mut [f32], grad_twiddles: &mut [[f32; 4]]) {
+        let n = x.len();
+        let k = self.block_size;
+        let half = k / 2;
+        let mut t = 0usize;
+        for start in (0..n).step_by(k) {
+            for j in 0..half {
+                let p = start + j;
+                let q = p + half;
+                let [a, b, c, d] = self.twiddles[t];
+                let (xp, xq) = (x[p], x[q]);
+                let (gyp, gyq) = (grad[p], grad[q]);
+                let gt = &mut grad_twiddles[t];
+                gt[0] += gyp * xp;
+                gt[1] += gyp * xq;
+                gt[2] += gyq * xp;
+                gt[3] += gyq * xq;
+                grad[p] = a * gyp + c * gyq;
+                grad[q] = b * gyp + d * gyq;
+                t += 1;
+            }
+        }
+    }
+}
+
+/// Pre-PR butterfly: quad-array factors plus the flat `Param`-style values
+/// they are re-synced from on every forward.
+pub struct LegacyButterfly {
+    /// The initial permutation `P`.
+    pub perm: Permutation,
+    /// Factors ordered by application.
+    pub factors: Vec<LegacyFactor>,
+    /// Flat per-stage parameter values (the `Param::value` of the time).
+    pub params: Vec<Vec<f32>>,
+}
+
+impl LegacyButterfly {
+    /// Builds the legacy representation of `b`, with identical parameter
+    /// values so outputs can be compared bit for bit.
+    pub fn from_butterfly(b: &Butterfly) -> Self {
+        let factors = b
+            .factors
+            .iter()
+            .map(|f| LegacyFactor {
+                block_size: f.block_size,
+                twiddles: f.twiddles.chunks_exact(4).map(|q| [q[0], q[1], q[2], q[3]]).collect(),
+            })
+            .collect();
+        let params = b.factors.iter().map(|f| f.twiddles.clone()).collect();
+        Self { perm: b.perm.clone(), factors, params }
+    }
+
+    /// The old `sync_params_into_butterfly`: copies every parameter value
+    /// into the factors' quad storage. The pre-PR layer ran this on every
+    /// forward, dirty or not.
+    pub fn sync_params(&mut self) {
+        for (f, p) in self.factors.iter_mut().zip(&self.params) {
+            for (t, quad) in f.twiddles.iter_mut().zip(p.chunks_exact(4)) {
+                t.copy_from_slice(quad);
+            }
+        }
+    }
+
+    /// The old `Butterfly::apply`: a fresh permuted row, then the factors.
+    pub fn apply(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.perm.apply(x);
+        for f in &self.factors {
+            f.apply_in_place(&mut y);
+        }
+        y
+    }
+
+    /// Transform size.
+    pub fn n(&self) -> usize {
+        self.perm.len()
+    }
+}
+
+/// The old `Butterfly::apply_batch`: one heap-allocated scratch row per
+/// input row, gathered through the permutation, transformed, copied back.
+pub fn legacy_apply_batch(b: &LegacyButterfly, x: &Matrix) -> Matrix {
+    let n = b.n();
+    assert_eq!(x.cols(), n, "legacy_apply_batch width mismatch");
+    let mut out = Matrix::zeros(x.rows(), n);
+    out.as_mut_slice().par_chunks_mut(n).zip(x.as_slice().par_chunks(n)).for_each(|(dst, src)| {
+        let y = b.apply(src);
+        dst.copy_from_slice(&y);
+    });
+    out
+}
+
+/// The old `ButterflyLayer::forward`: unconditional param sync, pad (a full
+/// copy even at transform width), permute into a second matrix, then one
+/// whole-matrix pass per stage — cloning the entire activation matrix before
+/// each stage when `train` is set — and finally crop + bias into a third
+/// matrix.
+pub fn legacy_forward(
+    b: &mut LegacyButterfly,
+    input: &Matrix,
+    bias: &[f32],
+    out_dim: usize,
+    train: bool,
+) -> (Matrix, Vec<Matrix>) {
+    b.sync_params();
+    let n = b.n();
+    let batch = input.rows();
+    let padded = if input.cols() == n { input.clone() } else { input.zero_pad(batch, n) };
+    let mut y = b.perm.apply_to_rows(&padded);
+    let mut cache = Vec::with_capacity(b.factors.len());
+    for f in &b.factors {
+        if train {
+            cache.push(y.clone());
+        }
+        y.as_mut_slice().par_chunks_mut(n).for_each(|row| f.apply_in_place(row));
+    }
+    let mut out = Matrix::zeros(batch, out_dim);
+    for r in 0..batch {
+        for (o, (v, bv)) in out.row_mut(r).iter_mut().zip(y.row(r).iter().zip(bias)) {
+            *o = v + bv;
+        }
+    }
+    (out, cache)
+}
+
+/// The old `ButterflyLayer::backward` body (minus the bias/Param plumbing):
+/// pads the output gradient, walks the stages in reverse allocating a fresh
+/// quad-array gradient buffer per stage (flattened through a `collect`
+/// before accumulation), and un-permutes through a freshly inverted
+/// permutation and yet another full matrix.
+pub fn legacy_backward(
+    b: &LegacyButterfly,
+    grad_output: &Matrix,
+    cache: &[Matrix],
+    in_dim: usize,
+    grad_twiddles: &mut [Vec<f32>],
+) -> Matrix {
+    let n = b.n();
+    let batch = grad_output.rows();
+    let mut g = grad_output.zero_pad(batch, n);
+    for (s, f) in b.factors.iter().enumerate().rev() {
+        let x_cache = &cache[s];
+        let mut gt = vec![[0.0f32; 4]; f.twiddles.len()];
+        for (grow, xrow) in g.as_mut_slice().chunks_mut(n).zip(x_cache.as_slice().chunks(n)) {
+            f.backward_in_place(xrow, grow, &mut gt);
+        }
+        let flat: Vec<f32> = gt.iter().flatten().copied().collect();
+        for (acc, v) in grad_twiddles[s].iter_mut().zip(&flat) {
+            *acc += v;
+        }
+    }
+    let inv = b.perm.inverse();
+    let g = inv.apply_to_rows(&g);
+    g.submatrix(0, 0, batch, in_dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_core::kernels::{fused_backward, fused_forward, fused_forward_train};
+    use bfly_tensor::{seeded_rng, Scratch};
+
+    #[test]
+    fn legacy_apply_matches_fused_apply() {
+        let mut rng = seeded_rng(301);
+        let b = Butterfly::random(32, &mut rng);
+        let lb = LegacyButterfly::from_butterfly(&b);
+        let x = Matrix::random_uniform(9, 32, 1.0, &mut rng);
+        let legacy = legacy_apply_batch(&lb, &x);
+        let fused = b.apply_batch(&x);
+        assert_eq!(legacy.as_slice(), fused.as_slice());
+    }
+
+    #[test]
+    fn legacy_forward_backward_match_fused() {
+        let mut rng = seeded_rng(302);
+        let b = Butterfly::random(16, &mut rng);
+        let mut lb = LegacyButterfly::from_butterfly(&b);
+        let x = Matrix::random_uniform(7, 16, 1.0, &mut rng);
+        let bias = vec![0.25f32; 16];
+
+        let (legacy_y, cache) = legacy_forward(&mut lb, &x, &bias, 16, true);
+        let mut scratch = Scratch::new();
+        let mut arena = Vec::new();
+        let fused_y = fused_forward_train(&x, &b.perm, &b.factors, &bias, &mut arena, &mut scratch);
+        assert_eq!(legacy_y.as_slice(), fused_y.as_slice());
+        let eval_y = fused_forward(&x, &b.perm, &b.factors, &bias, &mut scratch);
+        assert_eq!(legacy_y.as_slice(), eval_y.as_slice());
+
+        let mut legacy_gt: Vec<Vec<f32>> =
+            b.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
+        let legacy_gx = legacy_backward(&lb, &legacy_y, &cache, 16, &mut legacy_gt);
+        let mut fused_gt: Vec<Vec<f32>> =
+            b.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
+        let fused_gx = fused_backward(&legacy_y, &b.perm, &b.factors, &arena, 16, |s, flat| {
+            for (acc, v) in fused_gt[s].iter_mut().zip(flat) {
+                *acc += v;
+            }
+        });
+        assert_eq!(legacy_gx.as_slice(), fused_gx.as_slice());
+        for (lg, fg) in legacy_gt.iter().zip(&fused_gt) {
+            for (a, b) in lg.iter().zip(fg) {
+                assert!((a - b).abs() < 1e-4, "twiddle grads diverged: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod anchors;
 pub mod json;
+pub mod legacy;
 pub mod simtime;
 pub mod tiers;
 

@@ -7,8 +7,9 @@
 
 use bfly_nn::{Layer, Param};
 use bfly_tensor::fft::{fft_real, ifft, Complex};
-use bfly_tensor::{LinOp, Matrix};
+use bfly_tensor::{LinOp, Matrix, Scratch};
 use rand::Rng;
+use std::borrow::Cow;
 
 /// Circular cross-correlation `corr(a, b)_j = sum_i a_i b_{(i-j) mod n}`
 /// via FFT: `ifft(fft(a) * conj(fft(b)))`.
@@ -65,6 +66,18 @@ impl CirculantLayer {
         let n = self.n;
         Matrix::from_fn(self.out_dim, self.in_dim, |i, j| self.c.value[(i + n - j % n) % n])
     }
+
+    /// Convolves every row of an already-padded input and crops + biases.
+    fn convolve(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.out_dim);
+        for r in 0..x.rows() {
+            let y = circular_convolve(&self.c.value, x.row(r));
+            for (i, o) in out.row_mut(r).iter_mut().enumerate() {
+                *o = y[i] + self.bias.value[i];
+            }
+        }
+        out
+    }
 }
 
 impl Layer for CirculantLayer {
@@ -72,18 +85,27 @@ impl Layer for CirculantLayer {
         assert_eq!(input.cols(), self.in_dim, "CirculantLayer input dim mismatch");
         let n = self.n;
         let batch = input.rows();
-        let x = if input.cols() == n { input.clone() } else { input.zero_pad(batch, n) };
-        let mut out = Matrix::zeros(batch, self.out_dim);
-        for r in 0..batch {
-            let y = circular_convolve(&self.c.value, x.row(r));
-            for (i, o) in out.row_mut(r).iter_mut().enumerate() {
-                *o = y[i] + self.bias.value[i];
-            }
-        }
+        // Transform-width inputs are borrowed, not copied.
+        let x: Cow<'_, Matrix> = if input.cols() == n {
+            Cow::Borrowed(input)
+        } else {
+            Cow::Owned(input.zero_pad(batch, n))
+        };
+        let out = self.convolve(&x);
         if train {
-            self.cached_x = Some(x);
+            self.cached_x = Some(x.into_owned());
         }
         out
+    }
+
+    fn forward_inference(&self, input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "CirculantLayer input dim mismatch");
+        let n = self.n;
+        if input.cols() == n {
+            self.convolve(input)
+        } else {
+            self.convolve(&input.zero_pad(input.rows(), n))
+        }
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -182,29 +204,21 @@ mod tests {
         let x = Matrix::random_uniform(2, 8, 1.0, &mut rng);
         let y = layer.forward(&x, true);
         let gx = layer.backward(&y.clone());
-        let analytic = layer.c.grad.clone();
-        let eps = 1e-3f32;
-        let loss = |layer: &mut CirculantLayer, x: &Matrix| -> f64 {
-            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
-        };
-        #[allow(clippy::needless_range_loop)] // index also mutates layer.c.value
-        for idx in 0..8 {
-            let orig = layer.c.value[idx];
-            layer.c.value[idx] = orig + eps;
-            let lp = loss(&mut layer, &x);
-            layer.c.value[idx] = orig - eps;
-            let lm = loss(&mut layer, &x);
-            layer.c.value[idx] = orig;
-            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (analytic[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
-                "c[{idx}]: {} vs {numeric}",
-                analytic[idx]
-            );
-        }
         let w = layer.effective_weight();
         let expect_gx = bfly_tensor::matmul(&y, &w);
         assert!(gx.relative_error(&expect_gx) < 1e-3);
+        bfly_nn::check_gradients(&mut layer, &x, 1e-3, 3e-2);
+    }
+
+    #[test]
+    fn inference_path_is_bit_identical_to_eval_forward() {
+        let mut rng = seeded_rng(76);
+        let mut layer = CirculantLayer::new(12, 12, &mut rng);
+        let x = Matrix::random_uniform(3, 12, 1.0, &mut rng);
+        let via_eval = layer.forward(&x, false);
+        let mut scratch = bfly_tensor::Scratch::new();
+        let via_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(via_eval.as_slice(), via_inference.as_slice());
     }
 
     #[test]

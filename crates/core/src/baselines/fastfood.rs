@@ -7,8 +7,9 @@
 
 use bfly_nn::{Layer, Param};
 use bfly_tensor::fwht::fwht_normalized;
-use bfly_tensor::{LinOp, Matrix, Permutation};
+use bfly_tensor::{LinOp, Matrix, Permutation, Scratch};
 use rand::Rng;
+use std::borrow::Cow;
 
 /// The Fastfood structured layer. Non-power-of-two or rectangular shapes are
 /// handled by zero-padding the input and cropping the output.
@@ -83,7 +84,12 @@ impl Layer for FastfoodLayer {
         assert_eq!(input.cols(), self.in_dim, "FastfoodLayer input dim mismatch");
         let n = self.n;
         let batch = input.rows();
-        let x = if input.cols() == n { input.clone() } else { input.zero_pad(batch, n) };
+        // Transform-width inputs are borrowed, not copied.
+        let x: Cow<'_, Matrix> = if input.cols() == n {
+            Cow::Borrowed(input)
+        } else {
+            Cow::Owned(input.zero_pad(batch, n))
+        };
         let mut t3 = Matrix::zeros(batch, n);
         let mut t5 = Matrix::zeros(batch, n);
         let mut out = Matrix::zeros(batch, self.out_dim);
@@ -104,9 +110,34 @@ impl Layer for FastfoodLayer {
             }
         }
         if train {
-            self.cached_x = Some(x);
+            self.cached_x = Some(x.into_owned());
             self.cached_t3 = Some(t3);
             self.cached_t5 = Some(t5);
+        }
+        out
+    }
+
+    fn forward_inference(&self, input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "FastfoodLayer input dim mismatch");
+        let n = self.n;
+        let batch = input.rows();
+        let x: Cow<'_, Matrix> = if input.cols() == n {
+            Cow::Borrowed(input)
+        } else {
+            Cow::Owned(input.zero_pad(batch, n))
+        };
+        let mut out = Matrix::zeros(batch, self.out_dim);
+        for r in 0..batch {
+            // Identical arithmetic to `forward`, minus the training caches.
+            let mut t: Vec<f32> =
+                x.row(r).iter().zip(&self.b.value).map(|(xv, bv)| xv * bv).collect();
+            fwht_normalized(&mut t);
+            let t = self.perm.apply(&t);
+            let mut t: Vec<f32> = t.iter().zip(&self.g.value).map(|(tv, gv)| tv * gv).collect();
+            fwht_normalized(&mut t);
+            for (i, o) in out.row_mut(r).iter_mut().enumerate() {
+                *o = self.s.value[i] * t[i] + self.bias.value[i];
+            }
         }
         out
     }
@@ -240,47 +271,22 @@ mod tests {
         let x = Matrix::random_uniform(3, 8, 1.0, &mut rng);
         let y = layer.forward(&x, true);
         let gx = layer.backward(&y.clone());
-        let eps = 1e-3f32;
-        let loss = |layer: &mut FastfoodLayer, x: &Matrix| -> f64 {
-            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
-        };
-        // Diagonal parameter grads.
-        for (pname, pidx) in [("s", 0usize), ("g", 1), ("b", 2)] {
-            let analytic = match pidx {
-                0 => layer.s.grad.clone(),
-                1 => layer.g.grad.clone(),
-                _ => layer.b.grad.clone(),
-            };
-            for idx in [0usize, 5] {
-                let get = |layer: &mut FastfoodLayer| -> f32 {
-                    match pidx {
-                        0 => layer.s.value[idx],
-                        1 => layer.g.value[idx],
-                        _ => layer.b.value[idx],
-                    }
-                };
-                let set = |layer: &mut FastfoodLayer, v: f32| match pidx {
-                    0 => layer.s.value[idx] = v,
-                    1 => layer.g.value[idx] = v,
-                    _ => layer.b.value[idx] = v,
-                };
-                let orig = get(&mut layer);
-                set(&mut layer, orig + eps);
-                let lp = loss(&mut layer, &x);
-                set(&mut layer, orig - eps);
-                let lm = loss(&mut layer, &x);
-                set(&mut layer, orig);
-                let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-                assert!(
-                    (analytic[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
-                    "{pname}[{idx}]: {} vs {numeric}",
-                    analytic[idx]
-                );
-            }
-        }
         // Input grad: dX = dY W for linear layers.
         let w = layer.effective_weight();
         let expect_gx = bfly_tensor::matmul(&y, &w);
         assert!(gx.relative_error(&expect_gx) < 1e-3);
+        // Diagonal parameter grads (s, g, b, bias) numerically.
+        bfly_nn::check_gradients(&mut layer, &x, 1e-3, 3e-2);
+    }
+
+    #[test]
+    fn inference_path_is_bit_identical_to_eval_forward() {
+        let mut rng = seeded_rng(65);
+        let mut layer = FastfoodLayer::new(12, 6, &mut rng);
+        let x = Matrix::random_uniform(3, 12, 1.0, &mut rng);
+        let via_eval = layer.forward(&x, false);
+        let mut scratch = Scratch::new();
+        let via_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(via_eval.as_slice(), via_inference.as_slice());
     }
 }

@@ -6,8 +6,8 @@
 //! rank-1 hidden layer cannot separate 10 classes.
 
 use bfly_nn::{Layer, Param};
-use bfly_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
-use bfly_tensor::{LinOp, Matrix};
+use bfly_tensor::matmul::{matmul, matmul_a_bt_slice, matmul_at_b};
+use bfly_tensor::{LinOp, Matrix, Scratch};
 use rand::Rng;
 
 /// The low-rank structured layer.
@@ -53,25 +53,35 @@ impl LowRankLayer {
         let v = Matrix::from_vec(self.rank, self.in_dim, self.v.value.clone());
         matmul(&u, &v)
     }
-}
 
-impl Layer for LowRankLayer {
-    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
-        assert_eq!(input.cols(), self.in_dim, "LowRankLayer input dim mismatch");
-        let v = Matrix::from_vec(self.rank, self.in_dim, self.v.value.clone());
-        let u = Matrix::from_vec(self.out_dim, self.rank, self.u.value.clone());
-        let vx = matmul_a_bt(input, &v); // batch x r
-        let mut y = matmul_a_bt(&vx, &u); // batch x out
+    /// `U (V x) + bias` reading the factors straight from parameter storage;
+    /// also returns the intermediate `X V^T` for the training cache.
+    fn affine(&self, input: &Matrix) -> (Matrix, Matrix) {
+        let vx = matmul_a_bt_slice(input, &self.v.value, self.rank); // batch x r
+        let mut y = matmul_a_bt_slice(&vx, &self.u.value, self.out_dim); // batch x out
         for r in 0..y.rows() {
             for (o, b) in y.row_mut(r).iter_mut().zip(&self.bias.value) {
                 *o += b;
             }
         }
+        (y, vx)
+    }
+}
+
+impl Layer for LowRankLayer {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "LowRankLayer input dim mismatch");
+        let (y, vx) = self.affine(input);
         if train {
             self.cached_input = Some(input.clone());
             self.cached_vx = Some(vx);
         }
         y
+    }
+
+    fn forward_inference(&self, input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "LowRankLayer input dim mismatch");
+        self.affine(input).0
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -120,6 +130,7 @@ impl Layer for LowRankLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bfly_tensor::matmul::matmul_a_bt;
     use bfly_tensor::seeded_rng;
 
     #[test]
@@ -162,26 +173,19 @@ mod tests {
         let x = Matrix::random_uniform(3, 6, 1.0, &mut rng);
         let y = layer.forward(&x, true);
         let gx = layer.backward(&y.clone());
-        let eps = 1e-3f32;
-        let loss = |layer: &mut LowRankLayer, x: &Matrix| -> f64 {
-            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
-        };
-        let analytic_u = layer.u.grad.clone();
-        for idx in [0usize, 9] {
-            let orig = layer.u.value[idx];
-            layer.u.value[idx] = orig + eps;
-            let lp = loss(&mut layer, &x);
-            layer.u.value[idx] = orig - eps;
-            let lm = loss(&mut layer, &x);
-            layer.u.value[idx] = orig;
-            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (analytic_u[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
-                "u[{idx}]: {} vs {numeric}",
-                analytic_u[idx]
-            );
-        }
         let expect_gx = matmul(&y, &layer.effective_weight());
         assert!(gx.relative_error(&expect_gx) < 1e-4);
+        bfly_nn::check_gradients(&mut layer, &x, 1e-3, 3e-2);
+    }
+
+    #[test]
+    fn inference_path_is_bit_identical_to_eval_forward() {
+        let mut rng = seeded_rng(85);
+        let mut layer = LowRankLayer::new(20, 12, 3, &mut rng);
+        let x = Matrix::random_uniform(5, 20, 1.0, &mut rng);
+        let via_eval = layer.forward(&x, false);
+        let mut scratch = Scratch::new();
+        let via_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(via_eval.as_slice(), via_inference.as_slice());
     }
 }

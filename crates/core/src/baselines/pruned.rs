@@ -13,7 +13,7 @@
 //! on the IPU and the cuSPARSE path on the GPU.
 
 use bfly_nn::{Layer, Param};
-use bfly_tensor::{LinOp, Matrix};
+use bfly_tensor::{LinOp, Matrix, Scratch};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -80,6 +80,26 @@ impl PrunedDenseLayer {
         self.nnz() as f64 / (self.in_dim * self.out_dim) as f64
     }
 
+    /// The CSR product `(W ⊙ M) x + bias`, reading values straight from
+    /// parameter storage.
+    fn spmm(&self, input: &Matrix) -> Matrix {
+        let batch = input.rows();
+        let mut out = Matrix::zeros(batch, self.out_dim);
+        for b in 0..batch {
+            let x = input.row(b);
+            let y = out.row_mut(b);
+            for (r, yr) in y.iter_mut().enumerate() {
+                let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                let mut acc = self.bias.value[r];
+                for i in s..e {
+                    acc += self.values.value[i] * x[self.col_idx[i] as usize];
+                }
+                *yr = acc;
+            }
+        }
+        out
+    }
+
     /// Materialises the effective dense weight (tests only).
     pub fn effective_weight(&self) -> Matrix {
         let mut w = Matrix::zeros(self.out_dim, self.in_dim);
@@ -96,24 +116,16 @@ impl PrunedDenseLayer {
 impl Layer for PrunedDenseLayer {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
         assert_eq!(input.cols(), self.in_dim, "PrunedDenseLayer input dim mismatch");
-        let batch = input.rows();
-        let mut out = Matrix::zeros(batch, self.out_dim);
-        for b in 0..batch {
-            let x = input.row(b);
-            let y = out.row_mut(b);
-            for (r, yr) in y.iter_mut().enumerate() {
-                let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-                let mut acc = self.bias.value[r];
-                for i in s..e {
-                    acc += self.values.value[i] * x[self.col_idx[i] as usize];
-                }
-                *yr = acc;
-            }
-        }
+        let out = self.spmm(input);
         if train {
             self.cached_input = Some(input.clone());
         }
         out
+    }
+
+    fn forward_inference(&self, input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "PrunedDenseLayer input dim mismatch");
+        self.spmm(input)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -200,27 +212,20 @@ mod tests {
         let x = Matrix::random_uniform(3, 10, 1.0, &mut rng);
         let y = layer.forward(&x, true);
         let gx = layer.backward(&y.clone());
-        let analytic = layer.values.grad.clone();
-        let eps = 1e-3f32;
-        let loss = |layer: &mut PrunedDenseLayer, x: &Matrix| -> f64 {
-            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
-        };
-        for idx in [0usize, analytic.len() / 2, analytic.len() - 1] {
-            let orig = layer.values.value[idx];
-            layer.values.value[idx] = orig + eps;
-            let lp = loss(&mut layer, &x);
-            layer.values.value[idx] = orig - eps;
-            let lm = loss(&mut layer, &x);
-            layer.values.value[idx] = orig;
-            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (analytic[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
-                "values[{idx}]: {} vs {numeric}",
-                analytic[idx]
-            );
-        }
         let expect_gx = bfly_tensor::matmul(&y, &layer.effective_weight());
         assert!(gx.relative_error(&expect_gx) < 1e-4);
+        bfly_nn::check_gradients(&mut layer, &x, 1e-3, 3e-2);
+    }
+
+    #[test]
+    fn inference_path_is_bit_identical_to_eval_forward() {
+        let mut rng = seeded_rng(96);
+        let mut layer = PrunedDenseLayer::new(32, 24, 0.2, &mut rng);
+        let x = Matrix::random_uniform(5, 32, 1.0, &mut rng);
+        let via_eval = layer.forward(&x, false);
+        let mut scratch = Scratch::new();
+        let via_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(via_eval.as_slice(), via_inference.as_slice());
     }
 
     #[test]

@@ -20,35 +20,42 @@ use serde::{Deserialize, Serialize};
 pub struct ButterflyFactor {
     /// Width of each block-diagonal block (2, 4, ..., n).
     pub block_size: usize,
-    /// Twiddles `[a, b, c, d]`, one per mixed position pair, ordered by
-    /// block then by offset within the half-block. Length `n/2`.
-    pub twiddles: Vec<[f32; 4]>,
+    /// Flat twiddle storage: one `[a, b, c, d]` quadruple per mixed position
+    /// pair at offset `4 * t`, pairs ordered by block then by offset within
+    /// the half-block. Length `2 n` (`n/2` pairs). Kept flat — rather than
+    /// `Vec<[f32; 4]>` — so it is the *same* layout as the layer's `Param`
+    /// value: sync is a single `copy_from_slice` and the inference path can
+    /// run directly on a borrowed parameter slice.
+    pub twiddles: Vec<f32>,
 }
 
 impl ButterflyFactor {
     /// Identity factor of the given block size for a transform of size `n`.
     pub fn identity(n: usize, block_size: usize) -> Self {
         assert!(block_size >= 2 && block_size <= n);
-        Self { block_size, twiddles: vec![[1.0, 0.0, 0.0, 1.0]; n / 2] }
+        let mut twiddles = Vec::with_capacity(2 * n);
+        for _ in 0..n / 2 {
+            twiddles.extend_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+        }
+        Self { block_size, twiddles }
     }
 
     /// Random near-orthogonal initialisation: each twiddle is a rotation
     /// through a uniform angle plus small noise. Products of rotations stay
     /// orthogonal, so activations neither explode nor vanish at init.
     pub fn random(n: usize, block_size: usize, rng: &mut impl Rng) -> Self {
-        let twiddles = (0..n / 2)
-            .map(|_| {
-                let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
-                let (s, c) = theta.sin_cos();
-                let eps = 0.01f32;
-                [
-                    c + rng.gen_range(-eps..eps),
-                    -s + rng.gen_range(-eps..eps),
-                    s + rng.gen_range(-eps..eps),
-                    c + rng.gen_range(-eps..eps),
-                ]
-            })
-            .collect();
+        let mut twiddles = Vec::with_capacity(2 * n);
+        for _ in 0..n / 2 {
+            let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            let (s, c) = theta.sin_cos();
+            let eps = 0.01f32;
+            twiddles.extend_from_slice(&[
+                c + rng.gen_range(-eps..eps),
+                -s + rng.gen_range(-eps..eps),
+                s + rng.gen_range(-eps..eps),
+                c + rng.gen_range(-eps..eps),
+            ]);
+        }
         Self { block_size, twiddles }
     }
 
@@ -56,28 +63,17 @@ impl ButterflyFactor {
     /// `normalized`, else unnormalised — the FWHT stage.
     pub fn hadamard(n: usize, block_size: usize, normalized: bool) -> Self {
         let s = if normalized { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
-        Self { block_size, twiddles: vec![[s, s, s, -s]; n / 2] }
+        let mut twiddles = Vec::with_capacity(2 * n);
+        for _ in 0..n / 2 {
+            twiddles.extend_from_slice(&[s, s, s, -s]);
+        }
+        Self { block_size, twiddles }
     }
 
     /// Applies the factor in place to one vector of length `n`.
     #[inline]
     pub fn apply_in_place(&self, x: &mut [f32]) {
-        let n = x.len();
-        let k = self.block_size;
-        let half = k / 2;
-        let mut t = 0usize;
-        for start in (0..n).step_by(k) {
-            for j in 0..half {
-                let p = start + j;
-                let q = p + half;
-                let [a, b, c, d] = self.twiddles[t];
-                let xp = x[p];
-                let xq = x[q];
-                x[p] = a * xp + b * xq;
-                x[q] = c * xp + d * xq;
-                t += 1;
-            }
-        }
+        crate::kernels::apply_twiddle_stage(self.block_size, &self.twiddles, x);
     }
 
     /// Applies the *transpose* of the factor in place (swap b and c).
@@ -91,7 +87,7 @@ impl ButterflyFactor {
             for j in 0..half {
                 let p = start + j;
                 let q = p + half;
-                let [a, b, c, d] = self.twiddles[t];
+                let (a, b, c, d) = quad(&self.twiddles, t);
                 let xp = x[p];
                 let xq = x[q];
                 x[p] = a * xp + c * xq;
@@ -103,9 +99,10 @@ impl ButterflyFactor {
 
     /// Backward through this factor. `x` is the cached *input* to the factor,
     /// `grad` is dL/d output on entry and dL/d input on exit;
-    /// `grad_twiddles` accumulates dL/d twiddle.
+    /// `grad_twiddles` accumulates dL/d twiddle (flat, same layout as
+    /// [`ButterflyFactor::twiddles`]).
     #[inline]
-    pub fn backward_in_place(&self, x: &[f32], grad: &mut [f32], grad_twiddles: &mut [[f32; 4]]) {
+    pub fn backward_in_place(&self, x: &[f32], grad: &mut [f32], grad_twiddles: &mut [f32]) {
         let n = x.len();
         let k = self.block_size;
         let half = k / 2;
@@ -114,10 +111,10 @@ impl ButterflyFactor {
             for j in 0..half {
                 let p = start + j;
                 let q = p + half;
-                let [a, b, c, d] = self.twiddles[t];
+                let (a, b, c, d) = quad(&self.twiddles, t);
                 let (xp, xq) = (x[p], x[q]);
                 let (gyp, gyq) = (grad[p], grad[q]);
-                let gt = &mut grad_twiddles[t];
+                let gt = &mut grad_twiddles[4 * t..4 * t + 4];
                 gt[0] += gyp * xp;
                 gt[1] += gyp * xq;
                 gt[2] += gyq * xp;
@@ -129,10 +126,22 @@ impl ButterflyFactor {
         }
     }
 
-    /// Number of scalar parameters (4 per twiddle).
+    /// Number of scalar parameters (4 per twiddle pair).
     pub fn param_count(&self) -> usize {
-        4 * self.twiddles.len()
+        self.twiddles.len()
     }
+
+    /// Number of mixed position pairs (`n/2`).
+    pub fn pairs(&self) -> usize {
+        self.twiddles.len() / 4
+    }
+}
+
+/// Reads the `t`-th twiddle quadruple from flat storage.
+#[inline(always)]
+fn quad(twiddles: &[f32], t: usize) -> (f32, f32, f32, f32) {
+    let base = 4 * t;
+    (twiddles[base], twiddles[base + 1], twiddles[base + 2], twiddles[base + 3])
 }
 
 /// A complete butterfly transform `T = B_n ... B_2 P` of size `n` (power of
@@ -219,13 +228,48 @@ impl Butterfly {
     }
 
     /// Applies the transform to every row of a batch matrix in parallel.
+    ///
+    /// Fused and allocation-free per row: the permutation gathers straight
+    /// into the output row, then every stage runs in place on that row while
+    /// it is cache-resident — no per-row `Vec` as the old per-row `apply`
+    /// path had.
     pub fn apply_batch(&self, x: &Matrix) -> Matrix {
+        use crate::kernels::StageKernel;
         assert_eq!(x.cols(), self.n, "butterfly batch width mismatch");
+        let map = self.perm.map();
         let mut out = Matrix::zeros(x.rows(), self.n);
+        // Planar twiddle repack, once per batch (see `kernels`); not worth
+        // the deinterleave sweep for tiny batches.
+        let use_planar = x.rows() >= 8;
+        let total: usize =
+            if use_planar { self.factors.iter().map(|f| f.planar_len()).sum() } else { 0 };
+        let mut planar = vec![0.0f32; total];
+        if use_planar {
+            let mut off = 0;
+            for f in &self.factors {
+                let l = f.planar_len();
+                f.repack_planar(&mut planar[off..off + l]);
+                off += l;
+            }
+        }
+        let planar_ref: &[f32] = &planar;
         out.as_mut_slice().par_chunks_mut(self.n).zip(x.as_slice().par_chunks(self.n)).for_each(
             |(dst, src)| {
-                let y = self.apply(src);
-                dst.copy_from_slice(&y);
+                for (d, &j) in dst.iter_mut().zip(map) {
+                    *d = src[j as usize];
+                }
+                if use_planar {
+                    let mut off = 0;
+                    for f in &self.factors {
+                        let l = f.planar_len();
+                        f.apply_row_planar(&planar_ref[off..off + l], dst);
+                        off += l;
+                    }
+                } else {
+                    for f in &self.factors {
+                        f.apply_in_place(dst);
+                    }
+                }
             },
         );
         out
@@ -264,13 +308,13 @@ impl Butterfly {
     /// Backward pass for one sample given the forward cache.
     ///
     /// `grad_out` is dL/dy; returns dL/dx and accumulates per-factor twiddle
-    /// gradients into `grad_twiddles` (one `Vec<[f32;4]>` per factor, same
-    /// shapes as the factors' twiddles).
+    /// gradients into `grad_twiddles` (one flat `Vec<f32>` per factor, same
+    /// layout as the factors' twiddles).
     pub fn backward_cached(
         &self,
         cache: &[Vec<f32>],
         grad_out: &[f32],
-        grad_twiddles: &mut [Vec<[f32; 4]>],
+        grad_twiddles: &mut [Vec<f32>],
     ) -> Vec<f32> {
         assert_eq!(grad_twiddles.len(), self.stages());
         let mut g = grad_out.to_vec();
@@ -378,8 +422,8 @@ mod tests {
         let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.21).sin()).collect();
         let (_, cache) = b.forward_cached(&x);
         let gy: Vec<f32> = (0..16).map(|i| (i as f32 * 0.13).cos()).collect();
-        let mut gt: Vec<Vec<[f32; 4]>> =
-            b.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+        let mut gt: Vec<Vec<f32>> =
+            b.factors.iter().map(|f| vec![0.0f32; f.twiddles.len()]).collect();
         let gx = b.backward_cached(&cache, &gy, &mut gt);
         let expect = b.apply_transpose(&gy);
         for (a, e) in gx.iter().zip(&expect) {
@@ -394,8 +438,8 @@ mod tests {
         let x: Vec<f32> = (0..8).map(|i| 0.3 + 0.1 * i as f32).collect();
         // Loss = sum(y^2)/2, dL/dy = y.
         let (y, cache) = b.forward_cached(&x);
-        let mut gt: Vec<Vec<[f32; 4]>> =
-            b.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+        let mut gt: Vec<Vec<f32>> =
+            b.factors.iter().map(|f| vec![0.0f32; f.twiddles.len()]).collect();
         let _ = b.backward_cached(&cache, &y, &mut gt);
         let eps = 1e-3f32;
         let loss = |b: &Butterfly, x: &[f32]| -> f64 {
@@ -403,21 +447,19 @@ mod tests {
         };
         #[allow(clippy::needless_range_loop)] // indices also mutate b.factors
         for s in 0..b.stages() {
-            for t in [0usize, b.factors[s].twiddles.len() - 1] {
-                for e in 0..4 {
-                    let orig = b.factors[s].twiddles[t][e];
-                    b.factors[s].twiddles[t][e] = orig + eps;
-                    let lp = loss(&b, &x);
-                    b.factors[s].twiddles[t][e] = orig - eps;
-                    let lm = loss(&b, &x);
-                    b.factors[s].twiddles[t][e] = orig;
-                    let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-                    let analytic = gt[s][t][e];
-                    assert!(
-                        (analytic - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
-                        "stage {s} twiddle {t} entry {e}: {analytic} vs {numeric}"
-                    );
-                }
+            for idx in [0usize, b.factors[s].twiddles.len() - 1] {
+                let orig = b.factors[s].twiddles[idx];
+                b.factors[s].twiddles[idx] = orig + eps;
+                let lp = loss(&b, &x);
+                b.factors[s].twiddles[idx] = orig - eps;
+                let lm = loss(&b, &x);
+                b.factors[s].twiddles[idx] = orig;
+                let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+                let analytic = gt[s][idx];
+                assert!(
+                    (analytic - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                    "stage {s} twiddle entry {idx}: {analytic} vs {numeric}"
+                );
             }
         }
     }

@@ -2,10 +2,10 @@
 //! (the Table 4 "Butterfly" method).
 
 use crate::butterfly::Butterfly;
+use crate::kernels::{fused_backward, fused_forward, fused_forward_train, TwiddleStage};
 use bfly_nn::{Layer, Param};
-use bfly_tensor::{LinOp, Matrix};
+use bfly_tensor::{LinOp, Matrix, Scratch};
 use rand::Rng;
-use rayon::prelude::*;
 
 /// A learnable butterfly layer `y = crop(B P pad(x)) + bias`.
 ///
@@ -13,6 +13,13 @@ use rayon::prelude::*;
 /// non-power-of-two or rectangular shapes are handled by zero-padding the
 /// input and cropping the output (the butterfly itself must be a power of
 /// two — §2.3). Parameters: `2 n log2 n` twiddles plus `out_dim` bias.
+///
+/// Both forward paths run the fused kernels of [`crate::kernels`]: one
+/// parallel pass over row blocks with no per-stage matrix traffic. Training
+/// stage caches live in a reusable flat arena, and the factor storage is
+/// re-synced from the parameters only when an optimizer step marked them
+/// dirty (the twiddle layout is flat, so sync is one `copy_from_slice` per
+/// factor).
 pub struct ButterflyLayer {
     in_dim: usize,
     out_dim: usize,
@@ -20,7 +27,12 @@ pub struct ButterflyLayer {
     /// One flat parameter per factor, quadruples `[a, b, c, d]` per twiddle.
     factor_params: Vec<Param>,
     bias: Param,
-    cache: Option<Vec<Matrix>>,
+    /// Stage-input cache `[row][stage][n]`, reused across training steps.
+    arena: Vec<f32>,
+    /// Batch size the arena currently caches (set by a training forward,
+    /// consumed by backward).
+    cached_rows: Option<usize>,
+    scratch: Scratch,
 }
 
 impl ButterflyLayer {
@@ -34,10 +46,7 @@ impl ButterflyLayer {
             .factors
             .iter()
             .enumerate()
-            .map(|(s, f)| {
-                let flat: Vec<f32> = f.twiddles.iter().flatten().copied().collect();
-                Param::new(format!("butterfly.factor{s}"), flat)
-            })
+            .map(|(s, f)| Param::new(format!("butterfly.factor{s}"), f.twiddles.clone()))
             .collect();
         Self {
             in_dim,
@@ -45,7 +54,9 @@ impl ButterflyLayer {
             butterfly,
             factor_params,
             bias: Param::new("butterfly.bias", vec![0.0; out_dim]),
-            cache: None,
+            arena: Vec::new(),
+            cached_rows: None,
+            scratch: Scratch::new(),
         }
     }
 
@@ -54,12 +65,20 @@ impl ButterflyLayer {
         self.butterfly.n()
     }
 
-    /// Copies current parameter values into the butterfly's factor storage.
+    /// Copies current parameter values into the butterfly's factor storage —
+    /// only when a parameter was marked dirty (optimizer step or direct
+    /// value write) since the last sync.
     fn sync_params_into_butterfly(&mut self) {
+        let mut dirty = false;
+        for p in &mut self.factor_params {
+            // No short-circuit: every flag must be consumed.
+            dirty |= p.take_dirty();
+        }
+        if !dirty {
+            return;
+        }
         for (f, p) in self.butterfly.factors.iter_mut().zip(&self.factor_params) {
-            for (t, quad) in f.twiddles.iter_mut().zip(p.value.chunks_exact(4)) {
-                t.copy_from_slice(quad);
-            }
+            f.twiddles.copy_from_slice(&p.value);
         }
     }
 
@@ -70,54 +89,55 @@ impl ButterflyLayer {
         let t = self.butterfly.materialize();
         t.submatrix(0, 0, self.out_dim, self.in_dim)
     }
-
-    fn pad_batch(&self, input: &Matrix) -> Matrix {
-        let n = self.butterfly.n();
-        if input.cols() == n {
-            input.clone()
-        } else {
-            input.zero_pad(input.rows(), n)
-        }
-    }
 }
 
 impl Layer for ButterflyLayer {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
         assert_eq!(input.cols(), self.in_dim, "ButterflyLayer input dim mismatch");
         self.sync_params_into_butterfly();
-        let n = self.butterfly.n();
-        let batch = input.rows();
-        let mut y = self.pad_batch(input);
-        // Initial permutation, applied to all rows.
-        y = self.butterfly.perm.apply_to_rows(&y);
-        let mut cache: Vec<Matrix> = Vec::with_capacity(self.butterfly.stages());
-        for f in &self.butterfly.factors {
-            if train {
-                cache.push(y.clone());
-            }
-            y.as_mut_slice().par_chunks_mut(n).for_each(|row| f.apply_in_place(row));
-        }
         if train {
-            self.cache = Some(cache);
+            let out = fused_forward_train(
+                input,
+                &self.butterfly.perm,
+                &self.butterfly.factors,
+                &self.bias.value,
+                &mut self.arena,
+                &mut self.scratch,
+            );
+            self.cached_rows = Some(input.rows());
+            out
+        } else {
+            fused_forward(
+                input,
+                &self.butterfly.perm,
+                &self.butterfly.factors,
+                &self.bias.value,
+                &mut self.scratch,
+            )
         }
-        // Crop to out_dim and add bias.
-        let mut out = Matrix::zeros(batch, self.out_dim);
-        for r in 0..batch {
-            for (o, (v, b)) in out.row_mut(r).iter_mut().zip(y.row(r).iter().zip(&self.bias.value))
-            {
-                *o = v + b;
-            }
-        }
-        out
+    }
+
+    fn forward_inference(&self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "ButterflyLayer input dim mismatch");
+        // Immutable receiver: run on borrowed parameter values directly (the
+        // source of truth), so no factor sync is needed.
+        let stages: Vec<TwiddleStage<'_>> = self
+            .butterfly
+            .factors
+            .iter()
+            .zip(&self.factor_params)
+            .map(|(f, p)| TwiddleStage { block_size: f.block_size, twiddles: &p.value })
+            .collect();
+        fused_forward(input, &self.butterfly.perm, &stages, &self.bias.value, scratch)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let cache = self
-            .cache
+        let rows = self
+            .cached_rows
             .take()
             .expect("ButterflyLayer::backward called without a training-mode forward");
         assert_eq!(grad_output.cols(), self.out_dim, "ButterflyLayer grad dim mismatch");
-        let n = self.butterfly.n();
+        assert_eq!(grad_output.rows(), rows, "grad batch does not match cached forward");
         let batch = grad_output.rows();
 
         // Bias gradient: column sums.
@@ -129,25 +149,15 @@ impl Layer for ButterflyLayer {
         }
         self.bias.accumulate_grad(&db);
 
-        // Pad grad to transform width.
-        let mut g = grad_output.zero_pad(batch, n);
-
-        // Walk factors in reverse; rows accumulate into one shared
-        // twiddle-gradient buffer.
-        for (s, f) in self.butterfly.factors.iter().enumerate().rev() {
-            let x_cache = &cache[s];
-            let mut gt = vec![[0.0f32; 4]; f.twiddles.len()];
-            for (grow, xrow) in g.as_mut_slice().chunks_mut(n).zip(x_cache.as_slice().chunks(n)) {
-                f.backward_in_place(xrow, grow, &mut gt);
-            }
-            let flat: Vec<f32> = gt.iter().flatten().copied().collect();
-            self.factor_params[s].accumulate_grad(&flat);
-        }
-
-        // Backward through the permutation per row, then crop to in_dim.
-        let inv = self.butterfly.perm.inverse();
-        let g = inv.apply_to_rows(&g);
-        g.submatrix(0, 0, batch, self.in_dim)
+        let factor_params = &mut self.factor_params;
+        fused_backward(
+            grad_output,
+            &self.butterfly.perm,
+            &self.butterfly.factors,
+            &self.arena,
+            self.in_dim,
+            |s, flat| factor_params[s].accumulate_grad(flat),
+        )
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
@@ -236,30 +246,25 @@ mod tests {
         let mut rng = seeded_rng(45);
         let mut layer = ButterflyLayer::new(8, 8, &mut rng);
         let x = Matrix::random_uniform(2, 8, 1.0, &mut rng);
-        let y = layer.forward(&x, true);
-        let _ = layer.backward(&y.clone());
-        let analytic: Vec<Vec<f32>> = layer.factor_params.iter().map(|p| p.grad.clone()).collect();
-        let eps = 1e-3f32;
-        let loss = |layer: &mut ButterflyLayer, x: &Matrix| -> f64 {
-            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
-        };
-        #[allow(clippy::needless_range_loop)] // index also mutates layer.factor_params
-        for s in 0..layer.factor_params.len() {
-            for idx in [0usize, layer.factor_params[s].len() - 1] {
-                let orig = layer.factor_params[s].value[idx];
-                layer.factor_params[s].value[idx] = orig + eps;
-                let lp = loss(&mut layer, &x);
-                layer.factor_params[s].value[idx] = orig - eps;
-                let lm = loss(&mut layer, &x);
-                layer.factor_params[s].value[idx] = orig;
-                let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-                assert!(
-                    (analytic[s][idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
-                    "factor {s} idx {idx}: {} vs {numeric}",
-                    analytic[s][idx]
-                );
-            }
-        }
+        bfly_nn::check_gradients(&mut layer, &x, 1e-3, 3e-2);
+    }
+
+    #[test]
+    fn inference_path_is_bit_identical_to_training_forward() {
+        let mut rng = seeded_rng(49);
+        // Ragged rectangular shape, batch spanning multiple row blocks.
+        let mut layer = ButterflyLayer::new(12, 7, &mut rng);
+        let x = Matrix::random_uniform(37, 12, 1.0, &mut rng);
+        let via_train = layer.forward(&x, true);
+        let mut scratch = Scratch::new();
+        let via_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(via_train.as_slice(), via_inference.as_slice());
+        // Inference must also track parameter updates without a sync step.
+        layer.factor_params[0].value[0] += 0.25;
+        layer.factor_params[0].mark_dirty();
+        let after_train = layer.forward(&x, false);
+        let after_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(after_train.as_slice(), after_inference.as_slice());
     }
 
     #[test]

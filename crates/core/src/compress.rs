@@ -52,14 +52,14 @@ pub fn fit_butterfly(target: &Matrix, config: &FitConfig, rng: &mut WorkspaceRng
     assert_eq!(n, cols, "fit_butterfly needs a square target");
     assert!(n.is_power_of_two(), "fit_butterfly needs a power-of-two dimension");
     let mut student = Butterfly::random(n, rng);
-    let mut velocity: Vec<Vec<[f32; 4]>> =
-        student.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+    let mut velocity: Vec<Vec<f32>> =
+        student.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
     let mut final_loss = f64::MAX;
     for _ in 0..config.steps {
         let x = Matrix::random_uniform(config.batch, n, 1.0, rng);
         let want = matmul_a_bt(&x, target);
-        let mut grads: Vec<Vec<[f32; 4]>> =
-            student.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+        let mut grads: Vec<Vec<f32>> =
+            student.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
         let mut loss = 0.0f64;
         for r in 0..config.batch {
             let (got, cache) = student.forward_cached(x.row(r));
@@ -76,12 +76,10 @@ pub fn fit_butterfly(target: &Matrix, config: &FitConfig, rng: &mut WorkspaceRng
         }
         final_loss = loss / (config.batch * n) as f64;
         for (s, factor) in student.factors.iter_mut().enumerate() {
-            for (t, tw) in factor.twiddles.iter_mut().enumerate() {
-                for e in 0..4 {
-                    let v = config.momentum * velocity[s][t][e] + grads[s][t][e];
-                    velocity[s][t][e] = v;
-                    tw[e] -= config.lr * v;
-                }
+            for ((tw, vel), g) in factor.twiddles.iter_mut().zip(&mut velocity[s]).zip(&grads[s]) {
+                let v = config.momentum * *vel + g;
+                *vel = v;
+                *tw -= config.lr * v;
             }
         }
     }

@@ -12,7 +12,7 @@
 
 use crate::butterfly_layer::ButterflyLayer;
 use bfly_nn::{ConvShape, Layer, Param};
-use bfly_tensor::{LinOp, Matrix};
+use bfly_tensor::{LinOp, Matrix, Scratch};
 use rand::Rng;
 
 /// A 1x1 convolution whose channel-mixing matrix is a butterfly.
@@ -103,6 +103,18 @@ impl Layer for ButterflyConv1x1 {
         self.to_channel_major(&mixed, self.channels_out, batch)
     }
 
+    fn forward_inference(&self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.channels_in * self.pixels,
+            "ButterflyConv1x1 input length mismatch"
+        );
+        let batch = input.rows();
+        let pixel_rows = self.to_pixel_rows(input, self.channels_in);
+        let mixed = self.inner.forward_inference(&pixel_rows, scratch);
+        self.to_channel_major(&mixed, self.channels_out, batch)
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let batch = grad_output.rows();
         let g_rows = self.to_pixel_rows(grad_output, self.channels_out);
@@ -181,25 +193,19 @@ mod tests {
         let mut rng = seeded_rng(14);
         let mut layer = ButterflyConv1x1::new(c, c, h, w, &mut rng);
         let x = Matrix::random_uniform(2, c * h * w, 1.0, &mut rng);
-        let y = layer.forward(&x, true);
-        let _ = layer.backward(&y.clone());
-        // Probe a twiddle parameter through the Layer interface.
-        let analytic = layer.params()[0].grad[0];
-        let eps = 1e-3f32;
-        let loss = |layer: &mut ButterflyConv1x1, x: &Matrix| -> f64 {
-            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
-        };
-        let orig = layer.params()[0].value[0];
-        layer.params()[0].value[0] = orig + eps;
-        let lp = loss(&mut layer, &x);
-        layer.params()[0].value[0] = orig - eps;
-        let lm = loss(&mut layer, &x);
-        layer.params()[0].value[0] = orig;
-        let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-        assert!(
-            (analytic - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
-            "{analytic} vs {numeric}"
-        );
+        bfly_nn::check_gradients(&mut layer, &x, 1e-3, 3e-2);
+    }
+
+    #[test]
+    fn inference_path_is_bit_identical_to_eval_forward() {
+        let (c, h, w) = (8usize, 3usize, 2usize);
+        let mut rng = seeded_rng(16);
+        let mut layer = ButterflyConv1x1::new(c, c, h, w, &mut rng);
+        let x = Matrix::random_uniform(3, c * h * w, 1.0, &mut rng);
+        let via_eval = layer.forward(&x, false);
+        let mut scratch = Scratch::new();
+        let via_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(via_eval.as_slice(), via_inference.as_slice());
     }
 
     #[test]

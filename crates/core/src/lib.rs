@@ -28,6 +28,7 @@ pub mod butterfly;
 pub mod butterfly_layer;
 pub mod compress;
 pub mod conv_butterfly;
+pub mod kernels;
 pub mod ortho;
 pub mod pixelfly;
 pub mod shl;
@@ -38,6 +39,10 @@ pub use butterfly::{Butterfly, ButterflyFactor};
 pub use butterfly_layer::ButterflyLayer;
 pub use compress::{fit_butterfly, FitConfig, FitReport};
 pub use conv_butterfly::ButterflyConv1x1;
+pub use kernels::{
+    apply_rotation_stage, apply_twiddle_stage, fused_backward, fused_forward, fused_forward_train,
+    AngleStage, StageBackward, StageKernel, TwiddleStage,
+};
 pub use ortho::{OrthoButterfly, OrthoButterflyLayer};
 pub use pixelfly::{flat_butterfly_mask, PixelflyConfig, PixelflyError, PixelflyLayer};
 pub use shl::{build_shl, build_shl_inference, compression_percent, shl_param_count, Method};

@@ -13,10 +13,10 @@
 //! rotation-parametrized; we provide both variants and compare them in the
 //! ablation bench.
 
+use crate::kernels::{fused_backward, fused_forward, fused_forward_train, AngleStage};
 use bfly_nn::{Layer, Param};
-use bfly_tensor::{LinOp, Matrix, Permutation};
+use bfly_tensor::{LinOp, Matrix, Permutation, Scratch};
 use rand::Rng;
-use rayon::prelude::*;
 
 /// One rotation-parametrized butterfly factor: `n/2` angles.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,22 +37,7 @@ impl OrthoFactor {
     /// Applies the factor in place to one vector.
     #[inline]
     pub fn apply_in_place(&self, x: &mut [f32]) {
-        let n = x.len();
-        let k = self.block_size;
-        let half = k / 2;
-        let mut t = 0usize;
-        for start in (0..n).step_by(k) {
-            for j in 0..half {
-                let p = start + j;
-                let q = p + half;
-                let (s, c) = self.angles[t].sin_cos();
-                let xp = x[p];
-                let xq = x[q];
-                x[p] = c * xp - s * xq;
-                x[q] = s * xp + c * xq;
-                t += 1;
-            }
-        }
+        crate::kernels::apply_rotation_stage(self.block_size, &self.angles, x);
     }
 
     /// Applies the inverse (= transpose) rotation in place.
@@ -182,7 +167,10 @@ pub struct OrthoButterflyLayer {
     butterfly: OrthoButterfly,
     angle_params: Vec<Param>,
     bias: Param,
-    cache: Option<Vec<Matrix>>,
+    /// Stage-input cache `[row][stage][n]`, reused across training steps.
+    arena: Vec<f32>,
+    cached_rows: Option<usize>,
+    scratch: Scratch,
 }
 
 impl OrthoButterflyLayer {
@@ -202,7 +190,9 @@ impl OrthoButterflyLayer {
             butterfly,
             angle_params,
             bias: Param::new("ortho.bias", vec![0.0; out_dim]),
-            cache: None,
+            arena: Vec::new(),
+            cached_rows: None,
+            scratch: Scratch::new(),
         }
     }
 
@@ -211,7 +201,16 @@ impl OrthoButterflyLayer {
         self.butterfly.n()
     }
 
+    /// Dirty-gated sync of parameter angles into factor storage.
     fn sync_params(&mut self) {
+        let mut dirty = false;
+        for p in &mut self.angle_params {
+            // No short-circuit: every flag must be consumed.
+            dirty |= p.take_dirty();
+        }
+        if !dirty {
+            return;
+        }
         for (f, p) in self.butterfly.factors.iter_mut().zip(&self.angle_params) {
             f.angles.copy_from_slice(&p.value);
         }
@@ -228,36 +227,46 @@ impl Layer for OrthoButterflyLayer {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
         assert_eq!(input.cols(), self.in_dim, "OrthoButterflyLayer input dim mismatch");
         self.sync_params();
-        let n = self.butterfly.n();
-        let batch = input.rows();
-        let padded = if input.cols() == n { input.clone() } else { input.zero_pad(batch, n) };
-        let mut y = self.butterfly.perm.apply_to_rows(&padded);
-        let mut cache = Vec::with_capacity(self.butterfly.stages());
-        for f in &self.butterfly.factors {
-            if train {
-                cache.push(y.clone());
-            }
-            y.as_mut_slice().par_chunks_mut(n).for_each(|row| f.apply_in_place(row));
-        }
         if train {
-            self.cache = Some(cache);
+            let out = fused_forward_train(
+                input,
+                &self.butterfly.perm,
+                &self.butterfly.factors,
+                &self.bias.value,
+                &mut self.arena,
+                &mut self.scratch,
+            );
+            self.cached_rows = Some(input.rows());
+            out
+        } else {
+            fused_forward(
+                input,
+                &self.butterfly.perm,
+                &self.butterfly.factors,
+                &self.bias.value,
+                &mut self.scratch,
+            )
         }
-        let mut out = Matrix::zeros(batch, self.out_dim);
-        for r in 0..batch {
-            for (o, (v, b)) in out.row_mut(r).iter_mut().zip(y.row(r).iter().zip(&self.bias.value))
-            {
-                *o = v + b;
-            }
-        }
-        out
+    }
+
+    fn forward_inference(&self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        assert_eq!(input.cols(), self.in_dim, "OrthoButterflyLayer input dim mismatch");
+        let stages: Vec<AngleStage<'_>> = self
+            .butterfly
+            .factors
+            .iter()
+            .zip(&self.angle_params)
+            .map(|(f, p)| AngleStage { block_size: f.block_size, angles: &p.value })
+            .collect();
+        fused_forward(input, &self.butterfly.perm, &stages, &self.bias.value, scratch)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let cache = self
-            .cache
+        let rows = self
+            .cached_rows
             .take()
             .expect("OrthoButterflyLayer::backward called without a training-mode forward");
-        let n = self.butterfly.n();
+        assert_eq!(grad_output.rows(), rows, "grad batch does not match cached forward");
         let batch = grad_output.rows();
         let mut db = vec![0.0f32; self.out_dim];
         for r in 0..batch {
@@ -267,17 +276,15 @@ impl Layer for OrthoButterflyLayer {
         }
         self.bias.accumulate_grad(&db);
 
-        let mut g = grad_output.zero_pad(batch, n);
-        for (s, f) in self.butterfly.factors.iter().enumerate().rev() {
-            let x_cache = &cache[s];
-            let mut ga = vec![0.0f32; f.angles.len()];
-            for (grow, xrow) in g.as_mut_slice().chunks_mut(n).zip(x_cache.as_slice().chunks(n)) {
-                f.backward_in_place(xrow, grow, &mut ga);
-            }
-            self.angle_params[s].accumulate_grad(&ga);
-        }
-        let g = self.butterfly.perm.inverse().apply_to_rows(&g);
-        g.submatrix(0, 0, batch, self.in_dim)
+        let angle_params = &mut self.angle_params;
+        fused_backward(
+            grad_output,
+            &self.butterfly.perm,
+            &self.butterfly.factors,
+            &self.arena,
+            self.in_dim,
+            |s, flat| angle_params[s].accumulate_grad(flat),
+        )
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
@@ -371,30 +378,18 @@ mod tests {
         let mut rng = seeded_rng(66);
         let mut layer = OrthoButterflyLayer::new(8, 8, &mut rng);
         let x = Matrix::random_uniform(3, 8, 1.0, &mut rng);
-        let y = layer.forward(&x, true);
-        let _ = layer.backward(&y.clone());
-        let analytic: Vec<Vec<f32>> = layer.angle_params.iter().map(|p| p.grad.clone()).collect();
-        let eps = 1e-3f32;
-        let loss = |layer: &mut OrthoButterflyLayer, x: &Matrix| -> f64 {
-            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
-        };
-        #[allow(clippy::needless_range_loop)] // index also mutates layer.angle_params
-        for s in 0..layer.angle_params.len() {
-            for idx in [0usize, layer.angle_params[s].len() - 1] {
-                let orig = layer.angle_params[s].value[idx];
-                layer.angle_params[s].value[idx] = orig + eps;
-                let lp = loss(&mut layer, &x);
-                layer.angle_params[s].value[idx] = orig - eps;
-                let lm = loss(&mut layer, &x);
-                layer.angle_params[s].value[idx] = orig;
-                let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-                assert!(
-                    (analytic[s][idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
-                    "factor {s} angle {idx}: {} vs {numeric}",
-                    analytic[s][idx]
-                );
-            }
-        }
+        bfly_nn::check_gradients(&mut layer, &x, 1e-3, 3e-2);
+    }
+
+    #[test]
+    fn inference_path_is_bit_identical_to_training_forward() {
+        let mut rng = seeded_rng(68);
+        let mut layer = OrthoButterflyLayer::new(12, 6, &mut rng);
+        let x = Matrix::random_uniform(9, 12, 1.0, &mut rng);
+        let via_train = layer.forward(&x, true);
+        let mut scratch = Scratch::new();
+        let via_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(via_train.as_slice(), via_inference.as_slice());
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use crate::block_sparse::BlockSparseMatrix;
 use bfly_nn::{Layer, Param};
-use bfly_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
-use bfly_tensor::{LinOp, Matrix};
+use bfly_tensor::matmul::{matmul, matmul_a_bt_slice, matmul_at_b};
+use bfly_tensor::{LinOp, Matrix, Scratch};
 use rand::Rng;
 use std::fmt;
 
@@ -214,8 +214,32 @@ impl PixelflyLayer {
         w
     }
 
+    /// Dirty-gated sync of the flat block parameter into the sparse matrix.
     fn sync_sparse(&mut self) {
+        if !self.sparse_param.take_dirty() {
+            return;
+        }
         self.sparse.data_mut().copy_from_slice(&self.sparse_param.value);
+    }
+
+    /// The shared inference arithmetic: block-sparse + low-rank + bias.
+    /// Reads `u` / `v` / `bias` straight from parameter storage and assumes
+    /// `sparse` is already in sync (true at construction and after any
+    /// `forward`).
+    fn affine(&self, input: &Matrix) -> Matrix {
+        // Block-sparse term: Y = X Ws^T (Ws is out x in).
+        let mut y = self.sparse.matmul_batch(input);
+        // Low-rank term: Y += (X V^T) U^T.
+        if self.config.rank > 0 {
+            let vx = matmul_a_bt_slice(input, &self.v.value, self.config.rank);
+            y.axpy(1.0, &matmul_a_bt_slice(&vx, &self.u.value, self.dim));
+        }
+        for r in 0..y.rows() {
+            for (o, b) in y.row_mut(r).iter_mut().zip(&self.bias.value) {
+                *o += b;
+            }
+        }
+        y
     }
 }
 
@@ -223,27 +247,27 @@ impl Layer for PixelflyLayer {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
         assert_eq!(input.cols(), self.dim, "PixelflyLayer input dim mismatch");
         self.sync_sparse();
-        // Block-sparse term: Y = X Ws^T (Ws is out x in).
+        if !train {
+            return self.affine(input);
+        }
         let mut y = self.sparse.matmul_batch(input);
-        // Low-rank term: Y += (X V^T) U^T.
         if self.config.rank > 0 {
-            let v = Matrix::from_vec(self.config.rank, self.dim, self.v.value.clone());
-            let u = Matrix::from_vec(self.dim, self.config.rank, self.u.value.clone());
-            let vx = matmul_a_bt(input, &v);
-            y.axpy(1.0, &matmul_a_bt(&vx, &u));
-            if train {
-                self.cached_vx = Some(vx);
-            }
+            let vx = matmul_a_bt_slice(input, &self.v.value, self.config.rank);
+            y.axpy(1.0, &matmul_a_bt_slice(&vx, &self.u.value, self.dim));
+            self.cached_vx = Some(vx);
         }
         for r in 0..y.rows() {
             for (o, b) in y.row_mut(r).iter_mut().zip(&self.bias.value) {
                 *o += b;
             }
         }
-        if train {
-            self.cached_input = Some(input.clone());
-        }
+        self.cached_input = Some(input.clone());
         y
+    }
+
+    fn forward_inference(&self, input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+        assert_eq!(input.cols(), self.dim, "PixelflyLayer input dim mismatch");
+        self.affine(input)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -324,6 +348,7 @@ impl Layer for PixelflyLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bfly_tensor::matmul::matmul_a_bt;
     use bfly_tensor::seeded_rng;
 
     #[test]
@@ -414,41 +439,20 @@ mod tests {
         let w = layer.effective_weight();
         let expect_gx = matmul(&y, &w);
         assert!(gx.relative_error(&expect_gx) < 1e-4);
-        // Spot-check parameter grads numerically.
-        let eps = 1e-3f32;
-        let loss = |layer: &mut PixelflyLayer, x: &Matrix| -> f64 {
-            layer.forward(x, false).as_slice().iter().map(|v| (*v as f64).powi(2) / 2.0).sum()
-        };
-        let analytic_u = layer.u.grad.clone();
-        for idx in [0usize, 7] {
-            let orig = layer.u.value[idx];
-            layer.u.value[idx] = orig + eps;
-            let lp = loss(&mut layer, &x);
-            layer.u.value[idx] = orig - eps;
-            let lm = loss(&mut layer, &x);
-            layer.u.value[idx] = orig;
-            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (analytic_u[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
-                "u[{idx}]: {} vs {numeric}",
-                analytic_u[idx]
-            );
-        }
-        let analytic_s = layer.sparse_param.grad.clone();
-        for idx in [0usize, 10] {
-            let orig = layer.sparse_param.value[idx];
-            layer.sparse_param.value[idx] = orig + eps;
-            let lp = loss(&mut layer, &x);
-            layer.sparse_param.value[idx] = orig - eps;
-            let lm = loss(&mut layer, &x);
-            layer.sparse_param.value[idx] = orig;
-            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (analytic_s[idx] - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
-                "sparse[{idx}]: {} vs {numeric}",
-                analytic_s[idx]
-            );
-        }
+        // Parameter grads (blocks, u, v, bias) numerically.
+        bfly_nn::check_gradients(&mut layer, &x, 1e-3, 3e-2);
+    }
+
+    #[test]
+    fn inference_path_is_bit_identical_to_eval_forward() {
+        let mut rng = seeded_rng(58);
+        let config = PixelflyConfig { block_size: 4, butterfly_size: 4, rank: 3 };
+        let mut layer = PixelflyLayer::new(32, 32, config, &mut rng).expect("valid");
+        let x = Matrix::random_uniform(5, 32, 1.0, &mut rng);
+        let via_eval = layer.forward(&x, false);
+        let mut scratch = Scratch::new();
+        let via_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(via_eval.as_slice(), via_inference.as_slice());
     }
 
     #[test]

@@ -276,6 +276,26 @@ mod tests {
     }
 
     #[test]
+    fn fused_inference_is_bit_identical_to_training_forward() {
+        use bfly_nn::Layer as _;
+        let mut methods = Method::table4_all();
+        methods.push(Method::OrthoButterfly);
+        methods.push(Method::Pruned { density_permille: 100 });
+        for method in methods {
+            let mut model = build_shl(method, 256, 10, &mut seeded_rng(97)).expect("256 is valid");
+            let x = bfly_tensor::Matrix::random_uniform(5, 256, 1.0, &mut seeded_rng(98));
+            let y_train = model.forward(&x, true);
+            let mut scratch = bfly_tensor::Scratch::new();
+            let y_fused = model.forward_inference(&x, &mut scratch);
+            assert_eq!(
+                y_train.as_slice(),
+                y_fused.as_slice(),
+                "fused inference diverged from training forward for {method}"
+            );
+        }
+    }
+
+    #[test]
     fn forward_shapes_for_all_methods() {
         let mut rng = seeded_rng(93);
         use bfly_nn::Layer as _;

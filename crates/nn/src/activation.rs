@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::param::Param;
-use bfly_tensor::{LinOp, Matrix};
+use bfly_tensor::{LinOp, Matrix, Scratch};
 
 /// Rectified linear unit — the activation function of Table 3.
 pub struct Relu {
@@ -29,6 +29,10 @@ impl Layer for Relu {
             self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
         }
         out
+    }
+
+    fn forward_inference(&self, input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+        input.map(|x| x.max(0.0))
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -83,6 +87,10 @@ impl Layer for Tanh {
             self.output = Some(out.clone());
         }
         out
+    }
+
+    fn forward_inference(&self, input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+        input.map(f32::tanh)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {

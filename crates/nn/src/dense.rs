@@ -2,8 +2,8 @@
 
 use crate::layer::Layer;
 use crate::param::Param;
-use bfly_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
-use bfly_tensor::{LinOp, Matrix};
+use bfly_tensor::matmul::{matmul, matmul_a_bt_slice, matmul_at_b};
+use bfly_tensor::{LinOp, Matrix, Scratch};
 use rand::Rng;
 
 /// `y = x W^T + b` with `W: out x in`, matching `torch.nn.Linear` semantics.
@@ -57,21 +57,33 @@ impl Dense {
     }
 }
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+impl Dense {
+    /// Shared affine kernel: `y = x W^T + b` borrowing the weight slice
+    /// directly, so neither forward path clones the weight matrix.
+    fn affine(&self, input: &Matrix) -> Matrix {
         assert_eq!(input.cols(), self.in_dim, "Dense input dim mismatch");
-        let w = Matrix::from_vec(self.out_dim, self.in_dim, self.weight.value.clone());
         // y = x W^T  (batch rows kept contiguous)
-        let mut y = matmul_a_bt(input, &w);
+        let mut y = matmul_a_bt_slice(input, &self.weight.value, self.out_dim);
         for r in 0..y.rows() {
             for (v, b) in y.row_mut(r).iter_mut().zip(&self.bias.value) {
                 *v += b;
             }
         }
+        y
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        let y = self.affine(input);
         if train {
             self.cached_input = Some(input.clone());
         }
         y
+    }
+
+    fn forward_inference(&self, input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+        self.affine(input)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -124,35 +136,18 @@ mod tests {
         let mut rng = seeded_rng(11);
         let mut layer = Dense::new(5, 3, &mut rng);
         let x = Matrix::random_uniform(4, 5, 1.0, &mut rng);
-        // Loss = sum(y^2) / 2 so dL/dy = y.
-        let y = layer.forward(&x, true);
-        let _ = layer.backward(&y.clone());
-        let analytic = layer.weight.grad.clone();
-        let eps = 1e-3;
-        for idx in [0usize, 7, 14] {
-            let orig = layer.weight.value[idx];
-            layer.weight.value[idx] = orig + eps;
-            let lp: f64 = layer
-                .forward(&x, false)
-                .as_slice()
-                .iter()
-                .map(|v| (*v as f64) * (*v as f64) / 2.0)
-                .sum();
-            layer.weight.value[idx] = orig - eps;
-            let lm: f64 = layer
-                .forward(&x, false)
-                .as_slice()
-                .iter()
-                .map(|v| (*v as f64) * (*v as f64) / 2.0)
-                .sum();
-            layer.weight.value[idx] = orig;
-            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (analytic[idx] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
-                "idx {idx}: analytic {} vs numeric {numeric}",
-                analytic[idx]
-            );
-        }
+        crate::gradcheck::check_gradients(&mut layer, &x, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn inference_path_is_bit_identical_to_eval_forward() {
+        let mut rng = seeded_rng(16);
+        let mut layer = Dense::new(7, 4, &mut rng);
+        let x = Matrix::random_uniform(3, 7, 1.0, &mut rng);
+        let via_forward = layer.forward(&x, false);
+        let mut scratch = bfly_tensor::Scratch::new();
+        let via_inference = layer.forward_inference(&x, &mut scratch);
+        assert_eq!(via_forward.as_slice(), via_inference.as_slice());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The layer abstraction and sequential container.
 
 use crate::param::Param;
-use bfly_tensor::{LinOp, Matrix};
+use bfly_tensor::{LinOp, Matrix, Scratch};
 
 /// A differentiable layer with owned parameters.
 ///
@@ -13,11 +13,31 @@ use bfly_tensor::{LinOp, Matrix};
 /// strictly forward-then-backward per batch, which is all the paper's SHL
 /// benchmark needs.
 ///
-/// `Send` is a supertrait so model stacks can move into serving worker
-/// threads; every layer is plain owned data, so this costs nothing.
-pub trait Layer: Send {
+/// `Send + Sync` are supertraits so model stacks can move into serving
+/// worker threads and — for the lock-free inference path — be shared across
+/// them behind an `Arc`; every layer is plain owned data, so this costs
+/// nothing.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a batch (one sample per row).
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
+
+    /// Lock-free forward pass over an immutable receiver.
+    ///
+    /// This is the serving hot path: the model is shared read-only across
+    /// worker threads and every caller supplies its own [`Scratch`] for
+    /// intermediates, so no lock or interior mutability is needed.
+    /// Implementations must be bit-identical to `forward(input, false)`.
+    ///
+    /// Layers whose forward reads derived storage (block-sparse data synced
+    /// from a `Param`) require that storage to be in sync, which holds at
+    /// construction and after any `forward` call; butterfly-style layers read
+    /// their parameter values directly and have no such requirement.
+    ///
+    /// The default panics: layers served from a frozen model must override
+    /// it, while training-only layers need not.
+    fn forward_inference(&self, _input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+        panic!("{} does not implement the lock-free inference path", self.name());
+    }
 
     /// Backpropagates `grad_output` (dL/d output), accumulating parameter
     /// gradients and returning dL/d input.
@@ -108,6 +128,18 @@ impl Layer for Sequential {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn forward_inference(&self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let mut layers = self.layers.iter();
+        let Some(first) = layers.next() else {
+            return input.clone();
+        };
+        let mut x = first.forward_inference(input, scratch);
+        for layer in layers {
+            x = layer.forward_inference(&x, scratch);
         }
         x
     }

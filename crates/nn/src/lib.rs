@@ -11,6 +11,7 @@
 pub mod activation;
 pub mod conv;
 pub mod dense;
+pub mod gradcheck;
 pub mod layer;
 pub mod loss;
 pub mod optim;
@@ -21,6 +22,7 @@ pub mod train;
 pub use activation::{Relu, Tanh};
 pub use conv::{Conv2d, ConvShape};
 pub use dense::Dense;
+pub use gradcheck::check_gradients;
 pub use layer::{Layer, Sequential};
 pub use loss::{accuracy, softmax, softmax_cross_entropy, LossOutput};
 pub use optim::{Adam, Sgd};

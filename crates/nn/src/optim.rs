@@ -36,6 +36,7 @@ impl Sgd {
                 p.velocity[i] = v;
                 p.value[i] -= self.lr * v;
             }
+            p.mark_dirty();
         }
     }
 }
@@ -82,6 +83,7 @@ impl Adam {
                 let vhat = v[i] / b2t;
                 p.value[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
+            p.mark_dirty();
         }
     }
 }

@@ -4,8 +4,9 @@ use bfly_core::{build_shl_inference, shl_param_count, Method, PixelflyError};
 use bfly_gpu::GpuDevice;
 use bfly_ipu::IpuDevice;
 use bfly_nn::{Layer, Sequential};
-use bfly_tensor::{derived_rng, Matrix};
-use parking_lot::Mutex;
+use bfly_tensor::{derived_rng, Matrix, Scratch};
+use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Predicted device time for one batch of a model's forward trace.
@@ -21,13 +22,20 @@ pub struct DeviceEstimate {
 }
 
 /// One served model: a frozen (forward-only) SHL network.
+///
+/// The model is immutable after construction, so the request hot path runs
+/// with no lock at all: workers share the entry through an `Arc` and call
+/// [`ModelEntry::forward`] concurrently, each with its own [`Scratch`].
 pub struct ModelEntry {
     name: String,
     method: Method,
     dim: usize,
     classes: usize,
     param_count: usize,
-    model: Mutex<Sequential>,
+    model: Sequential,
+    /// Per-batch-size device estimates; the trace (and its pricing) depends
+    /// only on (model, batch), so each size is priced exactly once.
+    estimates: RwLock<HashMap<usize, DeviceEstimate>>,
 }
 
 impl ModelEntry {
@@ -56,16 +64,19 @@ impl ModelEntry {
         self.param_count
     }
 
-    /// Runs one forward batch (one sample per row) under the model lock.
-    pub fn forward(&self, x: &Matrix) -> Matrix {
-        self.model.lock().forward(x, false)
+    /// Runs one forward batch (one sample per row), lock-free: the frozen
+    /// model is read through `&self` and all mutable state lives in the
+    /// caller-owned scratch arena.
+    pub fn forward(&self, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        self.model.forward_inference(x, scratch)
     }
 
-    /// Predicted IPU/GPU time for a batch of the given size.
+    /// Predicted IPU/GPU time for a batch of the given size, memoized per
+    /// batch size.
     ///
-    /// Each batch is priced individually (the server attributes *every*
-    /// batch it executes), so attribution cost is per batch, not per
-    /// request — one more fixed overhead that micro-batching amortises.
+    /// The server attributes *every* batch it executes, but the trace — and
+    /// therefore its pricing — depends only on (model, batch size), so each
+    /// size is priced once and served from the memo afterwards.
     pub fn device_estimate(
         &self,
         batch: usize,
@@ -73,11 +84,21 @@ impl ModelEntry {
         gpu: &GpuDevice,
         tensor_cores: bool,
     ) -> DeviceEstimate {
-        let trace = self.model.lock().trace(batch);
-        DeviceEstimate {
+        if let Some(hit) = self.estimates.read().get(&batch) {
+            return *hit;
+        }
+        let trace = self.model.trace(batch);
+        let estimate = DeviceEstimate {
             ipu_us: ipu.run(&trace).ok().map(|r| r.seconds(ipu.spec()) * 1e6),
             gpu_us: gpu.run(&trace, tensor_cores).ok().map(|r| r.seconds() * 1e6),
-        }
+        };
+        self.estimates.write().insert(batch, estimate);
+        estimate
+    }
+
+    /// Number of batch sizes currently held in the estimate memo (tests).
+    pub fn memoized_estimates(&self) -> usize {
+        self.estimates.read().len()
     }
 }
 
@@ -109,7 +130,8 @@ impl ModelRegistry {
                 dim,
                 classes,
                 param_count: shl_param_count(method, dim, classes),
-                model: Mutex::new(model),
+                model,
+                estimates: RwLock::new(HashMap::new()),
             }));
         }
         Ok(Self { entries })
@@ -156,8 +178,9 @@ mod tests {
         let a = ModelRegistry::build(64, 10, 3, &methods).expect("valid");
         let b = ModelRegistry::build(64, 10, 3, &methods).expect("valid");
         let x = Matrix::filled(2, 64, 0.25);
-        let ya = a.entries()[0].forward(&x);
-        let yb = b.entries()[0].forward(&x);
+        let mut scratch = Scratch::new();
+        let ya = a.entries()[0].forward(&x, &mut scratch);
+        let yb = b.entries()[0].forward(&x, &mut scratch);
         assert_eq!(ya.as_slice(), yb.as_slice());
     }
 
@@ -172,6 +195,46 @@ mod tests {
         let again = reg.entries()[0].device_estimate(8, &ipu, &gpu, false);
         assert_eq!(e.ipu_us, again.ipu_us);
         assert_eq!(e.gpu_us, again.gpu_us);
+    }
+
+    #[test]
+    fn device_estimates_are_memoized_per_batch_size() {
+        let reg = ModelRegistry::build(256, 10, 5, &[Method::Butterfly]).expect("valid");
+        let ipu = IpuDevice::gc200();
+        let gpu = GpuDevice::a30();
+        let entry = &reg.entries()[0];
+        assert_eq!(entry.memoized_estimates(), 0);
+        let _ = entry.device_estimate(8, &ipu, &gpu, false);
+        let _ = entry.device_estimate(8, &ipu, &gpu, false);
+        assert_eq!(entry.memoized_estimates(), 1, "repeat sizes must hit the memo");
+        let _ = entry.device_estimate(32, &ipu, &gpu, false);
+        assert_eq!(entry.memoized_estimates(), 2);
+    }
+
+    #[test]
+    fn concurrent_lock_free_forwards_match_single_threaded() {
+        let reg = ModelRegistry::build(256, 10, 9, &Method::table4_all()).expect("valid");
+        for entry in reg.entries() {
+            let x = Matrix::filled(4, 256, 0.125);
+            let mut scratch = Scratch::new();
+            let want = entry.forward(&x, &mut scratch);
+            let got: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let entry = Arc::clone(entry);
+                        let x = x.clone();
+                        s.spawn(move || {
+                            let mut scratch = Scratch::new();
+                            entry.forward(&x, &mut scratch)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+            });
+            for y in got {
+                assert_eq!(y.as_slice(), want.as_slice(), "{} diverged", entry.name());
+            }
+        }
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!
 //! Each batcher owns one model's admission queue and coalesces requests into
 //! micro-batches of up to `max_batch`, holding an under-full batch open for
-//! at most `max_wait`. Workers execute whole batches: one model lock, one
-//! forward pass, one simulator pricing — then fan responses back out through
+//! at most `max_wait`. Workers execute whole batches lock-free: the frozen
+//! models are shared immutably through `Arc`, each worker owns a private
+//! scratch arena, so one forward pass and one (memoized) simulator pricing
+//! run with no serialization point — then responses fan back out through
 //! each request's private reply channel.
 
 use crate::config::ServeConfig;
@@ -23,7 +25,7 @@ use crate::request::{InferRequest, InferResponse, ResponseHandle, SubmitError, T
 use bfly_core::{Method, PixelflyError};
 use bfly_gpu::GpuDevice;
 use bfly_ipu::IpuDevice;
-use bfly_tensor::Matrix;
+use bfly_tensor::{Matrix, Scratch};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -247,15 +249,17 @@ fn batcher_loop(inner: &Inner, model: usize, rx: Receiver<InferRequest>, tx: Sen
 }
 
 /// Executes batches until every batcher is gone and the batch queue is dry.
+/// Each worker owns one scratch arena, reused across every batch it runs.
 fn worker_loop(inner: &Inner, rx: Receiver<Batch>) {
+    let mut scratch = Scratch::new();
     while let Ok(batch) = rx.recv() {
-        execute_batch(inner, batch);
+        execute_batch(inner, batch, &mut scratch);
     }
 }
 
-/// One batch: single model lock, single forward pass, single simulator
+/// One batch: single lock-free forward pass, single (memoized) simulator
 /// pricing — then per-request response fan-out.
-fn execute_batch(inner: &Inner, batch: Batch) {
+fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
     let entry = &inner.entries[batch.model];
     let metrics = &inner.metrics[batch.model];
     let rows = batch.requests.len();
@@ -268,7 +272,7 @@ fn execute_batch(inner: &Inner, batch: Batch) {
     let x = Matrix::from_vec(rows, dim, data);
 
     let forward_start = Instant::now();
-    let y = entry.forward(&x);
+    let y = entry.forward(&x, scratch);
     let service_us = forward_start.elapsed().as_micros() as u64;
     let estimate = entry.device_estimate(rows, &inner.ipu, &inner.gpu, inner.config.tensor_cores);
 

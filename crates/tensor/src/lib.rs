@@ -19,6 +19,7 @@ pub mod matrix;
 pub mod ops;
 pub mod perm;
 pub mod rng;
+pub mod scratch;
 pub mod sparse;
 
 pub use dct::{dct2, dct2_ortho, dct_matrix};
@@ -29,4 +30,5 @@ pub use matrix::Matrix;
 pub use ops::LinOp;
 pub use perm::Permutation;
 pub use rng::{derived_rng, seeded_rng, WorkspaceRng};
+pub use scratch::Scratch;
 pub use sparse::{Coo, Csr};

@@ -158,13 +158,31 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
 /// `C = A * B^T` without materialising the transpose.
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_a_bt dimension mismatch");
-    let (m, _k) = a.shape();
-    let n = b.rows();
-    let mut c = Matrix::zeros(m, n);
+    matmul_a_bt_slice(a, b.as_slice(), b.rows())
+}
+
+/// `C = A * B^T` with `B` given as a row-major slice of `b_rows` rows of
+/// width `A.cols()`.
+///
+/// This is the borrow-the-weights variant used by the lock-free inference
+/// path: layers that keep their weights in a flat `Param` value can multiply
+/// against them directly instead of cloning into a `Matrix` first. The inner
+/// dot loop is identical to [`matmul_a_bt`], so results are bit-identical.
+///
+/// # Panics
+/// Panics if `b.len() != b_rows * a.cols()`.
+pub fn matmul_a_bt_slice(a: &Matrix, b: &[f32], b_rows: usize) -> Matrix {
+    let k = a.cols();
+    assert_eq!(b.len(), b_rows * k, "matmul_a_bt_slice dimension mismatch");
+    let n = b_rows;
+    let mut c = Matrix::zeros(a.rows(), n);
+    if n == 0 || a.rows() == 0 {
+        return c;
+    }
     c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
         let a_row = a.row(i);
         for (j, c_ij) in c_row.iter_mut().enumerate() {
-            let b_row = b.row(j);
+            let b_row = &b[j * k..(j + 1) * k];
             *c_ij = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
         }
     });
@@ -250,6 +268,15 @@ mod tests {
         let b2 = random(23, 19, 10);
         let expected2 = matmul(&a2, &b2.transpose());
         assert!(matmul_a_bt(&a2, &b2).relative_error(&expected2) < 1e-5);
+    }
+
+    #[test]
+    fn slice_variant_is_bit_identical_to_matrix_variant() {
+        let a = random(13, 21, 13);
+        let b = random(9, 21, 14);
+        let via_matrix = matmul_a_bt(&a, &b);
+        let via_slice = matmul_a_bt_slice(&a, b.as_slice(), b.rows());
+        assert_eq!(via_matrix.as_slice(), via_slice.as_slice());
     }
 
     #[test]

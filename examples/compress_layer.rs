@@ -74,15 +74,12 @@ fn main() {
     let mut compressed =
         build_shl(Method::Butterfly, dim, classes, &mut seeded_rng(46)).expect("valid");
     {
-        let flat: Vec<Vec<f32>> = projection
-            .butterfly
-            .factors
-            .iter()
-            .map(|f| f.twiddles.iter().flatten().copied().collect())
-            .collect();
+        let flat: Vec<Vec<f32>> =
+            projection.butterfly.factors.iter().map(|f| f.twiddles.clone()).collect();
         let mut ps = compressed.params();
         for (s_idx, values) in flat.iter().enumerate() {
             ps[s_idx].value.copy_from_slice(values);
+            ps[s_idx].mark_dirty();
         }
         let np = ps.len();
         ps[np - 2].value.copy_from_slice(&cls_w);

@@ -24,16 +24,16 @@ fn main() {
     let lr = 0.03f32;
     let momentum = 0.9f32;
     let batch = 32usize;
-    let mut velocity: Vec<Vec<[f32; 4]>> =
-        student.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+    let mut velocity: Vec<Vec<f32>> =
+        student.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
 
     println!("learning the {n}-point Walsh-Hadamard transform from examples");
     println!("{:>6}  {:>12}  {:>12}", "step", "mse loss", "rel op error");
     for step in 0..=8000 {
         // Fresh random probes each step: the supervision is (x, target(x)).
         let x = Matrix::random_uniform(batch, n, 1.0, &mut rng);
-        let mut grads: Vec<Vec<[f32; 4]>> =
-            student.factors.iter().map(|f| vec![[0.0; 4]; f.twiddles.len()]).collect();
+        let mut grads: Vec<Vec<f32>> =
+            student.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
         let mut loss = 0.0f64;
         for r in 0..batch {
             let want = target.apply(x.row(r));
@@ -52,12 +52,10 @@ fn main() {
         loss /= (batch * n) as f64;
         // SGD with momentum over the twiddles.
         for (s, factor) in student.factors.iter_mut().enumerate() {
-            for (t, tw) in factor.twiddles.iter_mut().enumerate() {
-                for e in 0..4 {
-                    let v = momentum * velocity[s][t][e] + grads[s][t][e];
-                    velocity[s][t][e] = v;
-                    tw[e] -= lr * v;
-                }
+            for ((tw, vel), g) in factor.twiddles.iter_mut().zip(&mut velocity[s]).zip(&grads[s]) {
+                let v = momentum * *vel + g;
+                *vel = v;
+                *tw -= lr * v;
             }
         }
         if step % 1000 == 0 {
