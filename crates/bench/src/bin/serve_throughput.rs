@@ -21,7 +21,7 @@
 //! burst), BFLY_SERVE_BATCH (default 32), BFLY_SERVE_WORKERS (default 2).
 
 use bfly_core::{Method, PixelflyConfig};
-use bfly_serve::{open_loop, LoadReport, ServeConfig, Server};
+use bfly_serve::{open_loop, CacheConfig, LoadReport, ServeConfig, Server};
 use serde::Serialize;
 use std::time::Duration;
 
@@ -98,6 +98,11 @@ fn run_once(
         queue_capacity: 512,
         workers,
         tensor_cores: false,
+        // This bench isolates the *batching* win; the response cache would
+        // dedupe the pooled inputs and measure the cache instead (that
+        // comparison lives in `bench_cache`).
+        cache: CacheConfig::disabled(),
+        ..Default::default()
     };
     let server = Server::start(config, &[method]).expect("BFLY_SERVE_DIM must fit every method");
     let name = server.model_names().remove(0);

@@ -2,6 +2,46 @@
 
 use std::time::Duration;
 
+/// Tunables of the content-addressed response cache and in-flight dedup
+/// (see [`crate::cache`]).
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Master switch. Off: every request goes through the batcher, exactly
+    /// the pre-cache behaviour.
+    pub enabled: bool,
+    /// Total memoized entries across all cache shards. `0` keeps in-flight
+    /// dedup (concurrent identical requests still coalesce onto one
+    /// forward) but memoizes nothing.
+    pub capacity: usize,
+    /// Lock-striped shards of the cache; each shard has one mutex guarding
+    /// its LRU slice and its in-flight table.
+    pub shards: usize,
+    /// Entries older than this are treated as misses and evicted lazily on
+    /// lookup. `None` keeps entries until LRU eviction.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self { enabled: true, capacity: 4096, shards: 8, ttl: None }
+    }
+}
+
+impl CacheConfig {
+    /// The off switch: every request computes, nothing coalesces.
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+
+    /// Panics unless the configuration is usable.
+    pub fn validate(&self) {
+        assert!(self.shards > 0, "cache shards must be positive");
+        if let Some(ttl) = self.ttl {
+            assert!(ttl > Duration::ZERO, "cache ttl must be positive when set");
+        }
+    }
+}
+
 /// Tunables of a [`crate::Server`].
 ///
 /// The defaults serve the paper's SHL benchmark shape (1024-dimensional
@@ -29,6 +69,13 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Whether the GPU time attribution uses the TF32 tensor-core path.
     pub tensor_cores: bool,
+    /// Registry partitions: model entries and their admission lanes are
+    /// hashed by name across this many shards, so name resolution is O(1)
+    /// and submit-side lock traffic spreads instead of funnelling through
+    /// one registry-wide lock.
+    pub registry_shards: usize,
+    /// Response cache + in-flight dedup configuration.
+    pub cache: CacheConfig,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +89,8 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             workers: std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(2),
             tensor_cores: false,
+            registry_shards: crate::registry::DEFAULT_REGISTRY_SHARDS,
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -54,6 +103,8 @@ impl ServeConfig {
         assert!(self.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
         assert!(self.workers > 0, "workers must be positive");
+        assert!(self.registry_shards > 0, "registry_shards must be positive");
+        self.cache.validate();
     }
 }
 
@@ -70,5 +121,25 @@ mod tests {
     #[should_panic(expected = "max_batch")]
     fn zero_batch_rejected() {
         ServeConfig { max_batch: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "registry_shards")]
+    fn zero_registry_shards_rejected() {
+        ServeConfig { registry_shards: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cache shards")]
+    fn zero_cache_shards_rejected() {
+        let cache = CacheConfig { shards: 0, ..Default::default() };
+        ServeConfig { cache, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn disabled_cache_is_valid() {
+        let cache = CacheConfig::disabled();
+        assert!(!cache.enabled);
+        ServeConfig { cache, ..Default::default() }.validate();
     }
 }

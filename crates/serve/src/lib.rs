@@ -5,11 +5,18 @@
 //! question that follows: *what does serving such a model look like?* It is
 //! a thread-based serving runtime (no async runtime) that:
 //!
-//! - registers one forward-only model per compression method
-//!   ([`ModelRegistry`], built on `bfly_core::build_shl_inference` so no
-//!   gradient or momentum memory is ever allocated);
-//! - admits requests through a bounded queue with immediate load shedding
-//!   ([`SubmitError::Overloaded`]) when the queue is full;
+//! - registers one forward-only model per compression method in an N-way
+//!   *sharded* registry ([`ModelRegistry`], built on
+//!   `bfly_core::build_shl_inference` so no gradient or momentum memory is
+//!   ever allocated): model names hash to shards, and each shard owns the
+//!   admission lanes of its models so submit-side lock traffic spreads;
+//! - answers repeated inputs from a content-addressed response cache and
+//!   coalesces concurrent identical requests onto one in-flight forward
+//!   ([`CacheConfig`], [`crate::cache`]) — a frozen model is a pure
+//!   function of its input bits, so cache hits are byte-identical to
+//!   computed responses and report an honest 0 device-µs ([`ServedFrom`]);
+//! - admits cache misses through a bounded queue with immediate load
+//!   shedding ([`SubmitError::Overloaded`]) when the queue is full;
 //! - coalesces single-sample requests into micro-batches (up to
 //!   `max_batch`, held at most `max_wait`) — the dynamic-batching win the
 //!   `serve_throughput` bench quantifies;
@@ -34,6 +41,7 @@
 //! println!("{}", final_metrics.to_json());
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod loadgen;
 pub mod metrics;
@@ -41,9 +49,17 @@ pub mod registry;
 pub mod request;
 pub mod server;
 
-pub use config::ServeConfig;
-pub use loadgen::{closed_loop, open_loop, LoadReport};
-pub use metrics::{Histogram, ModelMetrics, ModelStats, ServeSnapshot};
-pub use registry::{DeviceEstimate, ModelEntry, ModelRegistry};
-pub use request::{InferResponse, ResponseHandle, SubmitError, Timing};
+pub use cache::{hash_bytes, input_key};
+pub use config::{CacheConfig, ServeConfig};
+pub use loadgen::{
+    closed_loop, closed_loop_with_pool, input_pool, open_loop, open_loop_with_pool, LoadReport,
+    DEFAULT_INPUT_POOL,
+};
+pub use metrics::{
+    CacheStats, Histogram, ModelMetrics, ModelStats, RegistryShardStats, ServeSnapshot,
+};
+pub use registry::{
+    DeviceEstimate, ModelEntry, ModelLocation, ModelRegistry, DEFAULT_REGISTRY_SHARDS,
+};
+pub use request::{InferResponse, ResponseHandle, ServedFrom, SubmitError, Timing};
 pub use server::Server;

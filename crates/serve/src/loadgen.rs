@@ -7,9 +7,13 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::time::{Duration, Instant};
 
-/// How many distinct random input vectors a generator cycles through
-/// (pre-generated so the submission path measures the server, not the RNG).
-const INPUT_POOL: usize = 32;
+/// Default number of distinct random input vectors a generator cycles
+/// through (pre-generated so the submission path measures the server, not
+/// the RNG). The `*_with_pool` variants take an explicit size: the pool is
+/// the *input-reuse knob* — with the response cache on, a pool of `p`
+/// against `n ≫ p` requests yields a steady-state hit rate of about
+/// `1 - p/n`, so sweeping `p` sweeps the cache's effectiveness.
+pub const DEFAULT_INPUT_POOL: usize = 32;
 
 /// Client-side result of one load-generation run.
 #[derive(Debug, Clone)]
@@ -85,19 +89,39 @@ fn report_from(
     }
 }
 
-fn input_pool(dim: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f32>> {
-    (0..INPUT_POOL).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+/// Pre-generates `pool_size` seeded random input rows of width `dim`.
+///
+/// Shared by every load generator so two runs with the same seed and pool
+/// size offer byte-identical inputs — which is what makes cache-on vs
+/// cache-off comparisons at equal offered load meaningful.
+pub fn input_pool(dim: usize, pool_size: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f32>> {
+    assert!(pool_size > 0, "input pool must be non-empty");
+    (0..pool_size).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
 }
 
 /// Open-loop generator: submits `total` requests with seeded Poisson
 /// arrivals at `rate_hz`, never waiting for responses during the submission
 /// window (arrivals are independent of service — the generator that can
-/// overload the server and exercise shedding).
+/// overload the server and exercise shedding). Cycles through
+/// [`DEFAULT_INPUT_POOL`] distinct inputs.
 pub fn open_loop(server: &Server, model: &str, rate_hz: f64, total: u64, seed: u64) -> LoadReport {
+    open_loop_with_pool(server, model, rate_hz, total, seed, DEFAULT_INPUT_POOL)
+}
+
+/// [`open_loop`] with an explicit input-pool size (the input-reuse knob:
+/// smaller pools mean more repeated inputs, i.e. more cache hits).
+pub fn open_loop_with_pool(
+    server: &Server,
+    model: &str,
+    rate_hz: f64,
+    total: u64,
+    seed: u64,
+    pool_size: usize,
+) -> LoadReport {
     assert!(rate_hz > 0.0, "open_loop needs a positive rate");
     let dim = server.config().dim;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let inputs = input_pool(dim, &mut rng);
+    let inputs = input_pool(dim, pool_size, &mut rng);
 
     let mut handles: Vec<ResponseHandle> = Vec::with_capacity(total as usize);
     let mut shed = 0u64;
@@ -111,7 +135,7 @@ pub fn open_loop(server: &Server, model: &str, rate_hz: f64, total: u64, seed: u
         if next_arrival > now {
             std::thread::sleep(next_arrival - now);
         }
-        match server.submit(model, i, i, inputs[(i as usize) % INPUT_POOL].clone()) {
+        match server.submit(model, i, i, inputs[(i as usize) % inputs.len()].clone()) {
             Ok(handle) => handles.push(handle),
             Err(SubmitError::Overloaded) => shed += 1,
             Err(e) => panic!("open_loop submit failed: {e}"),
@@ -133,7 +157,8 @@ pub fn open_loop(server: &Server, model: &str, rate_hz: f64, total: u64, seed: u
 
 /// Closed-loop generator: `clients` threads each keep exactly one request in
 /// flight for `per_client` iterations (throughput is admission-controlled by
-/// construction; sheds are retried, not dropped).
+/// construction; sheds are retried, not dropped). Cycles through
+/// [`DEFAULT_INPUT_POOL`] distinct inputs per client.
 pub fn closed_loop(
     server: &Server,
     model: &str,
@@ -141,19 +166,38 @@ pub fn closed_loop(
     per_client: u64,
     seed: u64,
 ) -> LoadReport {
+    closed_loop_with_pool(server, model, clients, per_client, seed, DEFAULT_INPUT_POOL)
+}
+
+/// [`closed_loop`] with an explicit per-client input-pool size (the
+/// input-reuse knob; all clients share one seeded pool so cross-client
+/// coalescing is also exercised).
+pub fn closed_loop_with_pool(
+    server: &Server,
+    model: &str,
+    clients: u64,
+    per_client: u64,
+    seed: u64,
+    pool_size: usize,
+) -> LoadReport {
     let dim = server.config().dim;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inputs = input_pool(dim, pool_size, &mut rng);
     let start = Instant::now();
     let results: Vec<(u64, Vec<u64>, Vec<usize>)> = std::thread::scope(|scope| {
         let threads: Vec<_> = (0..clients)
             .map(|c| {
+                let inputs = &inputs;
                 scope.spawn(move || {
-                    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c + 1));
-                    let inputs = input_pool(dim, &mut rng);
                     let mut sheds = 0u64;
                     let mut latencies = Vec::with_capacity(per_client as usize);
                     let mut batch_sizes = Vec::with_capacity(per_client as usize);
                     for s in 0..per_client {
-                        let input = inputs[(s as usize) % INPUT_POOL].clone();
+                        // Offset by client id so clients walk the shared
+                        // pool out of phase (exercises cross-client
+                        // coalescing without every thread hammering the
+                        // same key in lockstep).
+                        let input = inputs[(c as usize + s as usize) % inputs.len()].clone();
                         let handle = loop {
                             match server.submit(model, c, s, input.clone()) {
                                 Ok(handle) => break handle,
@@ -229,6 +273,29 @@ mod tests {
         assert_eq!(report.completed, 100);
         assert!(report.throughput_rps > 0.0);
         server.shutdown();
+    }
+
+    #[test]
+    fn input_pool_is_seeded_and_sized() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let pa = input_pool(16, 7, &mut a);
+        let pb = input_pool(16, 7, &mut b);
+        assert_eq!(pa.len(), 7);
+        assert_eq!(pa, pb, "same seed, same pool");
+        let mut c = ChaCha8Rng::seed_from_u64(6);
+        assert_ne!(pa, input_pool(16, 7, &mut c), "different seed, different pool");
+    }
+
+    #[test]
+    fn single_input_pool_turns_repeats_into_cache_traffic() {
+        let server = test_server(8);
+        let report = open_loop_with_pool(&server, "butterfly", 5000.0, 100, 11, 1);
+        assert_eq!(report.completed, report.accepted);
+        let snapshot = server.shutdown();
+        let m = &snapshot.models[0];
+        assert_eq!(m.cache_misses, 1, "one distinct input computes once");
+        assert_eq!(m.cache_hits + m.cache_coalesced, 99, "repeats never recompute");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Serving metrics: latency/queue histograms, throughput, shed accounting,
-//! batch-size distribution, and a `serde`-exportable snapshot.
+//! batch-size distribution, cache hit/miss/coalesce counters, per-shard
+//! queue depth, and a `serde`-exportable snapshot.
 
 use crate::request::Timing;
 use parking_lot::Mutex;
@@ -65,7 +66,12 @@ impl Histogram {
         }
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) over retained samples, 0 when empty.
+    /// The `q`-quantile over retained samples.
+    ///
+    /// Edge cases are pinned: an empty histogram returns 0 for every `q`;
+    /// `q = 0.0` is the minimum retained sample; `q = 1.0` the maximum;
+    /// out-of-range or non-finite `q` is clamped into `[0.0, 1.0]` (NaN
+    /// clamps to 0.0) rather than indexing out of bounds.
     pub fn quantile(&self, q: f64) -> u64 {
         let s = self.state.lock();
         if s.samples.is_empty() {
@@ -73,20 +79,35 @@ impl Histogram {
         }
         let mut sorted = s.samples.clone();
         sorted.sort_unstable();
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        sorted[quantile_rank(q, sorted.len())]
     }
+}
+
+/// Index of the `q`-quantile in a sorted slice of `len > 0` samples, using
+/// the ceiling-rank convention (`q = 0` → index 0, `q = 1` → `len - 1`).
+pub(crate) fn quantile_rank(q: f64, len: usize) -> usize {
+    debug_assert!(len > 0, "quantile_rank needs a non-empty sample set");
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+    rank - 1
 }
 
 /// Live counters for one served model.
 #[derive(Default)]
 pub struct ModelMetrics {
-    /// Requests accepted into the admission queue.
+    /// Requests accepted into the admission queue (cache hits and coalesced
+    /// requests never enter the queue and are counted separately).
     pub admitted: AtomicU64,
     /// Requests rejected because the queue was full.
     pub shed: AtomicU64,
-    /// Responses delivered.
+    /// Responses delivered (computed + cache hits + coalesced).
     pub completed: AtomicU64,
+    /// Responses served straight from the content-addressed cache.
+    pub cache_hits: AtomicU64,
+    /// Responses coalesced onto another request's in-flight forward.
+    pub cache_coalesced: AtomicU64,
+    /// Requests that missed the cache and were admitted to compute.
+    pub cache_misses: AtomicU64,
     /// End-to-end latency (admission -> response), microseconds.
     pub latency_us: Histogram,
     /// Queueing + batch-formation delay, microseconds.
@@ -109,11 +130,21 @@ impl ModelMetrics {
     }
 
     /// Builds the serializable view.
-    pub fn snapshot(&self, name: &str, elapsed_s: f64, queue_depth: usize) -> ModelStats {
+    pub fn snapshot(
+        &self,
+        name: &str,
+        elapsed_s: f64,
+        queue_depth: usize,
+        memoized_estimates: usize,
+    ) -> ModelStats {
         let admitted = self.admitted.load(Ordering::Relaxed);
         let shed = self.shed.load(Ordering::Relaxed);
         let completed = self.completed.load(Ordering::Relaxed);
-        let offered = admitted + shed;
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let cache_coalesced = self.cache_coalesced.load(Ordering::Relaxed);
+        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        let offered = admitted + cache_hits + cache_coalesced + shed;
+        let cache_looked = cache_hits + cache_coalesced + cache_misses;
         ModelStats {
             model: name.to_string(),
             admitted,
@@ -129,6 +160,15 @@ impl ModelMetrics {
             mean_batch: self.batch_size.mean(),
             batches: self.batch_size.count(),
             queue_depth,
+            cache_hits,
+            cache_coalesced,
+            cache_misses,
+            cache_hit_rate: if cache_looked == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / cache_looked as f64
+            },
+            memoized_estimates,
         }
     }
 }
@@ -138,13 +178,13 @@ impl ModelMetrics {
 pub struct ModelStats {
     /// Model name (registry key).
     pub model: String,
-    /// Requests accepted.
+    /// Requests accepted into the admission queue.
     pub admitted: u64,
     /// Requests shed at admission.
     pub shed: u64,
-    /// Responses delivered.
+    /// Responses delivered (computed + cache hits + coalesced).
     pub completed: u64,
-    /// shed / (admitted + shed).
+    /// shed / (admitted + cache hits + coalesced + shed).
     pub shed_rate: f64,
     /// Completed requests per second over the snapshot window.
     pub throughput_rps: f64,
@@ -164,6 +204,77 @@ pub struct ModelStats {
     pub batches: u64,
     /// Admission-queue depth at snapshot time.
     pub queue_depth: usize,
+    /// Responses served straight from the response cache (0 device-µs).
+    pub cache_hits: u64,
+    /// Responses coalesced onto an in-flight identical request.
+    pub cache_coalesced: u64,
+    /// Cache lookups that fell through to a computed forward.
+    pub cache_misses: u64,
+    /// cache_hits / (cache_hits + cache_coalesced + cache_misses).
+    pub cache_hit_rate: f64,
+    /// Batch sizes priced so far in the model's device-estimate memo
+    /// (warm-up indicator: stops growing once every batch size was seen).
+    pub memoized_estimates: usize,
+}
+
+/// Serializable whole-cache statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheStats {
+    /// Whether the response cache was enabled for this server.
+    pub enabled: bool,
+    /// Configured total entry capacity (0 = dedup-only).
+    pub capacity: usize,
+    /// Number of lock-striped cache shards.
+    pub shards: usize,
+    /// Entries currently memoized.
+    pub entries: usize,
+    /// In-flight (pending) computations at snapshot time.
+    pub in_flight: usize,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that admitted a computation.
+    pub misses: u64,
+    /// Lookups that joined an in-flight computation.
+    pub coalesced: u64,
+    /// hits / (hits + misses + coalesced).
+    pub hit_rate: f64,
+    /// Results memoized.
+    pub insertions: u64,
+    /// Entries evicted by LRU pressure.
+    pub evictions: u64,
+    /// Entries evicted by TTL expiry.
+    pub expired: u64,
+}
+
+impl CacheStats {
+    /// The all-zero snapshot reported when the cache is configured off.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            capacity: 0,
+            shards: 0,
+            entries: 0,
+            in_flight: 0,
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            hit_rate: 0.0,
+            insertions: 0,
+            evictions: 0,
+            expired: 0,
+        }
+    }
+}
+
+/// Per-registry-shard aggregate view.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegistryShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Models registered in this shard.
+    pub models: usize,
+    /// Summed admission-queue depth of this shard's models at snapshot time.
+    pub queue_depth: usize,
 }
 
 /// Serializable whole-server snapshot.
@@ -173,6 +284,10 @@ pub struct ServeSnapshot {
     pub elapsed_s: f64,
     /// Per-model statistics, in registration order.
     pub models: Vec<ModelStats>,
+    /// Per-registry-shard queue depths and membership.
+    pub shards: Vec<RegistryShardStats>,
+    /// Response-cache statistics (counters all zero when disabled).
+    pub cache: CacheStats,
 }
 
 impl ServeSnapshot {
@@ -185,6 +300,7 @@ impl ServeSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::ServedFrom;
 
     #[test]
     fn quantiles_of_known_distribution() {
@@ -197,6 +313,31 @@ mod tests {
         assert_eq!(h.quantile(0.95), 95);
         assert_eq!(h.quantile(1.0), 100);
         assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        // Empty histogram: every q yields 0, including the edges.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram, q={q}");
+        }
+        // Single sample: every q yields it.
+        let single = Histogram::default();
+        single.record(7);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(single.quantile(q), 7, "single sample, q={q}");
+        }
+        // q=0 is the minimum, q=1 the maximum; out-of-range q clamps.
+        let h = Histogram::default();
+        for v in [30, 10, 20] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 30);
+        assert_eq!(h.quantile(-0.5), 10, "q below range clamps to the minimum");
+        assert_eq!(h.quantile(1.5), 30, "q above range clamps to the maximum");
+        assert_eq!(h.quantile(f64::NAN), 10, "NaN q clamps to the minimum");
     }
 
     #[test]
@@ -217,6 +358,7 @@ mod tests {
         let m = ModelMetrics::default();
         m.admitted.fetch_add(10, Ordering::Relaxed);
         m.shed.fetch_add(2, Ordering::Relaxed);
+        m.cache_hits.fetch_add(5, Ordering::Relaxed);
         m.record_batch(4);
         let t = Timing {
             queue_us: 10,
@@ -225,13 +367,22 @@ mod tests {
             batch_size: 4,
             ipu_batch_us: None,
             gpu_batch_us: None,
+            source: ServedFrom::Compute,
         };
         m.record_response(&t);
-        let snap = ServeSnapshot { elapsed_s: 1.0, models: vec![m.snapshot("butterfly", 1.0, 3)] };
+        let snap = ServeSnapshot {
+            elapsed_s: 1.0,
+            models: vec![m.snapshot("butterfly", 1.0, 3, 2)],
+            shards: vec![RegistryShardStats { shard: 0, models: 1, queue_depth: 3 }],
+            cache: CacheStats::disabled(),
+        };
         let json = snap.to_json();
         assert!(json.contains("\"model\": \"butterfly\""), "{json}");
         assert!(json.contains("\"shed\": 2"), "{json}");
         assert!(json.contains("\"queue_depth\": 3"), "{json}");
+        assert!(json.contains("\"cache_hits\": 5"), "{json}");
+        assert!(json.contains("\"memoized_estimates\": 2"), "{json}");
+        assert!(json.contains("\"shards\""), "{json}");
     }
 
     #[test]
@@ -239,7 +390,20 @@ mod tests {
         let m = ModelMetrics::default();
         m.admitted.fetch_add(3, Ordering::Relaxed);
         m.shed.fetch_add(1, Ordering::Relaxed);
-        let s = m.snapshot("x", 1.0, 0);
+        let s = m.snapshot("x", 1.0, 0, 0);
         assert!((s.shed_rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_rate_counts_all_lookups() {
+        let m = ModelMetrics::default();
+        m.cache_hits.fetch_add(6, Ordering::Relaxed);
+        m.cache_coalesced.fetch_add(2, Ordering::Relaxed);
+        m.cache_misses.fetch_add(4, Ordering::Relaxed);
+        let s = m.snapshot("x", 1.0, 0, 0);
+        assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.cache_hits, 6);
+        assert_eq!(s.cache_coalesced, 2);
+        assert_eq!(s.cache_misses, 4);
     }
 }

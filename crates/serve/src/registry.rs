@@ -1,5 +1,16 @@
-//! The model registry: one forward-only SHL model per compression method.
+//! The model registry: one forward-only SHL model per compression method,
+//! partitioned into N-way shards.
+//!
+//! Entries are hashed by model name across [`ModelRegistry::shard_count`]
+//! partitions. Name resolution is an O(1) per-shard map lookup instead of a
+//! linear scan of every registered model, and the server gives each shard
+//! its own admission-lane lock, so a fleet of thousands of models — or a
+//! hot model hammered from many threads — contends on one partition, not on
+//! a registry-wide structure. Registration order stays observable:
+//! [`ModelRegistry::entries`] and [`ModelRegistry::index_of`] behave exactly
+//! as the pre-sharding flat registry did.
 
+use crate::cache::hash_bytes;
 use bfly_core::{build_shl_inference, shl_param_count, Method, PixelflyError};
 use bfly_gpu::GpuDevice;
 use bfly_ipu::IpuDevice;
@@ -8,6 +19,11 @@ use bfly_tensor::{derived_rng, Matrix, Scratch};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Default number of registry partitions (see [`ServeConfig::registry_shards`]).
+///
+/// [`ServeConfig::registry_shards`]: crate::ServeConfig::registry_shards
+pub const DEFAULT_REGISTRY_SHARDS: usize = 8;
 
 /// Predicted device time for one batch of a model's forward trace.
 ///
@@ -96,20 +112,45 @@ impl ModelEntry {
         estimate
     }
 
-    /// Number of batch sizes currently held in the estimate memo (tests).
+    /// Number of batch sizes currently held in the estimate memo.
     pub fn memoized_estimates(&self) -> usize {
         self.estimates.read().len()
     }
 }
 
-/// All models a server instance can answer for, keyed by method label.
+/// Where a model lives: its registration-order index plus its shard
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelLocation {
+    /// Registration-order index (what [`ModelRegistry::index_of`] returns).
+    pub index: usize,
+    /// Which registry shard holds the entry.
+    pub shard: usize,
+    /// Position within that shard's member list.
+    pub within: usize,
+}
+
+struct RegistryShard {
+    /// Registration-order indices of the models in this shard, in
+    /// within-shard order.
+    members: Vec<usize>,
+    by_name: HashMap<String, ModelLocation>,
+}
+
+/// All models a server instance can answer for, keyed by method label and
+/// partitioned by name hash.
 pub struct ModelRegistry {
-    entries: Vec<Arc<ModelEntry>>,
+    shards: Vec<RegistryShard>,
+    /// Registration order, for iteration and stable indices.
+    flat: Vec<Arc<ModelEntry>>,
+    /// Registration-order index -> shard coordinates.
+    locations: Vec<ModelLocation>,
 }
 
 impl ModelRegistry {
-    /// Builds a forward-only model per requested method. Every model derives
-    /// its weights from `seed` and its method index, so two registries built
+    /// Builds a forward-only model per requested method with
+    /// [`DEFAULT_REGISTRY_SHARDS`] partitions. Every model derives its
+    /// weights from `seed` and its method index, so two registries built
     /// with the same arguments are weight-identical.
     ///
     /// Methods whose construction fails for the given dimension (pixelfly on
@@ -120,11 +161,23 @@ impl ModelRegistry {
         seed: u64,
         methods: &[Method],
     ) -> Result<Self, PixelflyError> {
-        let mut entries = Vec::with_capacity(methods.len());
+        Self::build_sharded(dim, classes, seed, methods, DEFAULT_REGISTRY_SHARDS)
+    }
+
+    /// [`ModelRegistry::build`] with an explicit shard count.
+    pub fn build_sharded(
+        dim: usize,
+        classes: usize,
+        seed: u64,
+        methods: &[Method],
+        shard_count: usize,
+    ) -> Result<Self, PixelflyError> {
+        assert!(shard_count > 0, "registry needs at least one shard");
+        let mut flat = Vec::with_capacity(methods.len());
         for (i, &method) in methods.iter().enumerate() {
             let mut rng = derived_rng(seed, i as u64);
             let model = build_shl_inference(method, dim, classes, &mut rng)?;
-            entries.push(Arc::new(ModelEntry {
+            flat.push(Arc::new(ModelEntry {
                 name: method.label().to_ascii_lowercase(),
                 method,
                 dim,
@@ -134,28 +187,71 @@ impl ModelRegistry {
                 estimates: RwLock::new(HashMap::new()),
             }));
         }
-        Ok(Self { entries })
+        let mut shards: Vec<RegistryShard> = (0..shard_count)
+            .map(|_| RegistryShard { members: Vec::new(), by_name: HashMap::new() })
+            .collect();
+        let mut locations = Vec::with_capacity(flat.len());
+        for (index, entry) in flat.iter().enumerate() {
+            let shard = shard_of_name(entry.name(), shard_count);
+            let within = shards[shard].members.len();
+            let location = ModelLocation { index, shard, within };
+            shards[shard].members.push(index);
+            shards[shard].by_name.insert(entry.name().to_string(), location);
+            locations.push(location);
+        }
+        Ok(Self { shards, flat, locations })
     }
 
     /// The registered models, in registration order.
     pub fn entries(&self) -> &[Arc<ModelEntry>] {
-        &self.entries
+        &self.flat
     }
 
-    /// Index of the model with the given name.
+    /// O(1) name resolution to the model's shard coordinates.
+    pub fn locate(&self, name: &str) -> Option<ModelLocation> {
+        let shard = shard_of_name(name, self.shards.len());
+        self.shards[shard].by_name.get(name).copied()
+    }
+
+    /// Registration-order index of the model with the given name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.entries.iter().position(|e| e.name() == name)
+        self.locate(name).map(|l| l.index)
+    }
+
+    /// Shard coordinates of the model at the given registration-order index.
+    pub fn location(&self, index: usize) -> ModelLocation {
+        self.locations[index]
+    }
+
+    /// Number of registry partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a model name routes to (whether or not it is registered).
+    pub fn shard_of(&self, name: &str) -> usize {
+        shard_of_name(name, self.shards.len())
+    }
+
+    /// Registration-order indices of the models in the given shard, in
+    /// within-shard order.
+    pub fn shard_members(&self, shard: usize) -> &[usize] {
+        &self.shards[shard].members
     }
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.flat.len()
     }
 
     /// True when no model is registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.flat.is_empty()
     }
+}
+
+fn shard_of_name(name: &str, shard_count: usize) -> usize {
+    (hash_bytes(name.as_bytes()) as usize) % shard_count
 }
 
 #[cfg(test)]
@@ -242,5 +338,69 @@ mod tests {
         let config = bfly_core::PixelflyConfig::paper_default();
         let result = ModelRegistry::build(784, 10, 1, &[Method::Pixelfly(config)]);
         assert!(result.is_err(), "pixelfly must reject dim=784");
+    }
+
+    #[test]
+    fn every_model_resolves_to_exactly_one_shard() {
+        for shard_count in [1, 2, 3, 8, 17] {
+            let reg = ModelRegistry::build_sharded(1024, 10, 7, &Method::table4_all(), shard_count)
+                .expect("valid");
+            assert_eq!(reg.shard_count(), shard_count);
+            // Shard membership partitions the registration-order index set.
+            let mut seen = vec![0usize; reg.len()];
+            for shard in 0..shard_count {
+                for &index in reg.shard_members(shard) {
+                    seen[index] += 1;
+                    assert_eq!(reg.location(index).shard, shard);
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "each model in exactly one shard");
+            // locate() agrees with shard_of() and round-trips the name.
+            for (index, entry) in reg.entries().iter().enumerate() {
+                let loc = reg.locate(entry.name()).expect("registered");
+                assert_eq!(loc.index, index);
+                assert_eq!(loc.shard, reg.shard_of(entry.name()));
+                assert_eq!(reg.shard_members(loc.shard)[loc.within], index);
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_preserves_flat_registry_semantics_for_table4_set() {
+        let methods = Method::table4_all();
+        let flat_order: Vec<String> =
+            methods.iter().map(|m| m.label().to_ascii_lowercase()).collect();
+        for shard_count in [1, 4, 16] {
+            let reg =
+                ModelRegistry::build_sharded(1024, 10, 7, &methods, shard_count).expect("valid");
+            let names: Vec<String> = reg.entries().iter().map(|e| e.name().to_string()).collect();
+            assert_eq!(names, flat_order, "entries() keeps registration order");
+            for (i, name) in flat_order.iter().enumerate() {
+                assert_eq!(reg.index_of(name), Some(i), "index_of unchanged by sharding");
+            }
+            assert_eq!(reg.index_of("nope"), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_lookups_across_shards_smoke() {
+        let reg = std::sync::Arc::new(
+            ModelRegistry::build_sharded(256, 10, 3, &Method::table4_all(), 4).expect("valid"),
+        );
+        let names: Vec<String> = reg.entries().iter().map(|e| e.name().to_string()).collect();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let reg = std::sync::Arc::clone(&reg);
+                let names = names.clone();
+                s.spawn(move || {
+                    for round in 0..500 {
+                        let name = &names[(t + round) % names.len()];
+                        let loc = reg.locate(name).expect("registered");
+                        assert_eq!(reg.entries()[loc.index].name(), name);
+                        assert!(reg.locate("missing-model").is_none());
+                    }
+                });
+            }
+        });
     }
 }

@@ -1,8 +1,25 @@
 //! Request and response types of the serving API.
 
+use crate::cache::CacheTag;
 use crossbeam::channel::{self, Receiver, Sender};
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// How a response was produced — the provenance behind its device-time
+/// attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServedFrom {
+    /// A worker ran the forward pass for this request; the batch's device
+    /// estimate is attributed here.
+    #[default]
+    Compute,
+    /// Served from the content-addressed response cache without touching
+    /// the batcher: 0 device-µs by definition.
+    CacheHit,
+    /// Coalesced onto another in-flight request's forward; the device time
+    /// is attributed to that leader, so this response reports 0 device-µs.
+    Coalesced,
+}
 
 /// Per-request timing attribution attached to every response.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +38,11 @@ pub struct Timing {
     pub ipu_batch_us: Option<f64>,
     /// Predicted GPU (A30) microseconds for the whole batch.
     pub gpu_batch_us: Option<f64>,
+    /// Provenance: computed, cache hit, or coalesced. Cache hits and
+    /// coalesced followers carry `Some(0.0)` device estimates so summing
+    /// device time over responses stays honest (one forward, one
+    /// attribution).
+    pub source: ServedFrom,
 }
 
 /// A completed inference.
@@ -46,6 +68,10 @@ pub(crate) struct InferRequest {
     pub input: Vec<f32>,
     pub submitted: Instant,
     pub reply: Sender<InferResponse>,
+    /// Present when this request leads a cached/coalesced computation: on
+    /// completion the worker memoizes the result and wakes the key's
+    /// waiters.
+    pub cache_tag: Option<CacheTag>,
 }
 
 /// The caller's handle to a pending response.
@@ -129,6 +155,7 @@ mod tests {
                 batch_size: 1,
                 ipu_batch_us: None,
                 gpu_batch_us: None,
+                source: ServedFrom::Compute,
             },
         };
         tx.send(resp).expect("handle alive");

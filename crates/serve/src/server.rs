@@ -1,27 +1,40 @@
-//! The serving runtime: bounded admission, per-model micro-batchers, a
+//! The serving runtime: bounded admission behind a content-addressed
+//! response cache, per-model micro-batchers over a sharded registry, a
 //! shared worker pool, and graceful drain on shutdown.
 //!
 //! Thread topology (all `std::thread`, no async runtime):
 //!
 //! ```text
-//! submit() --try_send--> [admission queue, model 0] --> batcher 0 --+
-//! submit() --try_send--> [admission queue, model 1] --> batcher 1 --+--> [batch queue] --> worker pool
-//!                                ...                                |        (N threads, shared)
-//! submit() --try_send--> [admission queue, model M] --> batcher M --+
+//!            cache hit ──────────────────────────────► reply (0 device-µs)
+//! submit() ──┤ coalesce ──► parked on in-flight entry ─► woken by leader
+//!            └─miss──► [admission queue, model i] ──► batcher i ──┐
+//!                        (queues live in per-shard lanes)         ├─► [batch queue] ─► worker pool
+//!                                  ...                  ──────────┘      (N threads, shared)
 //! ```
 //!
-//! Each batcher owns one model's admission queue and coalesces requests into
-//! micro-batches of up to `max_batch`, holding an under-full batch open for
-//! at most `max_wait`. Workers execute whole batches lock-free: the frozen
-//! models are shared immutably through `Arc`, each worker owns a private
-//! scratch arena, so one forward pass and one (memoized) simulator pricing
-//! run with no serialization point — then responses fan back out through
-//! each request's private reply channel.
+//! The submit path resolves the model through the N-way sharded registry
+//! (O(1) name lookup, per-shard admission-lane lock), then runs the cache's
+//! lookup → coalesce → admit critical section: repeated inputs return the
+//! memoized response without touching the batcher, concurrent identical
+//! requests coalesce onto one pending forward, and only genuine misses
+//! enter the admission queue. Each batcher owns one model's admission queue
+//! and coalesces requests into micro-batches of up to `max_batch`, holding
+//! an under-full batch open for at most `max_wait`. Workers execute whole
+//! batches lock-free — the frozen models are shared immutably through
+//! `Arc`, each worker owns a private scratch arena — then publish the
+//! result to the cache, wake the key's coalesced waiters, and fan responses
+//! out through each request's private reply channel. Cache hits and
+//! coalesced followers report 0 device-µs (the one forward's device time is
+//! attributed to the computing request alone), so summing device time over
+//! responses remains honest.
 
+use crate::cache::{input_key, AdmitOutcome, ResponseCache, Waiter};
 use crate::config::ServeConfig;
-use crate::metrics::{ModelMetrics, ServeSnapshot};
-use crate::registry::{ModelEntry, ModelRegistry};
-use crate::request::{InferRequest, InferResponse, ResponseHandle, SubmitError, Timing};
+use crate::metrics::{CacheStats, ModelMetrics, RegistryShardStats, ServeSnapshot};
+use crate::registry::ModelRegistry;
+use crate::request::{
+    InferRequest, InferResponse, ResponseHandle, ServedFrom, SubmitError, Timing,
+};
 use bfly_core::{Method, PixelflyError};
 use bfly_gpu::GpuDevice;
 use bfly_ipu::IpuDevice;
@@ -39,13 +52,21 @@ struct Batch {
     requests: Vec<InferRequest>,
 }
 
+/// Admission lane of one registry shard: the submit senders of the shard's
+/// models, in within-shard order. `None` once shutdown begins; dropping the
+/// senders disconnects the admission queues, which is what lets the
+/// batchers drain and exit.
+struct ShardLane {
+    submit: RwLock<Option<Vec<Sender<InferRequest>>>>,
+}
+
 struct Inner {
     config: ServeConfig,
-    entries: Vec<Arc<ModelEntry>>,
+    registry: ModelRegistry,
     metrics: Vec<Arc<ModelMetrics>>,
-    /// `None` once shutdown begins; dropping the senders disconnects the
-    /// admission queues, which is what lets the batchers drain and exit.
-    submit: RwLock<Option<Vec<Sender<InferRequest>>>>,
+    lanes: Vec<ShardLane>,
+    /// `None` when the cache is disabled: every request goes to the batcher.
+    cache: Option<ResponseCache>,
     completion_counter: AtomicU64,
     ipu: IpuDevice,
     gpu: GpuDevice,
@@ -64,46 +85,59 @@ pub struct Server {
 }
 
 impl Server {
-    /// Builds the registry and starts batcher and worker threads.
+    /// Builds the sharded registry and starts batcher and worker threads.
     pub fn start(config: ServeConfig, methods: &[Method]) -> Result<Self, PixelflyError> {
         config.validate();
         assert!(!methods.is_empty(), "server needs at least one model");
-        let registry = ModelRegistry::build(config.dim, config.classes, config.seed, methods)?;
-        let entries: Vec<Arc<ModelEntry>> = registry.entries().to_vec();
+        let registry = ModelRegistry::build_sharded(
+            config.dim,
+            config.classes,
+            config.seed,
+            methods,
+            config.registry_shards,
+        )?;
         let metrics: Vec<Arc<ModelMetrics>> =
-            entries.iter().map(|_| Arc::new(ModelMetrics::default())).collect();
+            registry.entries().iter().map(|_| Arc::new(ModelMetrics::default())).collect();
 
-        let mut submit_txs = Vec::with_capacity(entries.len());
-        let mut submit_rxs = Vec::with_capacity(entries.len());
-        for _ in &entries {
-            let (tx, rx) = channel::bounded::<InferRequest>(config.queue_capacity);
-            submit_txs.push(tx);
-            submit_rxs.push(rx);
+        // Per-shard admission lanes; batcher receivers keep their global
+        // (registration-order) model index.
+        let mut lanes = Vec::with_capacity(registry.shard_count());
+        let mut batcher_rxs: Vec<(usize, Receiver<InferRequest>)> =
+            Vec::with_capacity(registry.len());
+        for shard in 0..registry.shard_count() {
+            let mut senders = Vec::with_capacity(registry.shard_members(shard).len());
+            for &index in registry.shard_members(shard) {
+                let (tx, rx) = channel::bounded::<InferRequest>(config.queue_capacity);
+                senders.push(tx);
+                batcher_rxs.push((index, rx));
+            }
+            lanes.push(ShardLane { submit: RwLock::new(Some(senders)) });
         }
         // Shallow batch queue: keeps workers fed while exerting backpressure
         // on batchers (a blocked batcher fills its admission queue, which is
         // what triggers shedding).
         let (batch_tx, batch_rx) = channel::bounded::<Batch>(2 * config.workers);
 
+        let cache = config.cache.enabled.then(|| ResponseCache::new(&config.cache));
         let inner = Arc::new(Inner {
             config: config.clone(),
-            entries,
+            registry,
             metrics,
-            submit: RwLock::new(Some(submit_txs)),
+            lanes,
+            cache,
             completion_counter: AtomicU64::new(0),
             ipu: IpuDevice::gc200(),
             gpu: GpuDevice::a30(),
             started: Instant::now(),
         });
 
-        let batchers = submit_rxs
+        let batchers = batcher_rxs
             .into_iter()
-            .enumerate()
             .map(|(idx, rx)| {
                 let inner = Arc::clone(&inner);
                 let tx = batch_tx.clone();
                 std::thread::Builder::new()
-                    .name(format!("serve-batcher-{}", inner.entries[idx].name()))
+                    .name(format!("serve-batcher-{}", inner.registry.entries()[idx].name()))
                     .spawn(move || batcher_loop(&inner, idx, rx, tx))
                     .expect("spawn batcher")
             })
@@ -132,14 +166,18 @@ impl Server {
 
     /// Names of the registered models, in registration order.
     pub fn model_names(&self) -> Vec<String> {
-        self.inner.entries.iter().map(|e| e.name().to_string()).collect()
+        self.inner.registry.entries().iter().map(|e| e.name().to_string()).collect()
     }
 
     /// Submits one inference request.
     ///
-    /// Admission control is non-blocking: a full queue immediately returns
-    /// [`SubmitError::Overloaded`] rather than stalling the caller — the
-    /// load-shedding contract of the runtime.
+    /// The fast path never touches the batcher: a repeated input returns
+    /// the memoized response immediately, and a request identical to one
+    /// already in flight coalesces onto it (one forward regardless of
+    /// fan-in). Admission control for genuine misses is non-blocking: a
+    /// full queue immediately returns [`SubmitError::Overloaded`] rather
+    /// than stalling the caller — the load-shedding contract of the
+    /// runtime.
     pub fn submit(
         &self,
         model: &str,
@@ -147,53 +185,144 @@ impl Server {
         seq: u64,
         input: Vec<f32>,
     ) -> Result<ResponseHandle, SubmitError> {
-        let idx = self
-            .inner
-            .entries
-            .iter()
-            .position(|e| e.name() == model)
-            .ok_or(SubmitError::UnknownModel)?;
-        let expected = self.inner.entries[idx].dim();
+        let loc = self.inner.registry.locate(model).ok_or(SubmitError::UnknownModel)?;
+        let entry = &self.inner.registry.entries()[loc.index];
+        let expected = entry.dim();
         if input.len() != expected {
             return Err(SubmitError::WrongInputLen { expected, got: input.len() });
         }
-        let guard = self.inner.submit.read();
+        let metrics = &self.inner.metrics[loc.index];
+        let guard = self.inner.lanes[loc.shard].submit.read();
         let senders = guard.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        let sender = &senders[loc.within];
+        let submitted = Instant::now();
         let (reply, handle) = ResponseHandle::channel();
-        let request = InferRequest { client, seq, input, submitted: Instant::now(), reply };
-        match senders[idx].try_send(request) {
-            Ok(()) => {
-                self.inner.metrics[idx].admitted.fetch_add(1, Ordering::Relaxed);
+
+        let Some(cache) = &self.inner.cache else {
+            // Cache off: the pre-cache admission path, verbatim.
+            let request = InferRequest { client, seq, input, submitted, reply, cache_tag: None };
+            return match sender.try_send(request) {
+                Ok(()) => {
+                    metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                    Ok(handle)
+                }
+                Err(TrySendError::Full(_)) => {
+                    metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    Err(SubmitError::Overloaded)
+                }
+                Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+            };
+        };
+
+        let key = input_key(loc.index, &input);
+        let outcome = cache.admit(
+            key,
+            &input,
+            || Waiter { client, seq, submitted, reply: reply.clone() },
+            |tag| {
+                let request = InferRequest {
+                    client,
+                    seq,
+                    input: input.clone(),
+                    submitted,
+                    reply: reply.clone(),
+                    cache_tag: Some(tag),
+                };
+                match sender.try_send(request) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(_)) => Err(SubmitError::Overloaded),
+                    Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+                }
+            },
+        );
+        drop(guard);
+        match outcome {
+            AdmitOutcome::Hit(output) => {
+                let timing = Timing {
+                    queue_us: 0,
+                    service_us: 0,
+                    total_us: submitted.elapsed().as_micros() as u64,
+                    batch_size: 1,
+                    // A hit consumed no device time at all — priced at an
+                    // explicit 0 so device-time sums stay honest.
+                    ipu_batch_us: Some(0.0),
+                    gpu_batch_us: Some(0.0),
+                    source: ServedFrom::CacheHit,
+                };
+                metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                metrics.record_response(&timing);
+                let response = InferResponse {
+                    client,
+                    seq,
+                    output,
+                    completed_index: self.inner.completion_counter.fetch_add(1, Ordering::Relaxed),
+                    timing,
+                };
+                let _ = reply.send(response);
                 Ok(handle)
             }
-            Err(TrySendError::Full(_)) => {
-                self.inner.metrics[idx].shed.fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError::Overloaded)
+            AdmitOutcome::Coalesced => {
+                metrics.cache_coalesced.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
             }
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+            AdmitOutcome::Admitted => {
+                metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
+            }
+            AdmitOutcome::NotAdmitted(e) => {
+                if e == SubmitError::Overloaded {
+                    metrics.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
         }
     }
 
     /// A point-in-time metrics snapshot (exportable as JSON).
     pub fn snapshot(&self) -> ServeSnapshot {
         let elapsed_s = self.inner.started.elapsed().as_secs_f64();
-        let guard = self.inner.submit.read();
-        let models = self
-            .inner
-            .entries
+        let registry = &self.inner.registry;
+        let mut model_depths = vec![0usize; registry.len()];
+        let mut shards = Vec::with_capacity(registry.shard_count());
+        for shard in 0..registry.shard_count() {
+            let guard = self.inner.lanes[shard].submit.read();
+            let mut queue_depth = 0;
+            for (within, &index) in registry.shard_members(shard).iter().enumerate() {
+                let depth = guard.as_ref().map_or(0, |senders| senders[within].len());
+                model_depths[index] = depth;
+                queue_depth += depth;
+            }
+            shards.push(RegistryShardStats {
+                shard,
+                models: registry.shard_members(shard).len(),
+                queue_depth,
+            });
+        }
+        let models = registry
+            .entries()
             .iter()
             .zip(&self.inner.metrics)
             .enumerate()
             .map(|(i, (entry, metrics))| {
-                let depth = guard.as_ref().map_or(0, |senders| senders[i].len());
-                metrics.snapshot(entry.name(), elapsed_s, depth)
+                metrics.snapshot(
+                    entry.name(),
+                    elapsed_s,
+                    model_depths[i],
+                    entry.memoized_estimates(),
+                )
             })
             .collect();
-        ServeSnapshot { elapsed_s, models }
+        let cache = match &self.inner.cache {
+            Some(cache) => cache.stats(),
+            None => CacheStats::disabled(),
+        };
+        ServeSnapshot { elapsed_s, models, shards, cache }
     }
 
     /// Graceful shutdown: stops admitting, drains every already-admitted
-    /// request through the batchers and workers, joins all threads, and
+    /// request through the batchers and workers (waking every coalesced
+    /// waiter parked on an in-flight leader), joins all threads, and
     /// returns the final metrics snapshot.
     pub fn shutdown(mut self) -> ServeSnapshot {
         self.stop_and_join();
@@ -201,7 +330,9 @@ impl Server {
     }
 
     fn stop_and_join(&mut self) {
-        *self.inner.submit.write() = None;
+        for lane in &self.inner.lanes {
+            *lane.submit.write() = None;
+        }
         for handle in self.batchers.drain(..) {
             let _ = handle.join();
         }
@@ -258,9 +389,12 @@ fn worker_loop(inner: &Inner, rx: Receiver<Batch>) {
 }
 
 /// One batch: single lock-free forward pass, single (memoized) simulator
-/// pricing — then per-request response fan-out.
+/// pricing — then per-request response fan-out. A request that leads a
+/// cached computation additionally publishes its result and wakes the
+/// key's coalesced waiters, immediately after its own response so a
+/// client's same-key stream completes in submission order.
 fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
-    let entry = &inner.entries[batch.model];
+    let entry = &inner.registry.entries()[batch.model];
     let metrics = &inner.metrics[batch.model];
     let rows = batch.requests.len();
     let dim = entry.dim();
@@ -278,30 +412,63 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
 
     for (i, request) in batch.requests.into_iter().enumerate() {
         let timing = Timing {
-            queue_us: forward_start.duration_since(request.submitted).as_micros() as u64,
+            queue_us: forward_start.saturating_duration_since(request.submitted).as_micros() as u64,
             service_us,
             total_us: request.submitted.elapsed().as_micros() as u64,
             batch_size: rows,
             ipu_batch_us: estimate.ipu_us,
             gpu_batch_us: estimate.gpu_us,
+            source: ServedFrom::Compute,
         };
         metrics.record_response(&timing);
+        // The leader's completion index is drawn before the cache-side
+        // wake-up, so it always precedes its waiters'.
+        let completed_index = inner.completion_counter.fetch_add(1, Ordering::Relaxed);
+        let woken = match (&inner.cache, request.cache_tag) {
+            (Some(cache), Some(tag)) => cache.complete(tag, request.input, y.row(i), || {
+                inner.completion_counter.fetch_add(1, Ordering::Relaxed)
+            }),
+            _ => Vec::new(),
+        };
         let response = InferResponse {
             client: request.client,
             seq: request.seq,
             output: y.row(i).to_vec(),
-            completed_index: inner.completion_counter.fetch_add(1, Ordering::Relaxed),
+            completed_index,
             timing,
         };
         // A caller that dropped its handle forfeits the response; the
         // request still counts as completed.
         let _ = request.reply.send(response);
+        for (waiter, completed_index) in woken {
+            let timing = Timing {
+                queue_us: forward_start.saturating_duration_since(waiter.submitted).as_micros()
+                    as u64,
+                service_us,
+                total_us: waiter.submitted.elapsed().as_micros() as u64,
+                batch_size: rows,
+                // The forward's device time is attributed to the leader;
+                // riding along costs 0 device-µs.
+                ipu_batch_us: Some(0.0),
+                gpu_batch_us: Some(0.0),
+                source: ServedFrom::Coalesced,
+            };
+            metrics.record_response(&timing);
+            let _ = waiter.reply.send(InferResponse {
+                client: waiter.client,
+                seq: waiter.seq,
+                output: y.row(i).to_vec(),
+                completed_index,
+                timing,
+            });
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::CacheConfig;
     use std::time::Duration;
 
     fn small_config() -> ServeConfig {
@@ -326,6 +493,7 @@ mod tests {
         assert_eq!(response.seq, 0);
         assert_eq!(response.output.len(), 10);
         assert!(response.timing.batch_size >= 1);
+        assert_eq!(response.timing.source, ServedFrom::Compute);
         assert!(response.timing.ipu_batch_us.expect("IPU pricing") > 0.0);
         assert!(response.timing.gpu_batch_us.expect("GPU pricing") > 0.0);
         server.shutdown();
@@ -347,6 +515,10 @@ mod tests {
 
     #[test]
     fn shutdown_drains_all_admitted_requests() {
+        // All 20 requests share one input: with the cache on this exercises
+        // the cache-aware drain — one leader computes, every coalesced
+        // waiter and cache hit still gets its response before shutdown
+        // returns.
         let server = Server::start(small_config(), &[Method::Butterfly]).expect("valid");
         let handles: Vec<_> = (0..20)
             .map(|i| server.submit("butterfly", 7, i, vec![0.01; 64]).expect("admitted"))
@@ -361,12 +533,21 @@ mod tests {
         assert_eq!(seen, 20);
         assert_eq!(snapshot.models[0].completed, 20);
         assert_eq!(snapshot.models[0].shed, 0);
+        assert_eq!(
+            snapshot.models[0].cache_misses
+                + snapshot.models[0].cache_hits
+                + snapshot.models[0].cache_coalesced,
+            20,
+            "every lookup accounted for"
+        );
     }
 
     #[test]
     fn submit_after_shutdown_would_fail() {
         let server = Server::start(small_config(), &[Method::Butterfly]).expect("valid");
-        *server.inner.submit.write() = None;
+        for lane in &server.inner.lanes {
+            *lane.submit.write() = None;
+        }
         assert_eq!(
             server.submit("butterfly", 0, 0, vec![0.0; 64]).err(),
             Some(SubmitError::ShuttingDown)
@@ -376,11 +557,14 @@ mod tests {
     #[test]
     fn full_queue_sheds_load() {
         // One worker, deep batches, tiny queue: flood it and expect sheds.
+        // Cache off: with it on, 200 identical requests would coalesce into
+        // one forward and nothing would ever queue.
         let config = ServeConfig {
             queue_capacity: 4,
             workers: 1,
             max_batch: 2,
             max_wait: Duration::from_millis(5),
+            cache: CacheConfig::disabled(),
             ..small_config()
         };
         let server = Server::start(config, &[Method::Baseline]).expect("valid");
@@ -406,12 +590,14 @@ mod tests {
     fn batcher_coalesces_a_backlog() {
         // Stuff the queue while no worker can run (single worker blocked on
         // the first batch is not guaranteed, so instead check mean batch > 1
-        // after a burst submitted faster than service).
+        // after a burst submitted faster than service). Cache off: the burst
+        // reuses one input, which would otherwise dedup to a single batch.
         let config = ServeConfig {
             max_batch: 16,
             max_wait: Duration::from_millis(2),
             queue_capacity: 256,
             workers: 1,
+            cache: CacheConfig::disabled(),
             ..small_config()
         };
         let server = Server::start(config, &[Method::Baseline]).expect("valid");
@@ -439,5 +625,57 @@ mod tests {
         assert_eq!(snapshot.models.len(), 2);
         assert_eq!(snapshot.models[0].completed, 1);
         assert_eq!(snapshot.models[1].completed, 1);
+        assert_eq!(snapshot.shards.iter().map(|s| s.models).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn cache_hit_reports_zero_device_time() {
+        let server = Server::start(small_config(), &[Method::Butterfly]).expect("valid");
+        let input = vec![0.25f32; 64];
+        let first =
+            server.submit("butterfly", 0, 0, input.clone()).expect("admitted").wait().expect("ok");
+        assert_eq!(first.timing.source, ServedFrom::Compute);
+        assert!(first.timing.ipu_batch_us.expect("priced") > 0.0);
+        let second =
+            server.submit("butterfly", 0, 1, input.clone()).expect("served").wait().expect("ok");
+        assert_eq!(second.timing.source, ServedFrom::CacheHit);
+        assert_eq!(second.output, first.output, "hit is bit-identical to the computed response");
+        assert_eq!(second.timing.ipu_batch_us, Some(0.0), "hits cost 0 device-µs");
+        assert_eq!(second.timing.gpu_batch_us, Some(0.0));
+        assert_eq!(second.timing.service_us, 0);
+        assert_eq!(second.timing.queue_us, 0);
+        assert!(second.completed_index > first.completed_index);
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.models[0].cache_hits, 1);
+        assert_eq!(snapshot.models[0].cache_misses, 1);
+        assert_eq!(snapshot.cache.entries, 1);
+        assert!(snapshot.cache.enabled);
+    }
+
+    #[test]
+    fn hot_key_costs_one_forward_regardless_of_fan_in() {
+        let config = ServeConfig { workers: 1, ..small_config() };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let input = vec![0.5f32; 64];
+        let handles: Vec<_> = (0..10)
+            .map(|i| server.submit("butterfly", 3, i, input.clone()).expect("accepted"))
+            .collect();
+        let responses: Vec<_> = handles.into_iter().map(|h| h.wait().expect("answered")).collect();
+        let computed = responses.iter().filter(|r| r.timing.source == ServedFrom::Compute).count();
+        assert_eq!(computed, 1, "exactly one forward for a hot key");
+        for r in &responses {
+            assert_eq!(r.output, responses[0].output, "identical bytes for identical input");
+            if r.timing.source != ServedFrom::Compute {
+                assert_eq!(r.timing.ipu_batch_us, Some(0.0));
+                assert_eq!(r.timing.gpu_batch_us, Some(0.0));
+            }
+        }
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.models[0].cache_misses, 1);
+        assert_eq!(
+            snapshot.models[0].cache_hits + snapshot.models[0].cache_coalesced,
+            9,
+            "the other nine were hits or coalesced"
+        );
     }
 }

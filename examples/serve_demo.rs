@@ -24,6 +24,7 @@ fn main() {
         queue_capacity: 256,
         workers: 2,
         tensor_cores: false,
+        ..Default::default()
     };
     let dim = config.dim;
     let server = Server::start(config, &[Method::Baseline, Method::Butterfly])

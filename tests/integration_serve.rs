@@ -1,11 +1,13 @@
 //! Property-based integration tests of the `bfly-serve` runtime invariants:
 //! no admitted request is ever lost or duplicated, per-client FIFO holds
-//! under a single worker, and batched execution is bit-identical to
-//! unbatched execution of the same frozen model.
+//! under a single worker, batched execution is bit-identical to unbatched
+//! execution of the same frozen model, and the content-addressed response
+//! cache serves byte-identical results with exactly-once wake-ups under
+//! coalescing.
 
 use bfly_core::{build_shl_inference, Method};
 use bfly_nn::Layer;
-use bfly_serve::{ServeConfig, Server};
+use bfly_serve::{ServeConfig, ServedFrom, Server};
 use bfly_tensor::{derived_rng, Matrix};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -25,12 +27,19 @@ fn server_config(dim: usize, seed: u64, max_batch: usize, workers: usize) -> Ser
         queue_capacity: 4096,
         workers,
         tensor_cores: false,
+        // Cache on by default: the pre-existing invariants below must hold
+        // with it enabled (their inputs are random, so they mostly compute;
+        // the cache-specific properties get their own tests).
+        ..Default::default()
     }
 }
 
 fn random_input(dim: usize, rng: &mut ChaCha8Rng) -> Vec<f32> {
     (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
+
+/// (client, seq, completed_index, output) of one delivered response.
+type DeliveredResponse = (u64, u64, u64, Vec<f32>);
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -145,5 +154,138 @@ proptest! {
             prop_assert!(r.timing.batch_size >= 1);
         }
         server.shutdown();
+    }
+
+    /// Cached responses are bit-identical to computed ones: every response
+    /// for input `x` — whether computed, coalesced, or served from the
+    /// cache — carries exactly the bytes of an out-of-band forward of `x`
+    /// through an identically-seeded frozen model. Non-computed responses
+    /// must also report an honest 0 device-µs.
+    #[test]
+    fn cached_response_bit_identical_to_computed(seed in 0u64..500, pool in 1usize..6,
+                                                 n in 10usize..60, max_batch in 1usize..9) {
+        let dim = 64;
+        let serve_seed = 41u64;
+        let server = Server::start(server_config(dim, serve_seed, max_batch, 2),
+            &[Method::Butterfly]).expect("valid config");
+        let mut reference =
+            build_shl_inference(Method::Butterfly, dim, 10, &mut derived_rng(serve_seed, 0))
+                .expect("valid dim");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inputs: Vec<Vec<f32>> = (0..pool).map(|_| random_input(dim, &mut rng)).collect();
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                server
+                    .submit("butterfly", 0, i as u64, inputs[i % pool].clone())
+                    .expect("queue never fills")
+            })
+            .collect();
+
+        for (i, handle) in handles.into_iter().enumerate() {
+            let r = handle.wait().expect("answered");
+            let x = Matrix::from_vec(1, dim, inputs[i % pool].clone());
+            let expect = reference.forward(&x, false);
+            prop_assert_eq!(r.output.as_slice(), expect.as_slice(),
+                "cached response differs bit-for-bit from computed (source {:?})",
+                r.timing.source);
+            if r.timing.source != ServedFrom::Compute {
+                prop_assert_eq!(r.timing.ipu_batch_us, Some(0.0));
+                prop_assert_eq!(r.timing.gpu_batch_us, Some(0.0));
+            }
+        }
+
+        let snapshot = server.shutdown();
+        let m = &snapshot.models[0];
+        prop_assert_eq!(m.completed, n as u64);
+        prop_assert_eq!(m.cache_misses, pool as u64,
+            "each distinct input computes exactly once");
+        prop_assert_eq!(m.cache_hits + m.cache_coalesced + m.cache_misses, n as u64);
+    }
+
+    /// Exactly-once wake-ups under concurrent coalescing: many clients
+    /// hammering two shared inputs each get every response exactly once,
+    /// with globally unique completion indices — no lost wake-up (a
+    /// `wait()` would hang/return None) and no duplicate.
+    #[test]
+    fn coalesced_wakeups_are_exactly_once(seed in 0u64..500, clients in 2u64..6,
+                                          per_client in 5u64..25) {
+        let dim = 32;
+        let server = Server::start(server_config(dim, 53, 4, 2), &[Method::Butterfly])
+            .expect("valid config");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inputs: Vec<Vec<f32>> = (0..2).map(|_| random_input(dim, &mut rng)).collect();
+
+        let results: Vec<Vec<DeliveredResponse>> = std::thread::scope(|scope| {
+            let threads: Vec<_> = (0..clients)
+                .map(|c| {
+                    let server = &server;
+                    let inputs = &inputs;
+                    scope.spawn(move || {
+                        (0..per_client)
+                            .map(|s| {
+                                let input = inputs[((c + s) % 2) as usize].clone();
+                                let r = server
+                                    .submit("butterfly", c, s, input)
+                                    .expect("queue never fills")
+                                    .wait()
+                                    .expect("woken exactly once, never lost");
+                                (c, s, r.completed_index, r.output)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            threads.into_iter().map(|t| t.join().expect("client thread")).collect()
+        });
+
+        let total = (clients * per_client) as usize;
+        let mut seen = HashSet::with_capacity(total);
+        let mut completion_ids = HashSet::with_capacity(total);
+        let mut outputs: [Option<Vec<f32>>; 2] = [None, None];
+        for (c, s, idx, output) in results.into_iter().flatten() {
+            prop_assert!(seen.insert((c, s)), "duplicate response for ({}, {})", c, s);
+            prop_assert!(completion_ids.insert(idx), "completion index {} reused", idx);
+            let slot = ((c + s) % 2) as usize;
+            match &outputs[slot] {
+                None => outputs[slot] = Some(output),
+                Some(first) => prop_assert_eq!(first.as_slice(), output.as_slice(),
+                    "same input must always yield identical bytes"),
+            }
+        }
+        prop_assert_eq!(seen.len(), total);
+
+        let snapshot = server.shutdown();
+        prop_assert_eq!(snapshot.models[0].completed, total as u64);
+        prop_assert_eq!(snapshot.models[0].shed, 0);
+    }
+
+    /// A client's same-key stream completes in submission order even when
+    /// served by an arbitrary mix of compute, coalescing, and cache hits:
+    /// completion indices are assigned inside the cache's completion
+    /// critical section, so a hit can never overtake a waiter it raced.
+    #[test]
+    fn same_key_stream_preserves_client_fifo(_seed in 0u64..500, n in 2u64..40,
+                                             max_batch in 1usize..9) {
+        let dim = 32;
+        let server = Server::start(server_config(dim, 61, max_batch, 1), &[Method::Butterfly])
+            .expect("valid config");
+        let input = vec![0.125f32; dim];
+        let handles: Vec<_> = (0..n)
+            .map(|s| server.submit("butterfly", 9, s, input.clone()).expect("queue never fills"))
+            .collect();
+        let mut last: Option<u64> = None;
+        for (s, handle) in handles.into_iter().enumerate() {
+            let r = handle.wait().expect("answered");
+            prop_assert_eq!(r.seq, s as u64);
+            if let Some(prev) = last {
+                prop_assert!(r.completed_index > prev,
+                    "seq {} (source {:?}) completed index {} after {}",
+                    s, r.timing.source, r.completed_index, prev);
+            }
+            last = Some(r.completed_index);
+        }
+        let snapshot = server.shutdown();
+        prop_assert_eq!(snapshot.models[0].cache_misses, 1, "one key, one forward");
     }
 }
