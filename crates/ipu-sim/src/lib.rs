@@ -36,6 +36,9 @@ pub use graph::{
     Codelet, ComputeSet, Exchange, Graph, Step, TileMapping, Transfer, Variable, Vertex,
 };
 pub use memory::{account, MemoryReport};
-pub use multi::{data_parallel_step, DataParallelReport, PodSpec};
+pub use multi::{
+    data_parallel_step, inference_step, weight_load_seconds, DataParallelReport, InferenceReport,
+    PodSpec,
+};
 pub use spec::IpuSpec;
 pub use streaming::{run_streaming, StreamingError, StreamingReport, StreamingSpec};

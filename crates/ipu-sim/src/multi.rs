@@ -44,6 +44,59 @@ impl PodSpec {
     }
 }
 
+/// Timing breakdown of one inference batch served by a single replica of a
+/// pod (replica-parallel serving: the batch is *not* split across devices,
+/// and there is no gradient allreduce).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Devices in the pod (context only; the batch ran on one of them).
+    pub ipus: usize,
+    /// Forward seconds on the serving replica.
+    pub compute_seconds: f64,
+    /// One-time weight-transfer seconds paid when the replica was cold
+    /// (zero for a warm replica).
+    pub weight_load_seconds: f64,
+}
+
+impl InferenceReport {
+    /// Total seconds the replica's occupancy clock advances for this batch.
+    pub fn total_seconds(&self) -> f64 {
+        self.compute_seconds + self.weight_load_seconds
+    }
+}
+
+/// Seconds to replicate `weight_bytes` of model parameters onto a cold
+/// device over one IPU-Link, plus one collective launch for the sync that
+/// publishes them. This is the one-time cost a replica pays before it can
+/// serve a model it has never held.
+pub fn weight_load_seconds(pod: &PodSpec, weight_bytes: u64) -> f64 {
+    weight_bytes as f64 / pod.inter_chip_bytes_per_sec + pod.collective_latency_seconds
+}
+
+/// Prices one *inference* batch on a pod replica — the serving-path analogue
+/// of [`data_parallel_step`], with no allreduce term and no backward pass.
+///
+/// `trace_for(batch)` must yield the forward trace for the full batch (the
+/// batch runs whole on one replica; replica parallelism comes from routing
+/// *different* batches to different devices). `cold_weight_bytes` is
+/// `Some(bytes)` when the serving replica does not yet hold the model's
+/// weights and must stream them over an IPU-Link first.
+pub fn inference_step(
+    pod: &PodSpec,
+    batch: usize,
+    cold_weight_bytes: Option<u64>,
+    trace_for: &dyn Fn(usize) -> Vec<LinOp>,
+) -> Result<InferenceReport, CompileError> {
+    let dev = IpuDevice::with_spec(pod.ipu.clone());
+    let trace = trace_for(batch.max(1));
+    let forward = dev.run(&trace)?;
+    Ok(InferenceReport {
+        ipus: pod.ipus,
+        compute_seconds: forward.seconds(dev.spec()),
+        weight_load_seconds: cold_weight_bytes.map_or(0.0, |b| weight_load_seconds(pod, b)),
+    })
+}
+
 /// Timing breakdown of one data-parallel training step on a pod.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DataParallelReport {
@@ -157,6 +210,63 @@ mod tests {
         assert!(
             eff_bfly > eff_dense,
             "butterfly-sized gradients must scale better: {eff_bfly} vs {eff_dense}"
+        );
+    }
+
+    #[test]
+    fn warm_single_replica_inference_equals_single_device_estimate() {
+        // The serving path's 1-replica cost must be exactly what the
+        // pre-pod runtime priced: one forward on one GC200, nothing else.
+        let pod = PodSpec::with_ipus(1);
+        for batch in [1usize, 8, 32] {
+            let r = inference_step(&pod, batch, None, &dense_trace(512)).expect("fits");
+            let dev = IpuDevice::with_spec(pod.ipu.clone());
+            let single = dev.run(&dense_trace(512)(batch)).expect("fits").seconds(dev.spec());
+            assert_eq!(r.compute_seconds, single, "batch {batch}");
+            assert_eq!(r.weight_load_seconds, 0.0);
+            assert_eq!(r.total_seconds(), single);
+        }
+    }
+
+    #[test]
+    fn inference_has_no_allreduce_term() {
+        // Unlike training, serving cost is independent of pod size: the
+        // batch runs whole on one replica and nothing is reduced.
+        let t1 = inference_step(&PodSpec::with_ipus(1), 64, None, &dense_trace(1024))
+            .expect("fits")
+            .total_seconds();
+        let t4 = inference_step(&PodSpec::with_ipus(4), 64, None, &dense_trace(1024))
+            .expect("fits")
+            .total_seconds();
+        assert_eq!(t1, t4);
+    }
+
+    #[test]
+    fn cold_replica_pays_weight_load_proportional_to_bytes() {
+        let pod = PodSpec::m2000();
+        let warm = inference_step(&pod, 16, None, &dense_trace(512)).expect("fits");
+        let small = inference_step(&pod, 16, Some(1 << 20), &dense_trace(512)).expect("fits");
+        let large = inference_step(&pod, 16, Some(1 << 30), &dense_trace(512)).expect("fits");
+        assert_eq!(warm.weight_load_seconds, 0.0);
+        assert!(small.weight_load_seconds > 0.0);
+        assert!(large.weight_load_seconds > small.weight_load_seconds * 100.0);
+        assert_eq!(small.compute_seconds, large.compute_seconds, "load cost is additive");
+        // The helper itself: link transfer plus one collective launch.
+        let expect =
+            (1u64 << 20) as f64 / pod.inter_chip_bytes_per_sec + pod.collective_latency_seconds;
+        assert_eq!(weight_load_seconds(&pod, 1 << 20), expect);
+    }
+
+    #[test]
+    fn butterfly_weights_replicate_faster_than_dense() {
+        // The pod-serving story mirrors the training one: butterfly's tiny
+        // factors make a replica warm-up nearly free next to a dense layer.
+        let n = 2048usize;
+        let dense_bytes = (4 * n * n) as u64;
+        let bfly_bytes = (4 * 2 * n * (n.trailing_zeros() as usize)) as u64;
+        let pod = PodSpec::m2000();
+        assert!(
+            weight_load_seconds(&pod, bfly_bytes) < weight_load_seconds(&pod, dense_bytes) / 10.0
         );
     }
 

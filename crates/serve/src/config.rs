@@ -1,5 +1,6 @@
 //! Server configuration.
 
+use crate::replica::Routing;
 use std::time::Duration;
 
 /// Tunables of the content-addressed response cache and in-flight dedup
@@ -76,6 +77,17 @@ pub struct ServeConfig {
     pub registry_shards: usize,
     /// Response cache + in-flight dedup configuration.
     pub cache: CacheConfig,
+    /// Simulated pod size: device replicas batches are routed across, each
+    /// with its own occupancy clock and weight residency. `1` reproduces
+    /// the pre-pod single-GC200 serving path exactly.
+    pub replicas: usize,
+    /// Batch-routing policy over the replica occupancy clocks (see
+    /// [`crate::replica`]).
+    pub routing: Routing,
+    /// Bound on batches routed to one replica but not yet retired; when
+    /// every replica is at the bound the router blocks, which backs up the
+    /// admission queues and sheds load.
+    pub replica_queue: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +103,9 @@ impl Default for ServeConfig {
             tensor_cores: false,
             registry_shards: crate::registry::DEFAULT_REGISTRY_SHARDS,
             cache: CacheConfig::default(),
+            replicas: 1,
+            routing: Routing::default(),
+            replica_queue: 256,
         }
     }
 }
@@ -104,6 +119,8 @@ impl ServeConfig {
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
         assert!(self.workers > 0, "workers must be positive");
         assert!(self.registry_shards > 0, "registry_shards must be positive");
+        assert!(self.replicas > 0, "replicas must be positive");
+        assert!(self.replica_queue > 0, "replica_queue must be positive");
         self.cache.validate();
     }
 }
@@ -134,6 +151,26 @@ mod tests {
     fn zero_cache_shards_rejected() {
         let cache = CacheConfig { shards: 0, ..Default::default() };
         ServeConfig { cache, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "replicas")]
+    fn zero_replicas_rejected() {
+        ServeConfig { replicas: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "replica_queue")]
+    fn zero_replica_queue_rejected() {
+        ServeConfig { replica_queue: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn pod_defaults_are_single_replica_p2c() {
+        let c = ServeConfig::default();
+        assert_eq!(c.replicas, 1);
+        assert_eq!(c.routing, Routing::PowerOfTwoChoices);
+        ServeConfig { replicas: 8, routing: Routing::JoinShortestQueue, ..c }.validate();
     }
 
     #[test]

@@ -20,10 +20,17 @@
 //! - coalesces single-sample requests into micro-batches (up to
 //!   `max_batch`, held at most `max_wait`) — the dynamic-batching win the
 //!   `serve_throughput` bench quantifies;
+//! - routes each micro-batch across a simulated multi-IPU pod
+//!   ([`crate::replica`]): `replicas` simulated devices with per-replica
+//!   occupancy clocks, weight residency (cold replicas pay a one-time
+//!   simulated IPU-Link weight load), bounded replica queues, and
+//!   pluggable policies ([`Routing`]: round-robin, power-of-two-choices,
+//!   join-shortest-queue);
 //! - executes batches on a worker pool running the repository's real Rust
 //!   kernels, and prices each batch's op trace on the IPU and GPU
 //!   simulators so every response carries predicted device time next to
-//!   measured wall time ([`Timing`]);
+//!   measured wall time ([`Timing`]), attributed to the replica that
+//!   served it;
 //! - tracks latency percentiles, throughput, shed rate, queue depth and
 //!   batch-size distribution, exportable as JSON ([`ServeSnapshot`]);
 //! - shuts down gracefully: every admitted request is answered before
@@ -46,20 +53,25 @@ pub mod config;
 pub mod loadgen;
 pub mod metrics;
 pub mod registry;
+pub mod replica;
 pub mod request;
 pub mod server;
 
 pub use cache::{hash_bytes, input_key};
 pub use config::{CacheConfig, ServeConfig};
 pub use loadgen::{
-    closed_loop, closed_loop_with_pool, input_pool, open_loop, open_loop_with_pool, LoadReport,
-    DEFAULT_INPUT_POOL,
+    closed_loop, closed_loop_models, closed_loop_models_with_pool, closed_loop_with_pool,
+    input_pool, open_loop, open_loop_with_pool, LoadReport, DEFAULT_INPUT_POOL,
 };
 pub use metrics::{
-    CacheStats, Histogram, ModelMetrics, ModelStats, RegistryShardStats, ServeSnapshot,
+    CacheStats, Histogram, ModelMetrics, ModelStats, RegistryShardStats, ReplicaStats,
+    ServeSnapshot,
 };
 pub use registry::{
     DeviceEstimate, ModelEntry, ModelLocation, ModelRegistry, DEFAULT_REGISTRY_SHARDS,
+};
+pub use replica::{
+    JoinShortestQueue, PowerOfTwoChoices, ReplicaOccupancy, RoundRobin, RoutePolicy, Routing,
 };
 pub use request::{InferResponse, ResponseHandle, ServedFrom, SubmitError, Timing};
 pub use server::Server;

@@ -180,6 +180,36 @@ pub fn closed_loop_with_pool(
     seed: u64,
     pool_size: usize,
 ) -> LoadReport {
+    closed_loop_models_with_pool(server, &[model], clients, per_client, seed, pool_size)
+}
+
+/// [`closed_loop`] over a per-client target model list with
+/// [`DEFAULT_INPUT_POOL`] distinct inputs.
+pub fn closed_loop_models(
+    server: &Server,
+    models: &[&str],
+    clients: u64,
+    per_client: u64,
+    seed: u64,
+) -> LoadReport {
+    closed_loop_models_with_pool(server, models, clients, per_client, seed, DEFAULT_INPUT_POOL)
+}
+
+/// Closed-loop generator over a *target model list*: every client cycles
+/// through `models`, starting at an offset of its client id, so a
+/// multi-model (replicated) deployment is loaded on every model at once —
+/// what a pod bench needs to warm weight residency for several models.
+/// Inputs come from one shared seeded pool of `pool_size` rows (the reuse
+/// knob, as in [`closed_loop_with_pool`]).
+pub fn closed_loop_models_with_pool(
+    server: &Server,
+    models: &[&str],
+    clients: u64,
+    per_client: u64,
+    seed: u64,
+    pool_size: usize,
+) -> LoadReport {
+    assert!(!models.is_empty(), "closed loop needs at least one target model");
     let dim = server.config().dim;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let inputs = input_pool(dim, pool_size, &mut rng);
@@ -194,10 +224,11 @@ pub fn closed_loop_with_pool(
                     let mut batch_sizes = Vec::with_capacity(per_client as usize);
                     for s in 0..per_client {
                         // Offset by client id so clients walk the shared
-                        // pool out of phase (exercises cross-client
-                        // coalescing without every thread hammering the
-                        // same key in lockstep).
+                        // pool (and the model list) out of phase: exercises
+                        // cross-client coalescing without every thread
+                        // hammering the same key in lockstep.
                         let input = inputs[(c as usize + s as usize) % inputs.len()].clone();
+                        let model = models[(c as usize + s as usize) % models.len()];
                         let handle = loop {
                             match server.submit(model, c, s, input.clone()) {
                                 Ok(handle) => break handle,
@@ -273,6 +304,29 @@ mod tests {
         assert_eq!(report.completed, 100);
         assert!(report.throughput_rps > 0.0);
         server.shutdown();
+    }
+
+    #[test]
+    fn closed_loop_spreads_load_over_the_target_model_list() {
+        let config = ServeConfig {
+            dim: 64,
+            classes: 10,
+            seed: 21,
+            max_batch: 4,
+            max_wait: Duration::from_micros(300),
+            queue_capacity: 128,
+            workers: 2,
+            ..Default::default()
+        };
+        let server = Server::start(config, &[Method::Baseline, Method::Butterfly]).expect("valid");
+        let report = closed_loop_models_with_pool(&server, &["baseline", "butterfly"], 3, 10, 9, 8);
+        assert_eq!(report.completed, 30);
+        let snapshot = server.shutdown();
+        for m in &snapshot.models {
+            assert!(m.completed > 0, "model {} must receive closed-loop traffic", m.model);
+        }
+        let total: u64 = snapshot.models.iter().map(|m| m.completed).sum();
+        assert_eq!(total, 30);
     }
 
     #[test]

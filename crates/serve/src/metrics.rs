@@ -108,6 +108,11 @@ pub struct ModelMetrics {
     pub cache_coalesced: AtomicU64,
     /// Requests that missed the cache and were admitted to compute.
     pub cache_misses: AtomicU64,
+    /// Simulated device nanoseconds retired for this model's batches
+    /// (compute estimates plus cold weight loads), counted once per batch.
+    /// The same quantity is tallied per replica by the pod, so the sum over
+    /// replicas must equal the sum over models — pinned by tests.
+    pub device_ns: AtomicU64,
     /// End-to-end latency (admission -> response), microseconds.
     pub latency_us: Histogram,
     /// Queueing + batch-formation delay, microseconds.
@@ -120,6 +125,11 @@ impl ModelMetrics {
     /// Records one dispatched batch.
     pub fn record_batch(&self, size: usize) {
         self.batch_size.record(size as u64);
+    }
+
+    /// Records one retired batch's simulated device cost.
+    pub fn record_device_ns(&self, cost_ns: u64) {
+        self.device_ns.fetch_add(cost_ns, Ordering::Relaxed);
     }
 
     /// Records one delivered response.
@@ -169,6 +179,7 @@ impl ModelMetrics {
                 cache_hits as f64 / cache_looked as f64
             },
             memoized_estimates,
+            device_us: self.device_ns.load(Ordering::Relaxed) as f64 / 1e3,
         }
     }
 }
@@ -215,6 +226,32 @@ pub struct ModelStats {
     /// Batch sizes priced so far in the model's device-estimate memo
     /// (warm-up indicator: stops growing once every batch size was seen).
     pub memoized_estimates: usize,
+    /// Simulated device µs retired for this model's batches (compute plus
+    /// cold weight loads), counted once per batch.
+    pub device_us: f64,
+}
+
+/// Per-replica serving statistics of the simulated pod.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaStats {
+    /// Replica index in the pod.
+    pub replica: usize,
+    /// Batches this replica retired.
+    pub batches: u64,
+    /// Requests inside those batches.
+    pub requests: u64,
+    /// Batches routed to this replica but not yet retired, at snapshot time.
+    pub queue_depth: usize,
+    /// Simulated device µs retired on this replica's occupancy clock
+    /// (compute estimates plus cold weight loads).
+    pub device_us: f64,
+    /// Portion of `device_us` that was one-time weight transfer.
+    pub weight_load_us: f64,
+    /// Cold weight loads this replica paid (one per model it warmed up).
+    pub cold_loads: u64,
+    /// `device_us` over the pod's simulated makespan (the busiest replica's
+    /// clock): 1.0 means this replica was the critical path.
+    pub utilization: f64,
 }
 
 /// Serializable whole-cache statistics.
@@ -286,6 +323,14 @@ pub struct ServeSnapshot {
     pub models: Vec<ModelStats>,
     /// Per-registry-shard queue depths and membership.
     pub shards: Vec<RegistryShardStats>,
+    /// Per-replica occupancy, residency and utilization of the simulated pod.
+    pub replicas: Vec<ReplicaStats>,
+    /// Simulated device µs retired across all models (model-side tally; the
+    /// per-replica `device_us` values sum to the same total).
+    pub total_device_us: f64,
+    /// The pod's simulated makespan: the busiest replica's occupancy clock,
+    /// µs. Device-time throughput is `completed compute requests / makespan`.
+    pub pod_makespan_us: f64,
     /// Response-cache statistics (counters all zero when disabled).
     pub cache: CacheStats,
 }
@@ -368,12 +413,26 @@ mod tests {
             ipu_batch_us: None,
             gpu_batch_us: None,
             source: ServedFrom::Compute,
+            replica: Some(1),
         };
         m.record_response(&t);
+        m.record_device_ns(12_500);
         let snap = ServeSnapshot {
             elapsed_s: 1.0,
             models: vec![m.snapshot("butterfly", 1.0, 3, 2)],
             shards: vec![RegistryShardStats { shard: 0, models: 1, queue_depth: 3 }],
+            replicas: vec![ReplicaStats {
+                replica: 0,
+                batches: 1,
+                requests: 4,
+                queue_depth: 0,
+                device_us: 12.5,
+                weight_load_us: 0.0,
+                cold_loads: 0,
+                utilization: 1.0,
+            }],
+            total_device_us: 12.5,
+            pod_makespan_us: 12.5,
             cache: CacheStats::disabled(),
         };
         let json = snap.to_json();
@@ -383,6 +442,10 @@ mod tests {
         assert!(json.contains("\"cache_hits\": 5"), "{json}");
         assert!(json.contains("\"memoized_estimates\": 2"), "{json}");
         assert!(json.contains("\"shards\""), "{json}");
+        assert!(json.contains("\"replicas\""), "{json}");
+        assert!(json.contains("\"utilization\": 1.0"), "{json}");
+        assert!(json.contains("\"total_device_us\": 12.5"), "{json}");
+        assert_eq!(snap.models[0].device_us, 12.5, "ns tally exports as µs");
     }
 
     #[test]

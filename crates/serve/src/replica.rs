@@ -1,0 +1,497 @@
+//! Replica scheduler: routes micro-batches across a simulated multi-IPU pod.
+//!
+//! The host worker pool keeps executing the real kernels exactly as before —
+//! replicas are *simulated devices* (one GC200 each, joined by IPU-Links per
+//! [`PodSpec`]), and what is scheduled is simulated device time: every batch
+//! the batcher forms is routed to one replica, reserving the batch's
+//! predicted device cost on that replica's occupancy clock (a busy-until
+//! timestamp in simulated nanoseconds), and the worker that executes the
+//! batch retires the same cost against the clock. Aggregate pod capacity is
+//! therefore measured, not asserted: the pod's simulated makespan is the
+//! maximum occupancy clock, and throughput in device time scales with how
+//! evenly the router spreads batches.
+//!
+//! Routing is pluggable through [`RoutePolicy`]; the shipped policies are
+//! [`JoinShortestQueue`] (scan every clock, pick the least busy),
+//! [`PowerOfTwoChoices`] (sample two replicas, pick the less busy — the
+//! cheap default), and [`RoundRobin`] (the baseline). Each replica also has
+//! a bounded queue of outstanding (routed but unretired) batches: a policy
+//! pick that lands on a full replica falls back to the least-busy replica
+//! with space, and when every queue is full the router blocks until a
+//! worker retires a batch — backpressure that eventually fills the admission
+//! queues and sheds load, exactly like the pre-pod batch queue did.
+//!
+//! Model weights are tracked per replica: replica 0 starts warm for every
+//! model (it is the device the pre-pod runtime priced everything on), and a
+//! cold replica pays a one-time simulated weight-load — the parameter bytes
+//! streamed over an IPU-Link (`PodSpec::inter_chip_bytes_per_sec`) plus one
+//! collective launch — charged to its clock on the first batch of that
+//! model it serves. Butterfly models replicate almost for free; dense
+//! models pay ~n²·4 bytes per new replica.
+
+use crate::metrics::ReplicaStats;
+use bfly_ipu::{weight_load_seconds, PodSpec};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Config-level routing policy selector (see [`crate::ServeConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// Cycle replicas in order, ignoring occupancy — the baseline.
+    RoundRobin,
+    /// Sample two replicas, route to the less occupied: near-JSQ balance at
+    /// O(1) cost. The default.
+    #[default]
+    PowerOfTwoChoices,
+    /// Scan every replica's occupancy clock and route to the least busy.
+    JoinShortestQueue,
+}
+
+impl Routing {
+    /// Short label used in bench output and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Routing::RoundRobin => "rr",
+            Routing::PowerOfTwoChoices => "p2c",
+            Routing::JoinShortestQueue => "jsq",
+        }
+    }
+
+    /// Instantiates the policy behind the selector.
+    pub fn build(&self) -> Box<dyn RoutePolicy> {
+        match self {
+            Routing::RoundRobin => Box::new(RoundRobin::default()),
+            Routing::PowerOfTwoChoices => Box::new(PowerOfTwoChoices::default()),
+            Routing::JoinShortestQueue => Box::new(JoinShortestQueue),
+        }
+    }
+}
+
+impl std::str::FromStr for Routing {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rr" | "round-robin" => Ok(Routing::RoundRobin),
+            "p2c" | "power-of-two" => Ok(Routing::PowerOfTwoChoices),
+            "jsq" | "join-shortest-queue" => Ok(Routing::JoinShortestQueue),
+            other => Err(format!("unknown routing policy {other:?} (rr | p2c | jsq)")),
+        }
+    }
+}
+
+/// One replica's occupancy as seen by a routing policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaOccupancy {
+    /// Replica index in the pod.
+    pub replica: usize,
+    /// Busy-until timestamp in simulated device nanoseconds: the cumulative
+    /// device cost committed to this replica at routing time.
+    pub busy_until_ns: u64,
+    /// Batches routed to this replica and not yet retired by a worker.
+    pub outstanding: usize,
+}
+
+/// A batch-routing policy over the pod's occupancy clocks.
+///
+/// `choose` receives a consistent snapshot of every replica (the slice is
+/// never empty and is indexed by replica id) and returns the index to route
+/// to; out-of-range picks are clamped by the router, and a pick whose queue
+/// is full falls back to the least-busy replica with space.
+pub trait RoutePolicy: Send + Sync {
+    /// Short label used in bench output and JSON.
+    fn name(&self) -> &'static str;
+    /// Picks the replica for the next batch.
+    fn choose(&self, occupancy: &[ReplicaOccupancy]) -> usize;
+}
+
+/// The baseline policy: cycle replicas in index order.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: AtomicU64,
+}
+
+impl RoutePolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn choose(&self, occupancy: &[ReplicaOccupancy]) -> usize {
+        (self.next.fetch_add(1, Ordering::Relaxed) % occupancy.len() as u64) as usize
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Occupancy rank: less committed work first, then fewer outstanding
+/// batches, then the lower index (deterministic tie-break).
+fn less_busy(a: &ReplicaOccupancy, b: &ReplicaOccupancy) -> bool {
+    (a.busy_until_ns, a.outstanding, a.replica) < (b.busy_until_ns, b.outstanding, b.replica)
+}
+
+/// Sample two distinct replicas with a seeded counter hash, route to the
+/// less busy one — the classic load-balancing result that gets within a
+/// constant factor of join-shortest-queue at O(1) inspection cost.
+#[derive(Debug, Default)]
+pub struct PowerOfTwoChoices {
+    state: AtomicU64,
+}
+
+impl RoutePolicy for PowerOfTwoChoices {
+    fn name(&self) -> &'static str {
+        "p2c"
+    }
+
+    fn choose(&self, occupancy: &[ReplicaOccupancy]) -> usize {
+        let n = occupancy.len();
+        if n == 1 {
+            return 0;
+        }
+        let r = splitmix64(self.state.fetch_add(1, Ordering::Relaxed));
+        let a = (r % n as u64) as usize;
+        let mut b = ((r >> 32) % n as u64) as usize;
+        if b == a {
+            b = (a + 1) % n;
+        }
+        if less_busy(&occupancy[a], &occupancy[b]) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+/// Scan every replica and route to the one with the smallest occupancy
+/// clock: optimal balance, O(replicas) per batch.
+#[derive(Debug, Default)]
+pub struct JoinShortestQueue;
+
+impl RoutePolicy for JoinShortestQueue {
+    fn name(&self) -> &'static str {
+        "jsq"
+    }
+
+    fn choose(&self, occupancy: &[ReplicaOccupancy]) -> usize {
+        occupancy
+            .iter()
+            .reduce(|best, o| if less_busy(o, best) { o } else { best })
+            .expect("pod has at least one replica")
+            .replica
+    }
+}
+
+/// Per-replica scheduling state, all under the pod's one mutex (routing and
+/// retiring are per-*batch* operations — a few per millisecond — so one
+/// short critical section beats per-replica locks that JSQ would have to
+/// take all of anyway).
+struct ReplicaState {
+    /// Simulated ns committed at routing time (the busy-until clock).
+    committed_ns: u64,
+    /// Simulated ns retired by workers; equals `committed_ns` when idle.
+    retired_ns: u64,
+    /// Portion of `retired_ns`+`committed_ns` that was weight transfer.
+    weight_load_ns: u64,
+    /// Batches routed but not yet retired (bounded by the pod's capacity).
+    outstanding: usize,
+    /// Batches retired.
+    batches: u64,
+    /// Requests inside retired batches.
+    requests: u64,
+    /// Cold weight loads this replica has paid.
+    cold_loads: u64,
+    /// `resident[m]` — model `m`'s weights are on this replica.
+    resident: Vec<bool>,
+}
+
+/// What the router decided for one batch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RouteDecision {
+    /// Chosen replica.
+    pub replica: usize,
+    /// Total simulated ns reserved on the replica's clock (compute plus
+    /// any one-time cold weight load) — what the worker retires after
+    /// executing the batch.
+    pub cost_ns: u64,
+}
+
+/// The simulated pod: replica occupancy clocks, weight residency, and the
+/// routing policy, shared by every batcher and worker.
+pub(crate) struct Pod {
+    spec: PodSpec,
+    policy: Box<dyn RoutePolicy>,
+    /// Per-replica bound on outstanding batches.
+    capacity: usize,
+    state: Mutex<Vec<ReplicaState>>,
+    /// Signalled on every retire; `route` waits on it when all queues are full.
+    freed: Condvar,
+}
+
+fn us_to_ns(us: f64) -> u64 {
+    (us * 1_000.0).round().max(0.0) as u64
+}
+
+impl Pod {
+    /// Builds the pod. Replica 0 starts with every model resident (the
+    /// pre-pod runtime priced all batches on that one device, weights
+    /// already in SRAM); the other replicas are cold.
+    pub fn new(
+        spec: PodSpec,
+        policy: Box<dyn RoutePolicy>,
+        capacity: usize,
+        models: usize,
+    ) -> Self {
+        assert!(spec.ipus >= 1, "pod needs at least one replica");
+        assert!(capacity >= 1, "replica queue capacity must be positive");
+        let state = (0..spec.ipus)
+            .map(|i| ReplicaState {
+                committed_ns: 0,
+                retired_ns: 0,
+                weight_load_ns: 0,
+                outstanding: 0,
+                batches: 0,
+                requests: 0,
+                cold_loads: 0,
+                resident: vec![i == 0; models],
+            })
+            .collect();
+        Self { spec, policy, capacity, state: Mutex::new(state), freed: Condvar::new() }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.spec.ipus
+    }
+
+    /// Routes one batch: the policy picks a replica from a consistent
+    /// occupancy snapshot; a full pick falls back to the least-busy replica
+    /// with queue space, and when every replica is at capacity the call
+    /// blocks until a worker retires a batch. The batch's simulated cost
+    /// (IPU compute estimate plus, for a replica serving this model for the
+    /// first time, the one-time weight load) is reserved on the chosen
+    /// clock before the call returns, so concurrent routers see it.
+    pub fn route(&self, model: usize, weight_bytes: u64, compute_us: f64) -> RouteDecision {
+        let mut guard = self.state.lock();
+        loop {
+            let occupancy: Vec<ReplicaOccupancy> = guard
+                .iter()
+                .enumerate()
+                .map(|(i, r)| ReplicaOccupancy {
+                    replica: i,
+                    busy_until_ns: r.committed_ns,
+                    outstanding: r.outstanding,
+                })
+                .collect();
+            let mut pick = self.policy.choose(&occupancy).min(self.len() - 1);
+            if guard[pick].outstanding >= self.capacity {
+                let fallback = occupancy
+                    .iter()
+                    .filter(|o| o.outstanding < self.capacity)
+                    .reduce(|best, o| if less_busy(o, best) { o } else { best });
+                match fallback {
+                    Some(o) => pick = o.replica,
+                    None => {
+                        self.freed.wait(&mut guard);
+                        continue;
+                    }
+                }
+            }
+            let replica = &mut guard[pick];
+            let weight_load_ns = if replica.resident[model] {
+                0
+            } else {
+                replica.resident[model] = true;
+                replica.cold_loads += 1;
+                us_to_ns(weight_load_seconds(&self.spec, weight_bytes) * 1e6)
+            };
+            let cost_ns = us_to_ns(compute_us) + weight_load_ns;
+            replica.committed_ns += cost_ns;
+            replica.weight_load_ns += weight_load_ns;
+            replica.outstanding += 1;
+            return RouteDecision { replica: pick, cost_ns };
+        }
+    }
+
+    /// Retires one executed batch against its replica's clock (called by
+    /// the worker after the forward pass) and wakes any router waiting for
+    /// queue space.
+    pub fn retire(&self, replica: usize, cost_ns: u64, requests: usize) {
+        {
+            let mut guard = self.state.lock();
+            let r = &mut guard[replica];
+            r.retired_ns += cost_ns;
+            r.outstanding -= 1;
+            r.batches += 1;
+            r.requests += requests as u64;
+        }
+        self.freed.notify_all();
+    }
+
+    /// Point-in-time per-replica statistics plus the pod's simulated
+    /// makespan (the maximum retired occupancy clock, µs): utilization is
+    /// each replica's retired device time over that makespan.
+    pub fn stats(&self) -> (Vec<ReplicaStats>, f64) {
+        let guard = self.state.lock();
+        let makespan_us = guard.iter().map(|r| r.retired_ns).max().unwrap_or(0) as f64 / 1e3;
+        let stats = guard
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let device_us = r.retired_ns as f64 / 1e3;
+                ReplicaStats {
+                    replica: i,
+                    batches: r.batches,
+                    requests: r.requests,
+                    queue_depth: r.outstanding,
+                    device_us,
+                    weight_load_us: r.weight_load_ns as f64 / 1e3,
+                    cold_loads: r.cold_loads,
+                    utilization: if makespan_us > 0.0 { device_us / makespan_us } else { 0.0 },
+                }
+            })
+            .collect();
+        (stats, makespan_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pod(replicas: usize, policy: Routing, capacity: usize, models: usize) -> Pod {
+        Pod::new(PodSpec::with_ipus(replicas), policy.build(), capacity, models)
+    }
+
+    fn occupancy(busy: &[u64]) -> Vec<ReplicaOccupancy> {
+        busy.iter()
+            .enumerate()
+            .map(|(i, &b)| ReplicaOccupancy { replica: i, busy_until_ns: b, outstanding: 0 })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_every_replica() {
+        let p = RoundRobin::default();
+        let occ = occupancy(&[5, 0, 9, 2]);
+        let picks: Vec<usize> = (0..8).map(|_| p.choose(&occ)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn jsq_picks_the_least_busy_clock() {
+        let p = JoinShortestQueue;
+        assert_eq!(p.choose(&occupancy(&[50, 10, 30])), 1);
+        assert_eq!(p.choose(&occupancy(&[10, 10, 30])), 0, "ties break to the lower index");
+        let mut occ = occupancy(&[10, 10]);
+        occ[0].outstanding = 3;
+        assert_eq!(p.choose(&occ), 1, "equal clocks break on outstanding batches");
+    }
+
+    #[test]
+    fn p2c_always_prefers_the_less_busy_of_its_pair() {
+        let p = PowerOfTwoChoices::default();
+        // One replica is far busier than the rest: p2c must never pick it
+        // (whenever it is sampled, its partner is less busy).
+        let occ = occupancy(&[1_000_000, 3, 7, 5]);
+        for _ in 0..64 {
+            assert_ne!(p.choose(&occ), 0);
+        }
+        assert_eq!(p.choose(&occupancy(&[42])), 0, "single replica short-circuits");
+    }
+
+    #[test]
+    fn route_balances_and_retire_settles_the_clocks() {
+        let p = pod(4, Routing::JoinShortestQueue, 64, 1);
+        for _ in 0..16 {
+            let d = p.route(0, 0, 100.0);
+            p.retire(d.replica, d.cost_ns, 2);
+        }
+        let (stats, makespan) = p.stats();
+        assert_eq!(stats.iter().map(|r| r.batches).sum::<u64>(), 16);
+        assert_eq!(stats.iter().map(|r| r.requests).sum::<u64>(), 32);
+        for r in &stats {
+            assert_eq!(r.batches, 4, "jsq with equal costs is perfectly balanced");
+            assert_eq!(r.queue_depth, 0);
+            // Replicas 1..3 were cold for the model (zero bytes, but one
+            // collective launch = 5 µs each); compute time is even.
+            assert!((r.device_us - r.weight_load_us - 400.0).abs() < 1e-9);
+            assert!(r.utilization > 0.98 && r.utilization <= 1.0 + 1e-9);
+        }
+        assert!((makespan - 405.0).abs() < 1e-9, "makespan {makespan}");
+    }
+
+    #[test]
+    fn replica_zero_is_warm_and_cold_replicas_pay_the_load_once() {
+        let p = pod(2, Routing::RoundRobin, 64, 2);
+        // Round-robin: batch 0 -> replica 0 (warm), batch 1 -> replica 1 (cold).
+        let compute_ns = us_to_ns(10.0);
+        let d0 = p.route(0, 4_000_000, 10.0);
+        let d1 = p.route(0, 4_000_000, 10.0);
+        assert_eq!((d0.replica, d1.replica), (0, 1));
+        assert_eq!(d0.cost_ns, compute_ns, "replica 0 held the weights at startup");
+        let load_ns = us_to_ns(weight_load_seconds(&PodSpec::with_ipus(2), 4_000_000) * 1e6);
+        assert!(load_ns > 0);
+        assert_eq!(d1.cost_ns, compute_ns + load_ns, "the cold replica pays the link transfer");
+        // Same model on the now-warm replica 1: no second load.
+        p.retire(d0.replica, d0.cost_ns, 1);
+        p.retire(d1.replica, d1.cost_ns, 1);
+        let d2 = p.route(0, 4_000_000, 10.0);
+        let d3 = p.route(0, 4_000_000, 10.0);
+        assert_eq!(d2.cost_ns, compute_ns);
+        assert_eq!(d3.cost_ns, compute_ns);
+        // A different model is cold on replica 1 independently.
+        p.retire(d2.replica, d2.cost_ns, 1);
+        p.retire(d3.replica, d3.cost_ns, 1);
+        let d4 = p.route(1, 1_000, 10.0);
+        let d5 = p.route(1, 1_000, 10.0);
+        assert_eq!(
+            [d4, d5].iter().filter(|d| d.cost_ns > compute_ns).count(),
+            1,
+            "exactly the cold replica pays for model 1"
+        );
+        let (stats, _) = p.stats();
+        assert_eq!(stats[0].cold_loads, 0);
+        assert_eq!(stats[1].cold_loads, 2);
+        assert!(stats[1].weight_load_us > 0.0);
+    }
+
+    #[test]
+    fn full_pick_falls_back_to_a_replica_with_space() {
+        let p = pod(2, Routing::RoundRobin, 1, 1);
+        let a = p.route(0, 0, 5.0);
+        assert_eq!(a.replica, 0);
+        // Round-robin would pick 1, which has space.
+        let b = p.route(0, 0, 5.0);
+        assert_eq!(b.replica, 1);
+        // Both full now: round-robin picks 0 again — no space anywhere, so
+        // this would block; retire from another thread unblocks it.
+        let p = Arc::new(p);
+        let router = {
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || p.route(0, 0, 5.0).replica)
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        p.retire(1, b.cost_ns, 1);
+        let picked = router.join().expect("router thread");
+        assert_eq!(picked, 1, "the freed replica takes the blocked batch");
+        p.retire(0, a.cost_ns, 1);
+    }
+
+    #[test]
+    fn routing_parses_from_labels() {
+        assert_eq!("rr".parse::<Routing>().unwrap(), Routing::RoundRobin);
+        assert_eq!("p2c".parse::<Routing>().unwrap(), Routing::PowerOfTwoChoices);
+        assert_eq!("join-shortest-queue".parse::<Routing>().unwrap(), Routing::JoinShortestQueue);
+        assert!("nope".parse::<Routing>().is_err());
+        assert_eq!(Routing::default(), Routing::PowerOfTwoChoices);
+        for r in [Routing::RoundRobin, Routing::PowerOfTwoChoices, Routing::JoinShortestQueue] {
+            assert_eq!(r.build().name(), r.label());
+        }
+    }
+}

@@ -43,6 +43,10 @@ pub struct Timing {
     /// device time over responses stays honest (one forward, one
     /// attribution).
     pub source: ServedFrom,
+    /// Pod replica whose occupancy clock this request's batch was retired
+    /// against. `None` for cache hits, which never touch a replica;
+    /// coalesced followers report the leader's replica (at 0 device-µs).
+    pub replica: Option<usize>,
 }
 
 /// A completed inference.
@@ -156,6 +160,7 @@ mod tests {
                 ipu_batch_us: None,
                 gpu_batch_us: None,
                 source: ServedFrom::Compute,
+                replica: Some(0),
             },
         };
         tx.send(resp).expect("handle alive");

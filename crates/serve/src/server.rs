@@ -8,8 +8,9 @@
 //!            cache hit ──────────────────────────────► reply (0 device-µs)
 //! submit() ──┤ coalesce ──► parked on in-flight entry ─► woken by leader
 //!            └─miss──► [admission queue, model i] ──► batcher i ──┐
-//!                        (queues live in per-shard lanes)         ├─► [batch queue] ─► worker pool
-//!                                  ...                  ──────────┘      (N threads, shared)
+//!                        (queues live in per-shard lanes)         ├─► route to pod replica ─► [batch queue] ─► worker pool
+//!                                  ...                  ──────────┘    (occupancy clocks,        (N threads, shared;
+//!                                                                       weight residency)         retire replica clock)
 //! ```
 //!
 //! The submit path resolves the model through the N-way sharded registry
@@ -31,13 +32,14 @@
 use crate::cache::{input_key, AdmitOutcome, ResponseCache, Waiter};
 use crate::config::ServeConfig;
 use crate::metrics::{CacheStats, ModelMetrics, RegistryShardStats, ServeSnapshot};
-use crate::registry::ModelRegistry;
+use crate::registry::{DeviceEstimate, ModelRegistry};
+use crate::replica::{Pod, RoutePolicy};
 use crate::request::{
     InferRequest, InferResponse, ResponseHandle, ServedFrom, SubmitError, Timing,
 };
 use bfly_core::{Method, PixelflyError};
 use bfly_gpu::GpuDevice;
-use bfly_ipu::IpuDevice;
+use bfly_ipu::{IpuDevice, PodSpec};
 use bfly_tensor::{Matrix, Scratch};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
@@ -46,10 +48,19 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// One coalesced unit of work travelling batcher -> worker.
+/// One coalesced unit of work travelling batcher -> worker, already routed
+/// to a pod replica with its simulated cost reserved on that replica's
+/// occupancy clock.
 struct Batch {
     model: usize,
     requests: Vec<InferRequest>,
+    /// Replica whose clock this batch was routed to.
+    replica: usize,
+    /// Per-batch IPU/GPU pricing, resolved at routing time from the memo.
+    estimate: DeviceEstimate,
+    /// Simulated ns to retire against the replica's clock after execution
+    /// (IPU compute estimate plus any cold weight load).
+    cost_ns: u64,
 }
 
 /// Admission lane of one registry shard: the submit senders of the shard's
@@ -67,6 +78,9 @@ struct Inner {
     lanes: Vec<ShardLane>,
     /// `None` when the cache is disabled: every request goes to the batcher.
     cache: Option<ResponseCache>,
+    /// The simulated multi-IPU pod: replica occupancy clocks, weight
+    /// residency, and the routing policy.
+    pod: Pod,
     completion_counter: AtomicU64,
     ipu: IpuDevice,
     gpu: GpuDevice,
@@ -85,8 +99,20 @@ pub struct Server {
 }
 
 impl Server {
-    /// Builds the sharded registry and starts batcher and worker threads.
+    /// Builds the sharded registry and starts batcher and worker threads,
+    /// routing batches across the configured pod with `config.routing`.
     pub fn start(config: ServeConfig, methods: &[Method]) -> Result<Self, PixelflyError> {
+        let policy = config.routing.build();
+        Self::start_with_policy(config, methods, policy)
+    }
+
+    /// [`Server::start`] with a caller-supplied routing policy (the
+    /// pluggable-policy escape hatch; `config.routing` is ignored).
+    pub fn start_with_policy(
+        config: ServeConfig,
+        methods: &[Method],
+        policy: Box<dyn RoutePolicy>,
+    ) -> Result<Self, PixelflyError> {
         config.validate();
         assert!(!methods.is_empty(), "server needs at least one model");
         let registry = ModelRegistry::build_sharded(
@@ -119,12 +145,19 @@ impl Server {
         let (batch_tx, batch_rx) = channel::bounded::<Batch>(2 * config.workers);
 
         let cache = config.cache.enabled.then(|| ResponseCache::new(&config.cache));
+        let pod = Pod::new(
+            PodSpec::with_ipus(config.replicas),
+            policy,
+            config.replica_queue,
+            registry.len(),
+        );
         let inner = Arc::new(Inner {
             config: config.clone(),
             registry,
             metrics,
             lanes,
             cache,
+            pod,
             completion_counter: AtomicU64::new(0),
             ipu: IpuDevice::gc200(),
             gpu: GpuDevice::a30(),
@@ -248,6 +281,8 @@ impl Server {
                     ipu_batch_us: Some(0.0),
                     gpu_batch_us: Some(0.0),
                     source: ServedFrom::CacheHit,
+                    // A hit never touches the pod at all.
+                    replica: None,
                 };
                 metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                 metrics.record_response(&timing);
@@ -299,7 +334,7 @@ impl Server {
                 queue_depth,
             });
         }
-        let models = registry
+        let models: Vec<crate::metrics::ModelStats> = registry
             .entries()
             .iter()
             .zip(&self.inner.metrics)
@@ -317,7 +352,19 @@ impl Server {
             Some(cache) => cache.stats(),
             None => CacheStats::disabled(),
         };
-        ServeSnapshot { elapsed_s, models, shards, cache }
+        let (replicas, pod_makespan_us) = self.inner.pod.stats();
+        // Model-side tally; the per-replica device_us values sum to the
+        // same total (pinned by tests).
+        let total_device_us = models.iter().map(|m| m.device_us).sum();
+        ServeSnapshot {
+            elapsed_s,
+            models,
+            shards,
+            replicas,
+            total_device_us,
+            pod_makespan_us,
+            cache,
+        }
     }
 
     /// Graceful shutdown: stops admitting, drains every already-admitted
@@ -348,10 +395,13 @@ impl Drop for Server {
     }
 }
 
-/// Coalesces one model's admitted requests into micro-batches.
+/// Coalesces one model's admitted requests into micro-batches and routes
+/// each batch to a pod replica before handing it to the worker pool.
 fn batcher_loop(inner: &Inner, model: usize, rx: Receiver<InferRequest>, tx: Sender<Batch>) {
     let max_batch = inner.config.max_batch;
     let max_wait = inner.config.max_wait;
+    let entry = &inner.registry.entries()[model];
+    let weight_bytes = 4 * entry.param_count() as u64;
     loop {
         // Block for the batch's first request; a disconnected, empty queue
         // means shutdown and nothing left to drain.
@@ -373,7 +423,25 @@ fn batcher_loop(inner: &Inner, model: usize, rx: Receiver<InferRequest>, tx: Sen
             }
         }
         inner.metrics[model].record_batch(requests.len());
-        if tx.send(Batch { model, requests }).is_err() {
+        // Price the batch (memoized per size) and reserve its simulated
+        // cost on a replica's occupancy clock. Routing here — not in the
+        // worker — keeps the policy's occupancy view ahead of execution,
+        // and blocks for queue space when the whole pod is saturated.
+        let estimate = entry.device_estimate(
+            requests.len(),
+            &inner.ipu,
+            &inner.gpu,
+            inner.config.tensor_cores,
+        );
+        let decision = inner.pod.route(model, weight_bytes, estimate.ipu_us.unwrap_or(0.0));
+        let batch = Batch {
+            model,
+            requests,
+            replica: decision.replica,
+            estimate,
+            cost_ns: decision.cost_ns,
+        };
+        if tx.send(batch).is_err() {
             break;
         }
     }
@@ -408,7 +476,12 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
     let forward_start = Instant::now();
     let y = entry.forward(&x, scratch);
     let service_us = forward_start.elapsed().as_micros() as u64;
-    let estimate = entry.device_estimate(rows, &inner.ipu, &inner.gpu, inner.config.tensor_cores);
+    // Retire the batch against its replica's occupancy clock and tally the
+    // same cost on the model's device counter — the two independent
+    // accountings the snapshot cross-checks.
+    inner.pod.retire(batch.replica, batch.cost_ns, rows);
+    metrics.record_device_ns(batch.cost_ns);
+    let estimate = batch.estimate;
 
     for (i, request) in batch.requests.into_iter().enumerate() {
         let timing = Timing {
@@ -419,6 +492,7 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
             ipu_batch_us: estimate.ipu_us,
             gpu_batch_us: estimate.gpu_us,
             source: ServedFrom::Compute,
+            replica: Some(batch.replica),
         };
         metrics.record_response(&timing);
         // The leader's completion index is drawn before the cache-side
@@ -452,6 +526,7 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
                 ipu_batch_us: Some(0.0),
                 gpu_batch_us: Some(0.0),
                 source: ServedFrom::Coalesced,
+                replica: Some(batch.replica),
             };
             metrics.record_response(&timing);
             let _ = waiter.reply.send(InferResponse {
@@ -640,6 +715,8 @@ mod tests {
             server.submit("butterfly", 0, 1, input.clone()).expect("served").wait().expect("ok");
         assert_eq!(second.timing.source, ServedFrom::CacheHit);
         assert_eq!(second.output, first.output, "hit is bit-identical to the computed response");
+        assert_eq!(first.timing.replica, Some(0), "computed on the pod's only replica");
+        assert_eq!(second.timing.replica, None, "a hit never touches the pod");
         assert_eq!(second.timing.ipu_batch_us, Some(0.0), "hits cost 0 device-µs");
         assert_eq!(second.timing.gpu_batch_us, Some(0.0));
         assert_eq!(second.timing.service_us, 0);
@@ -650,6 +727,105 @@ mod tests {
         assert_eq!(snapshot.models[0].cache_misses, 1);
         assert_eq!(snapshot.cache.entries, 1);
         assert!(snapshot.cache.enabled);
+    }
+
+    #[test]
+    fn single_replica_pod_matches_the_pre_pod_accounting() {
+        // replicas = 1 (the default) must reproduce the pre-pod serving
+        // path: every computed response is attributed to replica 0, and the
+        // one replica's device time IS the global total.
+        let config = ServeConfig { cache: CacheConfig::disabled(), ..small_config() };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let handles: Vec<_> = (0..24)
+            .map(|i| server.submit("butterfly", 0, i, vec![i as f32 / 24.0; 64]).expect("ok"))
+            .collect();
+        for handle in handles {
+            let r = handle.wait().expect("served");
+            assert_eq!(r.timing.replica, Some(0));
+        }
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.replicas.len(), 1);
+        let r0 = &snapshot.replicas[0];
+        assert_eq!(r0.requests, 24);
+        assert_eq!(r0.cold_loads, 0, "replica 0 starts warm for every model");
+        assert_eq!(r0.weight_load_us, 0.0);
+        assert!((r0.device_us - snapshot.total_device_us).abs() < 1e-6);
+        assert!((r0.device_us - snapshot.pod_makespan_us).abs() < 1e-9);
+        assert!((r0.utilization - 1.0).abs() < 1e-9, "the only replica defines the makespan");
+    }
+
+    #[test]
+    fn per_replica_device_time_sums_to_the_model_tally() {
+        // The snapshot carries two independent accountings of simulated
+        // device time — per model (worker-side tally) and per replica
+        // (pod-side retirement). They must agree to the nanosecond, modulo
+        // the µs float conversion.
+        let config = ServeConfig {
+            replicas: 4,
+            routing: crate::replica::Routing::JoinShortestQueue,
+            cache: CacheConfig::disabled(),
+            queue_capacity: 256,
+            ..small_config()
+        };
+        let server = Server::start(config, &[Method::Baseline, Method::Butterfly]).expect("valid");
+        let handles: Vec<_> = (0..96)
+            .map(|i| {
+                let model = if i % 2 == 0 { "baseline" } else { "butterfly" };
+                server.submit(model, i % 7, i, vec![(i as f32).sin(); 64]).expect("admitted")
+            })
+            .collect();
+        for handle in handles {
+            let r = handle.wait().expect("served");
+            assert!(r.timing.replica.expect("computed => attributed") < 4);
+        }
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.replicas.len(), 4);
+        let replica_sum: f64 = snapshot.replicas.iter().map(|r| r.device_us).sum();
+        let model_sum: f64 = snapshot.models.iter().map(|m| m.device_us).sum();
+        assert!(
+            (replica_sum - snapshot.total_device_us).abs() < 1e-6,
+            "replica tally {replica_sum} vs global {}",
+            snapshot.total_device_us
+        );
+        assert!((model_sum - snapshot.total_device_us).abs() < 1e-9);
+        assert_eq!(snapshot.replicas.iter().map(|r| r.requests).sum::<u64>(), 96);
+        let makespan = snapshot.replicas.iter().map(|r| r.device_us).fold(0.0f64, f64::max);
+        assert!((makespan - snapshot.pod_makespan_us).abs() < 1e-9);
+        for r in &snapshot.replicas {
+            assert_eq!(r.queue_depth, 0, "shutdown retired every routed batch");
+            assert!(r.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_replica_routing_spreads_batches_and_charges_cold_loads() {
+        // Round-robin across 3 replicas: every replica serves batches, and
+        // the two cold replicas each pay exactly one weight load for the one
+        // registered model.
+        let config = ServeConfig {
+            replicas: 3,
+            routing: crate::replica::Routing::RoundRobin,
+            max_batch: 1,
+            cache: CacheConfig::disabled(),
+            ..small_config()
+        };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let handles: Vec<_> = (0..30)
+            .map(|i| server.submit("butterfly", 0, i, vec![i as f32; 64]).expect("admitted"))
+            .collect();
+        let mut seen = [false; 3];
+        for handle in handles {
+            let r = handle.wait().expect("served");
+            seen[r.timing.replica.expect("computed")] = true;
+        }
+        assert_eq!(seen, [true; 3], "round-robin reaches every replica");
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.replicas[0].cold_loads, 0);
+        for r in &snapshot.replicas[1..] {
+            assert_eq!(r.cold_loads, 1, "one load per model per cold replica");
+            assert!(r.weight_load_us > 0.0);
+            assert!(r.batches > 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Pod-serving invariants, property-tested end to end: whatever the pod
+//! size and routing policy, the runtime must not lose, duplicate or reorder
+//! a client's requests, cache hits must stay bit-identical to computed
+//! responses, and the two device-time accountings (per model and per
+//! replica) must agree.
+
+use bfly_core::Method;
+use bfly_serve::{CacheConfig, Routing, ServeConfig, ServedFrom, Server};
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const DIM: usize = 48;
+
+fn pod_config(replicas: usize, routing: Routing, cache: bool) -> ServeConfig {
+    ServeConfig {
+        dim: DIM,
+        classes: 10,
+        seed: 23,
+        max_batch: 4,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 1024,
+        workers: 2,
+        replicas,
+        routing,
+        cache: if cache { CacheConfig::default() } else { CacheConfig::disabled() },
+        ..Default::default()
+    }
+}
+
+fn routing_from(index: usize) -> Routing {
+    match index % 3 {
+        0 => Routing::RoundRobin,
+        1 => Routing::PowerOfTwoChoices,
+        _ => Routing::JoinShortestQueue,
+    }
+}
+
+/// A per-request input that is unique across (client, seq) so the cache
+/// never collapses two logical requests.
+fn unique_input(client: u64, seq: u64) -> Vec<f32> {
+    let tag = (client * 1_000 + seq) as f32;
+    (0..DIM).map(|i| (tag + i as f32).sin()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every submitted request is answered exactly once — no losses, no
+    /// duplicates — on any pod size under any routing policy, and the
+    /// per-replica device-time tally agrees with the global one.
+    #[test]
+    fn no_request_is_lost_or_duplicated_on_any_pod(
+        replicas in 1usize..5,
+        policy in 0usize..3,
+        clients in 2u64..5,
+        per_client in 3u64..9,
+    ) {
+        let routing = routing_from(policy);
+        let server =
+            Server::start(pod_config(replicas, routing, false), &[Method::Butterfly]).unwrap();
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            for s in 0..per_client {
+                handles.push((c, s, server.submit("butterfly", c, s, unique_input(c, s)).unwrap()));
+            }
+        }
+        let mut seen: HashMap<(u64, u64), u64> = HashMap::new();
+        for (c, s, handle) in handles {
+            let r = handle.wait().expect("admitted requests are always answered");
+            prop_assert_eq!((r.client, r.seq), (c, s));
+            prop_assert_eq!(r.output.len(), 10);
+            prop_assert!(r.timing.replica.expect("computed => attributed") < replicas);
+            *seen.entry((c, s)).or_insert(0) += 1;
+        }
+        prop_assert_eq!(seen.len() as u64, clients * per_client);
+        prop_assert!(seen.values().all(|&n| n == 1), "every request answered exactly once");
+        let snapshot = server.shutdown();
+        prop_assert_eq!(snapshot.replicas.len(), replicas);
+        let replica_sum: f64 = snapshot.replicas.iter().map(|r| r.device_us).sum();
+        prop_assert!(
+            (replica_sum - snapshot.total_device_us).abs() < 1e-6,
+            "replica device-time tally {} disagrees with global {}",
+            replica_sum,
+            snapshot.total_device_us
+        );
+        prop_assert_eq!(
+            snapshot.replicas.iter().map(|r| r.requests).sum::<u64>(),
+            clients * per_client
+        );
+    }
+
+    /// With one worker the batch queue serialises execution, so each
+    /// client's responses must complete in submission order no matter which
+    /// replicas the batches were routed to.
+    #[test]
+    fn per_client_fifo_survives_multi_replica_routing(
+        replicas in 2usize..5,
+        policy in 0usize..3,
+        per_client in 4u64..10,
+    ) {
+        let config = ServeConfig { workers: 1, ..pod_config(replicas, routing_from(policy), false) };
+        let server = Server::start(config, &[Method::Butterfly]).unwrap();
+        let clients = 3u64;
+        let mut handles = Vec::new();
+        for s in 0..per_client {
+            for c in 0..clients {
+                handles.push((c, server.submit("butterfly", c, s, unique_input(c, s)).unwrap()));
+            }
+        }
+        let mut last: HashMap<u64, (u64, u64)> = HashMap::new();
+        for (c, handle) in handles {
+            let r = handle.wait().expect("answered");
+            if let Some(&(prev_seq, prev_idx)) = last.get(&c) {
+                prop_assert!(r.seq > prev_seq);
+                prop_assert!(
+                    r.completed_index > prev_idx,
+                    "client {}: seq {} completed at {} after seq {} at {}",
+                    c, r.seq, r.completed_index, prev_seq, prev_idx
+                );
+            }
+            last.insert(c, (r.seq, r.completed_index));
+        }
+        server.shutdown();
+    }
+
+    /// A cache hit is bit-identical to the computed response it memoized,
+    /// reports zero device time, and carries no replica attribution — no
+    /// matter which replica computed the original.
+    #[test]
+    fn cache_hits_are_bit_identical_on_any_replica(
+        replicas in 2usize..5,
+        policy in 0usize..3,
+        keys in 3u64..8,
+    ) {
+        let server =
+            Server::start(pod_config(replicas, routing_from(policy), true), &[Method::Butterfly])
+                .unwrap();
+        let mut computed = Vec::new();
+        for k in 0..keys {
+            let r = server
+                .submit("butterfly", 0, k, unique_input(9, k))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            prop_assert_eq!(r.timing.source, ServedFrom::Compute);
+            computed.push(r);
+        }
+        for (k, first) in computed.iter().enumerate() {
+            let hit = server
+                .submit("butterfly", 1, k as u64, unique_input(9, k as u64))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            prop_assert_eq!(hit.timing.source, ServedFrom::CacheHit);
+            prop_assert_eq!(&hit.output, &first.output, "hit must be bit-identical");
+            prop_assert_eq!(hit.timing.replica, None);
+            prop_assert_eq!(hit.timing.ipu_batch_us, Some(0.0));
+        }
+        server.shutdown();
+    }
+}

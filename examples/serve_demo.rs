@@ -3,15 +3,17 @@
 //! Run with: `cargo run --release --example serve_demo`
 //!
 //! Starts a `bfly-serve` server holding a dense baseline and a butterfly
-//! SHL model (both forward-only — no gradient or momentum memory), pushes a
-//! burst of concurrent requests at it, and shows what every response
-//! carries: the class scores, the micro-batch the request was coalesced
-//! into, and the predicted IPU/GPU device time for that batch next to the
-//! measured wall time. Ends with a graceful shutdown and the final metrics
-//! snapshot as JSON.
+//! SHL model (both forward-only — no gradient or momentum memory) on a
+//! simulated 4-IPU pod, pushes a burst of concurrent requests at it, and
+//! shows what every response carries: the class scores, the micro-batch
+//! the request was coalesced into, the pod replica that served it, and the
+//! predicted IPU/GPU device time for that batch next to the measured wall
+//! time. Ends with a graceful shutdown and the final metrics snapshot as
+//! JSON — including per-replica device time, utilization, and the one-time
+//! weight loads the cold replicas paid.
 
 use bfly_core::Method;
-use bfly_serve::{ServeConfig, Server};
+use bfly_serve::{Routing, ServeConfig, Server};
 use std::time::Duration;
 
 fn main() {
@@ -24,6 +26,8 @@ fn main() {
         queue_capacity: 256,
         workers: 2,
         tensor_cores: false,
+        replicas: 4,
+        routing: Routing::PowerOfTwoChoices,
         ..Default::default()
     };
     let dim = config.dim;
@@ -47,10 +51,11 @@ fn main() {
                     if seq == 49 {
                         println!(
                             "client {client} ({model:<9}): top score {:+.3}, served in a \
-                             batch of {:>2}, wall {:>4} us, predicted IPU {:>6.1} us, \
-                             GPU {:>6.1} us",
+                             batch of {:>2} on replica {}, wall {:>4} us, predicted IPU \
+                             {:>6.1} us, GPU {:>6.1} us",
                             r.output.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
                             r.timing.batch_size,
+                            r.timing.replica.map_or("-".into(), |p| p.to_string()),
                             r.timing.total_us,
                             r.timing.ipu_batch_us.unwrap_or(f64::NAN),
                             r.timing.gpu_batch_us.unwrap_or(f64::NAN),
