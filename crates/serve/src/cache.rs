@@ -404,6 +404,23 @@ impl ResponseCache {
         let pending = shard.pending.remove(&tag.key).expect("checked above");
         pending.waiters.into_iter().map(|w| (w, assign_index())).collect()
     }
+
+    /// Abandons a leader's computation without memoizing anything: removes
+    /// the pending entry (generation-checked) and returns its waiters so
+    /// the caller can answer them with the same failure the leader got
+    /// (e.g. the pod went down before the forward could run). Completion
+    /// indices are assigned inside the critical section, exactly as in
+    /// [`ResponseCache::complete`], so failure wake-ups keep the same-key
+    /// FIFO ordering guarantees.
+    pub fn fail(&self, tag: CacheTag, mut assign_index: impl FnMut() -> u64) -> Vec<(Waiter, u64)> {
+        let mut shard = self.shards[self.shard_index(tag.key)].lock();
+        let owns = shard.pending.get(&tag.key).is_some_and(|p| p.generation == tag.generation);
+        if !owns {
+            return Vec::new();
+        }
+        let pending = shard.pending.remove(&tag.key).expect("checked above");
+        pending.waiters.into_iter().map(|w| (w, assign_index())).collect()
+    }
 }
 
 #[cfg(test)]
@@ -597,6 +614,36 @@ mod tests {
             "expired entry must re-admit"
         );
         assert_eq!(cache.counters.expired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fail_wakes_waiters_without_memoizing() {
+        let cache = ResponseCache::new(&config(8, 1, None));
+        let input = vec![5.0f32; 4];
+        let key = input_key(0, &input);
+        let mut tag = None;
+        assert!(matches!(
+            cache.admit(key, &input, waiter, |t| {
+                tag = Some(t);
+                Ok(())
+            }),
+            AdmitOutcome::Admitted
+        ));
+        assert!(matches!(
+            cache.admit(key, &input, waiter, |_| panic!("must coalesce")),
+            AdmitOutcome::Coalesced
+        ));
+        let woken = cache.fail(tag.expect("sent"), || 3);
+        assert_eq!(woken.len(), 1, "the waiter is handed back for a failure answer");
+        assert_eq!(woken[0].1, 3);
+        assert_eq!(cache.in_flight(), 0);
+        assert_eq!(cache.len(), 0, "nothing memoized on failure");
+        assert!(
+            matches!(cache.admit(key, &input, waiter, |_| Ok(())), AdmitOutcome::Admitted),
+            "the key is free to compute again"
+        );
+        // A stale tag (wrong generation) wakes nobody.
+        assert!(cache.fail(CacheTag { key, generation: u64::MAX }, || 0).is_empty());
     }
 
     #[test]

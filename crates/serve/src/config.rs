@@ -1,5 +1,6 @@
 //! Server configuration.
 
+use crate::fault::FaultPlan;
 use crate::replica::Routing;
 use std::time::Duration;
 
@@ -88,6 +89,16 @@ pub struct ServeConfig {
     /// every replica is at the bound the router blocks, which backs up the
     /// admission queues and sheds load.
     pub replica_queue: usize,
+    /// Default per-request deadline, measured from submission: a request
+    /// whose batch has not been dispatched by then is answered
+    /// [`crate::ServedFrom::DeadlineExceeded`] instead of computed. `None`
+    /// never expires. Overridable per submit via
+    /// [`crate::Server::submit_with_deadline`].
+    pub default_deadline: Option<Duration>,
+    /// Deterministic schedule of simulated replica faults replayed against
+    /// the pod's simulated clock. [`FaultPlan::none`] (the default)
+    /// reproduces the fault-free runtime bit-exactly.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +117,8 @@ impl Default for ServeConfig {
             replicas: 1,
             routing: Routing::default(),
             replica_queue: 256,
+            default_deadline: None,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -122,6 +135,7 @@ impl ServeConfig {
         assert!(self.replicas > 0, "replicas must be positive");
         assert!(self.replica_queue > 0, "replica_queue must be positive");
         self.cache.validate();
+        self.fault_plan.validate();
     }
 }
 
@@ -171,6 +185,27 @@ mod tests {
         assert_eq!(c.replicas, 1);
         assert_eq!(c.routing, Routing::PowerOfTwoChoices);
         ServeConfig { replicas: 8, routing: Routing::JoinShortestQueue, ..c }.validate();
+    }
+
+    #[test]
+    fn default_has_no_faults_and_no_deadline() {
+        let c = ServeConfig::default();
+        assert!(c.fault_plan.is_empty());
+        assert!(c.default_deadline.is_none());
+        ServeConfig {
+            fault_plan: FaultPlan::seeded(1, 4, 10_000.0, 3),
+            default_deadline: Some(Duration::from_millis(5)),
+            replicas: 4,
+            ..c
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slow factor")]
+    fn invalid_fault_plan_rejected() {
+        ServeConfig { fault_plan: FaultPlan::none().slow_from(1.0, 0, -1.0), ..Default::default() }
+            .validate();
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Deterministic fault injection for the simulated pod.
+//!
+//! A [`FaultPlan`] is a seeded, pre-computed schedule of replica faults —
+//! crashes, recoveries, and slow-replica degradation — expressed against
+//! the pod's *simulated* clock, so the same plan replayed against the same
+//! workload fires the same faults at the same points in the simulation no
+//! matter how the host threads interleave. The pod's clock advances by the
+//! compute cost of every batch presented for routing (see
+//! [`crate::replica`]): time is work, which keeps fault timing meaningful
+//! under any wall-clock speed and keeps recovery reachable whenever traffic
+//! keeps arriving.
+//!
+//! Semantics of each fault kind (applied by the pod when the clock passes
+//! the event's timestamp):
+//!
+//! - **Crash**: the replica goes down. Routing policies never see it, its
+//!   weight residency is wiped (device SRAM is lost), its degradation
+//!   factor resets, and batches already routed to it are *stranded*: the
+//!   worker that executes one discovers the crash at retirement, refunds
+//!   the reserved cost from the dead clock, and re-routes the batch to a
+//!   survivor (see `Pod::settle`).
+//! - **Recover**: the replica comes back up, cold — it re-pays the one-time
+//!   weight load for every model it serves again.
+//! - **Slow**: the replica's compute costs are multiplied by `factor` from
+//!   this point on (link congestion / thermal throttling); `factor = 1.0`
+//!   restores full speed.
+//!
+//! [`FaultPlan::none`] is the default and reproduces the fault-free runtime
+//! bit-exactly: no event is ever consulted on the hot path beyond one
+//! cursor comparison.
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated pod time (nanoseconds of cumulative presented compute) at
+    /// which the fault fires.
+    pub at_ns: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The kinds of replica fault the pod can simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The replica goes down, losing its SRAM (weight residency) and
+    /// stranding its outstanding batches.
+    Crash {
+        /// Replica index in the pod.
+        replica: usize,
+    },
+    /// The replica comes back up, cold for every model.
+    Recover {
+        /// Replica index in the pod.
+        replica: usize,
+    },
+    /// The replica's compute costs are multiplied by `factor` until a
+    /// further `Slow` event (or a crash) resets it.
+    Slow {
+        /// Replica index in the pod.
+        replica: usize,
+        /// Compute-cost multiplier; `1.0` restores full speed.
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// The replica this event targets.
+    pub fn replica(&self) -> usize {
+        match *self {
+            FaultKind::Crash { replica }
+            | FaultKind::Recover { replica }
+            | FaultKind::Slow { replica, .. } => replica,
+        }
+    }
+}
+
+/// A deterministic schedule of replica faults, sorted by firing time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+fn us_to_ns(us: f64) -> u64 {
+    (us * 1_000.0).round().max(0.0) as u64
+}
+
+/// Same splitmix64 the routing policies use for cheap seeded sampling.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0, 1) from a u64 (53-bit mantissa).
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, today's behaviour bit-exactly.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The scheduled events, sorted by firing time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    fn push(mut self, at_us: f64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_ns: us_to_ns(at_us), kind });
+        self.events.sort_by_key(|e| e.at_ns);
+        self
+    }
+
+    /// Schedules a crash of `replica` at `at_us` simulated microseconds.
+    pub fn crash_at(self, at_us: f64, replica: usize) -> Self {
+        self.push(at_us, FaultKind::Crash { replica })
+    }
+
+    /// Schedules a recovery of `replica` at `at_us` simulated microseconds.
+    pub fn recover_at(self, at_us: f64, replica: usize) -> Self {
+        self.push(at_us, FaultKind::Recover { replica })
+    }
+
+    /// Degrades `replica` by `factor` from `at_us` simulated microseconds on.
+    pub fn slow_from(self, at_us: f64, replica: usize, factor: f64) -> Self {
+        self.push(at_us, FaultKind::Slow { replica, factor })
+    }
+
+    /// A seeded random plan: `faults` crash/recover pairs spread uniformly
+    /// over `horizon_us` simulated microseconds of presented work, each
+    /// crash on a seeded replica choice and each recovery following its
+    /// crash after a seeded fraction of the horizon. Roughly one in three
+    /// faults additionally degrades a replica (factor 1.5–4x) for a window
+    /// before the next event. Same `(seed, replicas, horizon_us, faults)`
+    /// gives the same plan on every platform.
+    pub fn seeded(seed: u64, replicas: usize, horizon_us: f64, faults: usize) -> Self {
+        assert!(replicas >= 1, "plan needs at least one replica");
+        assert!(horizon_us > 0.0, "plan horizon must be positive");
+        let mut plan = Self::none();
+        let mut state = seed ^ 0xFA17_7001;
+        let mut draw = || {
+            state = splitmix64(state);
+            state
+        };
+        for f in 0..faults {
+            let replica = (draw() % replicas as u64) as usize;
+            let at = unit(draw()) * horizon_us;
+            // Recovery lands between 5% and 40% of the horizon later, so a
+            // crashed replica always has a comeback scheduled (it may fire
+            // after the workload drains, which is a legitimate outcome).
+            let back = at + (0.05 + 0.35 * unit(draw())) * horizon_us;
+            plan = plan.crash_at(at, replica).recover_at(back, replica);
+            if f % 3 == 2 {
+                let victim = (draw() % replicas as u64) as usize;
+                let factor = 1.5 + 2.5 * unit(draw());
+                let from = unit(draw()) * horizon_us;
+                plan = plan.slow_from(from, victim, factor);
+            }
+        }
+        plan
+    }
+
+    /// Panics unless every event is usable (finite positive slow factors).
+    pub fn validate(&self) {
+        for e in &self.events {
+            if let FaultKind::Slow { factor, .. } = e.kind {
+                assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "slow factor must be finite and positive, got {factor}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        plan.validate();
+    }
+
+    #[test]
+    fn builder_keeps_events_sorted_by_time() {
+        let plan =
+            FaultPlan::none().recover_at(300.0, 1).crash_at(100.0, 1).slow_from(200.0, 0, 2.0);
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![100_000, 200_000, 300_000]);
+        assert_eq!(plan.events()[0].kind, FaultKind::Crash { replica: 1 });
+        assert_eq!(plan.events()[0].kind.replica(), 1);
+        plan.validate();
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_bounded() {
+        let a = FaultPlan::seeded(7, 4, 1_000.0, 6);
+        let b = FaultPlan::seeded(7, 4, 1_000.0, 6);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::seeded(8, 4, 1_000.0, 6);
+        assert_ne!(a, c, "different seed, different plan");
+        assert!(a.len() >= 12, "each fault schedules a crash and a recovery");
+        for e in a.events() {
+            assert!(e.kind.replica() < 4, "events stay inside the pod");
+        }
+        for w in a.events().windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns, "sorted by firing time");
+        }
+        a.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slow factor")]
+    fn validate_rejects_non_positive_factors() {
+        FaultPlan::none().slow_from(1.0, 0, 0.0).validate();
+    }
+}

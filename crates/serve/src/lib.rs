@@ -33,6 +33,12 @@
 //!   served it;
 //! - tracks latency percentiles, throughput, shed rate, queue depth and
 //!   batch-size distribution, exportable as JSON ([`ServeSnapshot`]);
+//! - survives injected replica faults ([`FaultPlan`], [`crate::fault`]):
+//!   deterministic crash/recover/slow-down schedules replayed against the
+//!   pod's simulated clock, health-aware routing, crash-stranded batches
+//!   refunded and retried on a survivor, per-request deadlines answered
+//!   [`ServedFrom::DeadlineExceeded`], and a fast-failing
+//!   [`SubmitError::PodDown`] once no replica can ever return;
 //! - shuts down gracefully: every admitted request is answered before
 //!   [`Server::shutdown`] returns.
 //!
@@ -50,6 +56,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod loadgen;
 pub mod metrics;
 pub mod registry;
@@ -59,6 +66,7 @@ pub mod server;
 
 pub use cache::{hash_bytes, input_key};
 pub use config::{CacheConfig, ServeConfig};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use loadgen::{
     closed_loop, closed_loop_models, closed_loop_models_with_pool, closed_loop_with_pool,
     input_pool, open_loop, open_loop_with_pool, LoadReport, DEFAULT_INPUT_POOL,

@@ -1,7 +1,7 @@
 //! Load generators: seeded open-loop (Poisson arrivals) and closed-loop
 //! (fixed concurrency) drivers, with client-side latency accounting.
 
-use crate::request::{ResponseHandle, SubmitError};
+use crate::request::{ResponseHandle, ServedFrom, SubmitError};
 use crate::server::Server;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -24,8 +24,13 @@ pub struct LoadReport {
     pub accepted: u64,
     /// Requests shed at admission ([`SubmitError::Overloaded`]).
     pub shed: u64,
-    /// Responses received.
+    /// Responses received (successes and failures alike).
     pub completed: u64,
+    /// Responses answered [`ServedFrom::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Requests refused ([`SubmitError::PodDown`]) or answered
+    /// [`ServedFrom::PodDown`] because no replica was healthy.
+    pub pod_down: u64,
     /// Seconds from first submission to last response.
     pub elapsed_s: f64,
     /// Offered request rate over the submission window.
@@ -52,17 +57,48 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank - 1]
 }
 
+/// Classified client-side outcomes of one generator run: failure responses
+/// are tallied but kept out of the latency and batch-size samples (a
+/// deadline miss answered in ~0 µs would otherwise *improve* the reported
+/// tail).
+#[derive(Default)]
+struct Outcomes {
+    deadline_exceeded: u64,
+    pod_down: u64,
+    latencies: Vec<u64>,
+    batch_sizes: Vec<usize>,
+}
+
+impl Outcomes {
+    fn absorb(&mut self, response: &crate::request::InferResponse) {
+        match response.timing.source {
+            ServedFrom::DeadlineExceeded => self.deadline_exceeded += 1,
+            ServedFrom::PodDown => self.pod_down += 1,
+            _ => {
+                self.latencies.push(response.timing.total_us);
+                self.batch_sizes.push(response.timing.batch_size);
+            }
+        }
+    }
+
+    fn completed(&self) -> u64 {
+        self.deadline_exceeded + self.pod_down + self.latencies.len() as u64
+    }
+}
+
 fn report_from(
     offered: u64,
     accepted: u64,
     shed: u64,
-    mut latencies: Vec<u64>,
-    batch_sizes: Vec<usize>,
+    refused_pod_down: u64,
+    outcomes: Outcomes,
     elapsed_s: f64,
     submit_window_s: f64,
 ) -> LoadReport {
+    let completed = outcomes.completed();
+    let Outcomes { deadline_exceeded, pod_down, mut latencies, batch_sizes } = outcomes;
+    let pod_down = pod_down + refused_pod_down;
     latencies.sort_unstable();
-    let completed = latencies.len() as u64;
     let mean = if latencies.is_empty() {
         0.0
     } else {
@@ -78,6 +114,8 @@ fn report_from(
         accepted,
         shed,
         completed,
+        deadline_exceeded,
+        pod_down,
         elapsed_s,
         offered_rps: if submit_window_s > 0.0 { offered as f64 / submit_window_s } else { 0.0 },
         throughput_rps: if elapsed_s > 0.0 { completed as f64 / elapsed_s } else { 0.0 },
@@ -125,6 +163,7 @@ pub fn open_loop_with_pool(
 
     let mut handles: Vec<ResponseHandle> = Vec::with_capacity(total as usize);
     let mut shed = 0u64;
+    let mut refused_pod_down = 0u64;
     let start = Instant::now();
     let mut next_arrival = start;
     for i in 0..total {
@@ -138,21 +177,22 @@ pub fn open_loop_with_pool(
         match server.submit(model, i, i, inputs[(i as usize) % inputs.len()].clone()) {
             Ok(handle) => handles.push(handle),
             Err(SubmitError::Overloaded) => shed += 1,
+            // A dead pod refuses everything; keep offering so the report
+            // still reflects the intended load.
+            Err(SubmitError::PodDown) => refused_pod_down += 1,
             Err(e) => panic!("open_loop submit failed: {e}"),
         }
     }
     let submit_window_s = start.elapsed().as_secs_f64();
 
     let accepted = handles.len() as u64;
-    let mut latencies = Vec::with_capacity(handles.len());
-    let mut batch_sizes = Vec::with_capacity(handles.len());
+    let mut outcomes = Outcomes::default();
     for handle in handles {
         let response = handle.wait().expect("admitted requests are always answered");
-        latencies.push(response.timing.total_us);
-        batch_sizes.push(response.timing.batch_size);
+        outcomes.absorb(&response);
     }
     let elapsed_s = start.elapsed().as_secs_f64();
-    report_from(total, accepted, shed, latencies, batch_sizes, elapsed_s, submit_window_s)
+    report_from(total, accepted, shed, refused_pod_down, outcomes, elapsed_s, submit_window_s)
 }
 
 /// Closed-loop generator: `clients` threads each keep exactly one request in
@@ -214,15 +254,16 @@ pub fn closed_loop_models_with_pool(
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let inputs = input_pool(dim, pool_size, &mut rng);
     let start = Instant::now();
-    let results: Vec<(u64, Vec<u64>, Vec<usize>)> = std::thread::scope(|scope| {
+    let results: Vec<(u64, u64, u64, Outcomes)> = std::thread::scope(|scope| {
         let threads: Vec<_> = (0..clients)
             .map(|c| {
                 let inputs = &inputs;
                 scope.spawn(move || {
                     let mut sheds = 0u64;
-                    let mut latencies = Vec::with_capacity(per_client as usize);
-                    let mut batch_sizes = Vec::with_capacity(per_client as usize);
-                    for s in 0..per_client {
+                    let mut accepted = 0u64;
+                    let mut refused_pod_down = 0u64;
+                    let mut outcomes = Outcomes::default();
+                    'client: for s in 0..per_client {
                         // Offset by client id so clients walk the shared
                         // pool (and the model list) out of phase: exercises
                         // cross-client coalescing without every thread
@@ -236,16 +277,23 @@ pub fn closed_loop_models_with_pool(
                                     sheds += 1;
                                     std::thread::sleep(Duration::from_micros(50));
                                 }
+                                Err(SubmitError::PodDown) => {
+                                    // Unrecoverable: retrying would spin
+                                    // forever, so the client gives up on
+                                    // its remaining iterations.
+                                    refused_pod_down += 1;
+                                    break 'client;
+                                }
                                 Err(e) => panic!("closed_loop submit failed: {e}"),
                             }
                         };
+                        accepted += 1;
                         let response =
                             handle.wait().expect("admitted requests are always answered");
                         assert_eq!(response.seq, s, "closed-loop response out of order");
-                        latencies.push(response.timing.total_us);
-                        batch_sizes.push(response.timing.batch_size);
+                        outcomes.absorb(&response);
                     }
-                    (sheds, latencies, batch_sizes)
+                    (sheds, accepted, refused_pod_down, outcomes)
                 })
             })
             .collect();
@@ -254,16 +302,20 @@ pub fn closed_loop_models_with_pool(
     let elapsed_s = start.elapsed().as_secs_f64();
 
     let mut shed = 0u64;
-    let mut latencies = Vec::new();
-    let mut batch_sizes = Vec::new();
-    for (s, l, b) in results {
+    let mut accepted = 0u64;
+    let mut refused_pod_down = 0u64;
+    let mut outcomes = Outcomes::default();
+    for (s, a, refused, o) in results {
         shed += s;
-        latencies.extend(l);
-        batch_sizes.extend(b);
+        accepted += a;
+        refused_pod_down += refused;
+        outcomes.deadline_exceeded += o.deadline_exceeded;
+        outcomes.pod_down += o.pod_down;
+        outcomes.latencies.extend(o.latencies);
+        outcomes.batch_sizes.extend(o.batch_sizes);
     }
-    let offered = clients * per_client + shed;
-    let accepted = clients * per_client;
-    report_from(offered, accepted, shed, latencies, batch_sizes, elapsed_s, elapsed_s)
+    let offered = accepted + shed + refused_pod_down;
+    report_from(offered, accepted, shed, refused_pod_down, outcomes, elapsed_s, elapsed_s)
 }
 
 #[cfg(test)]
@@ -350,6 +402,33 @@ mod tests {
         let m = &snapshot.models[0];
         assert_eq!(m.cache_misses, 1, "one distinct input computes once");
         assert_eq!(m.cache_hits + m.cache_coalesced, 99, "repeats never recompute");
+    }
+
+    #[test]
+    fn failures_are_counted_but_kept_out_of_the_latency_samples() {
+        // Every request carries an already-expired deadline: the report
+        // must count them all as deadline_exceeded while the latency
+        // quantiles stay empty (a ~0 µs failure must not fake a fast tail).
+        let config = ServeConfig {
+            dim: 64,
+            classes: 10,
+            seed: 21,
+            max_batch: 4,
+            max_wait: Duration::from_micros(300),
+            queue_capacity: 128,
+            workers: 2,
+            cache: crate::config::CacheConfig::disabled(),
+            default_deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let report = closed_loop(&server, "butterfly", 3, 10, 9);
+        assert_eq!(report.completed, 30);
+        assert_eq!(report.deadline_exceeded, 30);
+        assert_eq!(report.pod_down, 0);
+        assert_eq!(report.latency_p99_us, 0, "no successes, no latency samples");
+        assert_eq!(report.mean_batch, 0.0);
+        server.shutdown();
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! batch-size distribution, cache hit/miss/coalesce counters, per-shard
 //! queue depth, and a `serde`-exportable snapshot.
 
-use crate::request::Timing;
+use crate::request::{ServedFrom, Timing};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,17 +36,21 @@ impl Histogram {
     pub fn record(&self, value: u64) {
         let mut s = self.state.lock();
         s.count += 1;
-        s.sum += value;
+        s.sum = s.sum.saturating_add(value);
         if s.stride == 0 {
             s.stride = 1;
         }
+        if s.samples.len() >= MAX_SAMPLES {
+            // Halve resolution — keep every other retained sample — *before*
+            // deciding whether this sample is retained, so the retention
+            // test below uses the stride that actually applies to it (testing
+            // against the old stride and pushing after doubling would bias
+            // the retained set's phase).
+            let kept: Vec<u64> = s.samples.iter().copied().step_by(2).collect();
+            s.samples = kept;
+            s.stride *= 2;
+        }
         if s.count.is_multiple_of(s.stride) {
-            if s.samples.len() >= MAX_SAMPLES {
-                // Halve resolution: keep every other retained sample.
-                let kept: Vec<u64> = s.samples.iter().copied().step_by(2).collect();
-                s.samples = kept;
-                s.stride *= 2;
-            }
             s.samples.push(value);
         }
     }
@@ -108,11 +112,10 @@ pub struct ModelMetrics {
     pub cache_coalesced: AtomicU64,
     /// Requests that missed the cache and were admitted to compute.
     pub cache_misses: AtomicU64,
-    /// Simulated device nanoseconds retired for this model's batches
-    /// (compute estimates plus cold weight loads), counted once per batch.
-    /// The same quantity is tallied per replica by the pod, so the sum over
-    /// replicas must equal the sum over models — pinned by tests.
-    pub device_ns: AtomicU64,
+    /// Requests answered [`ServedFrom::DeadlineExceeded`] (never computed).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests answered [`ServedFrom::PodDown`] (never computed).
+    pub pod_down: AtomicU64,
     /// End-to-end latency (admission -> response), microseconds.
     pub latency_us: Histogram,
     /// Queueing + batch-formation delay, microseconds.
@@ -127,25 +130,37 @@ impl ModelMetrics {
         self.batch_size.record(size as u64);
     }
 
-    /// Records one retired batch's simulated device cost.
-    pub fn record_device_ns(&self, cost_ns: u64) {
-        self.device_ns.fetch_add(cost_ns, Ordering::Relaxed);
-    }
-
-    /// Records one delivered response.
+    /// Records one delivered response. Failure responses (deadline
+    /// exceeded, pod down) count toward `completed` and their own counters
+    /// but stay out of the latency histograms, so the percentiles keep
+    /// describing served traffic rather than fast failures.
     pub fn record_response(&self, timing: &Timing) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        self.latency_us.record(timing.total_us);
-        self.queue_us.record(timing.queue_us);
+        match timing.source {
+            ServedFrom::DeadlineExceeded => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            ServedFrom::PodDown => {
+                self.pod_down.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.latency_us.record(timing.total_us);
+                self.queue_us.record(timing.queue_us);
+            }
+        }
     }
 
-    /// Builds the serializable view.
+    /// Builds the serializable view. `device_ns` is this model's settled
+    /// device tally, read from the pod's critical section (where it is
+    /// updated atomically with the per-replica clocks) rather than tracked
+    /// here — that is what keeps the replica-vs-model cross-check exact.
     pub fn snapshot(
         &self,
         name: &str,
         elapsed_s: f64,
         queue_depth: usize,
         memoized_estimates: usize,
+        device_ns: u64,
     ) -> ModelStats {
         let admitted = self.admitted.load(Ordering::Relaxed);
         let shed = self.shed.load(Ordering::Relaxed);
@@ -179,7 +194,9 @@ impl ModelMetrics {
                 cache_hits as f64 / cache_looked as f64
             },
             memoized_estimates,
-            device_us: self.device_ns.load(Ordering::Relaxed) as f64 / 1e3,
+            device_us: device_ns as f64 / 1e3,
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            pod_down: self.pod_down.load(Ordering::Relaxed),
         }
     }
 }
@@ -229,6 +246,10 @@ pub struct ModelStats {
     /// Simulated device µs retired for this model's batches (compute plus
     /// cold weight loads), counted once per batch.
     pub device_us: f64,
+    /// Requests answered `DeadlineExceeded` instead of computed.
+    pub deadline_exceeded: u64,
+    /// Requests answered `PodDown` instead of computed.
+    pub pod_down: u64,
 }
 
 /// Per-replica serving statistics of the simulated pod.
@@ -252,6 +273,14 @@ pub struct ReplicaStats {
     /// `device_us` over the pod's simulated makespan (the busiest replica's
     /// clock): 1.0 means this replica was the critical path.
     pub utilization: f64,
+    /// Crash faults this replica suffered.
+    pub crashes: u64,
+    /// Recovery faults that brought it back (always cold).
+    pub recoveries: u64,
+    /// Stranded batches this replica adopted from crashed peers.
+    pub retried_batches: u64,
+    /// Whether the replica was healthy at snapshot time.
+    pub up: bool,
 }
 
 /// Serializable whole-cache statistics.
@@ -394,8 +423,43 @@ mod tests {
         }
         assert_eq!(h.count(), n);
         let s = h.state.lock();
-        assert!(s.samples.len() <= MAX_SAMPLES + 1);
+        assert!(s.samples.len() <= MAX_SAMPLES, "retained set stays within the bound");
         assert!(s.stride > 1, "thinning engaged");
+    }
+
+    #[test]
+    fn histogram_quantiles_stay_sane_across_several_halvings() {
+        // A uniform 0..n ramp: after any number of stride halvings the
+        // retained set still samples the ramp systematically, so quantiles
+        // must stay close to q*n and the bound must hold throughout.
+        let h = Histogram::default();
+        let n = (MAX_SAMPLES as u64) * 5; // three halvings (stride reaches 8)
+        for v in 0..n {
+            h.record(v);
+        }
+        assert_eq!(h.count(), n);
+        {
+            let s = h.state.lock();
+            assert!(s.samples.len() <= MAX_SAMPLES);
+            assert!(s.stride >= 8, "several halvings engaged, stride {}", s.stride);
+            for w in s.samples.windows(2) {
+                assert!(w[0] < w[1], "retained ramp samples stay ordered — no phase bias");
+            }
+        }
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let got = h.quantile(q) as f64;
+            let want = q * n as f64;
+            assert!((got - want).abs() < n as f64 * 0.02, "q={q}: got {got}, want ~{want}");
+        }
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_overflowing() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!((h.mean() - u64::MAX as f64 / 2.0).abs() <= u64::MAX as f64 / 2.0);
     }
 
     #[test]
@@ -416,10 +480,9 @@ mod tests {
             replica: Some(1),
         };
         m.record_response(&t);
-        m.record_device_ns(12_500);
         let snap = ServeSnapshot {
             elapsed_s: 1.0,
-            models: vec![m.snapshot("butterfly", 1.0, 3, 2)],
+            models: vec![m.snapshot("butterfly", 1.0, 3, 2, 12_500)],
             shards: vec![RegistryShardStats { shard: 0, models: 1, queue_depth: 3 }],
             replicas: vec![ReplicaStats {
                 replica: 0,
@@ -430,6 +493,10 @@ mod tests {
                 weight_load_us: 0.0,
                 cold_loads: 0,
                 utilization: 1.0,
+                crashes: 0,
+                recoveries: 0,
+                retried_batches: 0,
+                up: true,
             }],
             total_device_us: 12.5,
             pod_makespan_us: 12.5,
@@ -445,7 +512,34 @@ mod tests {
         assert!(json.contains("\"replicas\""), "{json}");
         assert!(json.contains("\"utilization\": 1.0"), "{json}");
         assert!(json.contains("\"total_device_us\": 12.5"), "{json}");
+        assert!(json.contains("\"crashes\": 0"), "{json}");
+        assert!(json.contains("\"up\": true"), "{json}");
+        assert!(json.contains("\"deadline_exceeded\": 0"), "{json}");
         assert_eq!(snap.models[0].device_us, 12.5, "ns tally exports as µs");
+    }
+
+    #[test]
+    fn failure_responses_count_but_stay_out_of_latency() {
+        let m = ModelMetrics::default();
+        let base = Timing {
+            queue_us: 10,
+            service_us: 0,
+            total_us: 999,
+            batch_size: 1,
+            ipu_batch_us: Some(0.0),
+            gpu_batch_us: Some(0.0),
+            source: ServedFrom::DeadlineExceeded,
+            replica: None,
+        };
+        m.record_response(&base);
+        m.record_response(&Timing { source: ServedFrom::PodDown, ..base });
+        m.record_response(&Timing { source: ServedFrom::Compute, total_us: 30, ..base });
+        let s = m.snapshot("x", 1.0, 0, 0, 0);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.pod_down, 1);
+        assert_eq!(m.latency_us.count(), 1, "only the computed response is timed");
+        assert_eq!(s.latency_p99_us, 30);
     }
 
     #[test]
@@ -453,7 +547,7 @@ mod tests {
         let m = ModelMetrics::default();
         m.admitted.fetch_add(3, Ordering::Relaxed);
         m.shed.fetch_add(1, Ordering::Relaxed);
-        let s = m.snapshot("x", 1.0, 0, 0);
+        let s = m.snapshot("x", 1.0, 0, 0, 0);
         assert!((s.shed_rate - 0.25).abs() < 1e-12);
     }
 
@@ -463,7 +557,7 @@ mod tests {
         m.cache_hits.fetch_add(6, Ordering::Relaxed);
         m.cache_coalesced.fetch_add(2, Ordering::Relaxed);
         m.cache_misses.fetch_add(4, Ordering::Relaxed);
-        let s = m.snapshot("x", 1.0, 0, 0);
+        let s = m.snapshot("x", 1.0, 0, 0, 0);
         assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
         assert_eq!(s.cache_hits, 6);
         assert_eq!(s.cache_coalesced, 2);

@@ -37,6 +37,25 @@ pub struct DeviceEstimate {
     pub gpu_us: Option<f64>,
 }
 
+/// Floor on the per-batch cost a router reserves, µs. A zero-cost batch
+/// would look free to occupancy-based policies (p2c/jsq would pile every
+/// such batch onto one clock), so routing always reserves at least this.
+pub const MIN_ROUTED_US: f64 = 1.0;
+
+impl DeviceEstimate {
+    /// The cost the pod router should reserve for this batch, µs: the IPU
+    /// estimate when the trace priced there, else the GPU estimate as a
+    /// stand-in, floored at [`MIN_ROUTED_US`] so an unpriced (or degenerate
+    /// zero) estimate never routes as free.
+    pub fn routed_us(&self) -> f64 {
+        self.ipu_us
+            .or(self.gpu_us)
+            .filter(|us| us.is_finite() && *us > 0.0)
+            .unwrap_or(MIN_ROUTED_US)
+            .max(MIN_ROUTED_US)
+    }
+}
+
 /// One served model: a frozen (forward-only) SHL network.
 ///
 /// The model is immutable after construction, so the request hot path runs
@@ -291,6 +310,20 @@ mod tests {
         let again = reg.entries()[0].device_estimate(8, &ipu, &gpu, false);
         assert_eq!(e.ipu_us, again.ipu_us);
         assert_eq!(e.gpu_us, again.gpu_us);
+    }
+
+    #[test]
+    fn routed_cost_falls_back_and_never_hits_zero() {
+        let ipu_priced = DeviceEstimate { ipu_us: Some(42.0), gpu_us: Some(7.0) };
+        assert_eq!(ipu_priced.routed_us(), 42.0, "IPU estimate wins when present");
+        let gpu_only = DeviceEstimate { ipu_us: None, gpu_us: Some(7.0) };
+        assert_eq!(gpu_only.routed_us(), 7.0, "GPU estimate stands in");
+        let unpriced = DeviceEstimate { ipu_us: None, gpu_us: None };
+        assert_eq!(unpriced.routed_us(), MIN_ROUTED_US, "unpriced batches still cost something");
+        let degenerate = DeviceEstimate { ipu_us: Some(0.0), gpu_us: Some(0.0) };
+        assert_eq!(degenerate.routed_us(), MIN_ROUTED_US, "zero estimates are floored");
+        let tiny = DeviceEstimate { ipu_us: Some(0.25), gpu_us: None };
+        assert_eq!(tiny.routed_us(), MIN_ROUTED_US, "sub-floor estimates are floored");
     }
 
     #[test]

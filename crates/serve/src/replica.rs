@@ -6,7 +6,7 @@
 //! the batcher forms is routed to one replica, reserving the batch's
 //! predicted device cost on that replica's occupancy clock (a busy-until
 //! timestamp in simulated nanoseconds), and the worker that executes the
-//! batch retires the same cost against the clock. Aggregate pod capacity is
+//! batch settles the same cost against the clock. Aggregate pod capacity is
 //! therefore measured, not asserted: the pod's simulated makespan is the
 //! maximum occupancy clock, and throughput in device time scales with how
 //! evenly the router spreads batches.
@@ -15,11 +15,11 @@
 //! [`JoinShortestQueue`] (scan every clock, pick the least busy),
 //! [`PowerOfTwoChoices`] (sample two replicas, pick the less busy — the
 //! cheap default), and [`RoundRobin`] (the baseline). Each replica also has
-//! a bounded queue of outstanding (routed but unretired) batches: a policy
+//! a bounded queue of outstanding (routed but unsettled) batches: a policy
 //! pick that lands on a full replica falls back to the least-busy replica
-//! with space, and when every queue is full the router blocks until a
-//! worker retires a batch — backpressure that eventually fills the admission
-//! queues and sheds load, exactly like the pre-pod batch queue did.
+//! with space, and when every healthy queue is full the router blocks until
+//! a worker settles a batch — backpressure that eventually fills the
+//! admission queues and sheds load, exactly like the pre-pod batch queue did.
 //!
 //! Model weights are tracked per replica: replica 0 starts warm for every
 //! model (it is the device the pre-pod runtime priced everything on), and a
@@ -28,11 +28,29 @@
 //! collective launch — charged to its clock on the first batch of that
 //! model it serves. Butterfly models replicate almost for free; dense
 //! models pay ~n²·4 bytes per new replica.
+//!
+//! # Faults
+//!
+//! The pod replays a [`FaultPlan`] against its *simulated clock*: the clock
+//! advances by the presented compute cost of every batch offered for
+//! routing (time is work — fault timing is independent of host wall-clock
+//! speed), and any events whose timestamp the clock has passed are applied
+//! before a routing decision is made. Routing policies only ever see the
+//! healthy subset of replicas; when every replica is down, `route` returns
+//! [`PodDown`] instead of blocking forever. A crash bumps the replica's
+//! *epoch* and wipes its weight residency; a worker settling a batch whose
+//! routing epoch no longer matches learns the batch was *stranded*: the
+//! reservation is refunded from the dead clock and the batch is re-priced
+//! and re-routed to a survivor via [`Pod::reroute`]. A recovered replica is
+//! cold — it re-pays the one-time weight load per model. The per-model
+//! device-time tally lives in the same critical section as the per-replica
+//! clocks, so a snapshot can never observe one ahead of the other.
 
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::metrics::ReplicaStats;
 use bfly_ipu::{weight_load_seconds, PodSpec};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Config-level routing policy selector (see [`crate::ServeConfig`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,20 +106,22 @@ pub struct ReplicaOccupancy {
     /// Busy-until timestamp in simulated device nanoseconds: the cumulative
     /// device cost committed to this replica at routing time.
     pub busy_until_ns: u64,
-    /// Batches routed to this replica and not yet retired by a worker.
+    /// Batches routed to this replica and not yet settled by a worker.
     pub outstanding: usize,
 }
 
 /// A batch-routing policy over the pod's occupancy clocks.
 ///
-/// `choose` receives a consistent snapshot of every replica (the slice is
-/// never empty and is indexed by replica id) and returns the index to route
-/// to; out-of-range picks are clamped by the router, and a pick whose queue
-/// is full falls back to the least-busy replica with space.
+/// `choose` receives a consistent snapshot of every *healthy* replica (the
+/// slice is never empty; each entry carries its pod-wide index in
+/// `replica`, which may be non-contiguous when some replicas are down) and
+/// returns a position *into the slice*; out-of-range picks are clamped by
+/// the router, and a pick whose queue is full falls back to the least-busy
+/// healthy replica with space.
 pub trait RoutePolicy: Send + Sync {
     /// Short label used in bench output and JSON.
     fn name(&self) -> &'static str;
-    /// Picks the replica for the next batch.
+    /// Picks the position in `occupancy` for the next batch.
     fn choose(&self, occupancy: &[ReplicaOccupancy]) -> usize;
 }
 
@@ -177,58 +197,133 @@ impl RoutePolicy for JoinShortestQueue {
     }
 
     fn choose(&self, occupancy: &[ReplicaOccupancy]) -> usize {
-        occupancy
-            .iter()
-            .reduce(|best, o| if less_busy(o, best) { o } else { best })
-            .expect("pod has at least one replica")
-            .replica
+        let mut best = 0;
+        for (i, o) in occupancy.iter().enumerate().skip(1) {
+            if less_busy(o, &occupancy[best]) {
+                best = i;
+            }
+        }
+        best
     }
 }
 
 /// Per-replica scheduling state, all under the pod's one mutex (routing and
-/// retiring are per-*batch* operations — a few per millisecond — so one
+/// settling are per-*batch* operations — a few per millisecond — so one
 /// short critical section beats per-replica locks that JSQ would have to
 /// take all of anyway).
 struct ReplicaState {
     /// Simulated ns committed at routing time (the busy-until clock).
     committed_ns: u64,
-    /// Simulated ns retired by workers; equals `committed_ns` when idle.
+    /// Simulated ns settled by workers; equals `committed_ns` when idle.
     retired_ns: u64,
     /// Portion of `retired_ns`+`committed_ns` that was weight transfer.
     weight_load_ns: u64,
-    /// Batches routed but not yet retired (bounded by the pod's capacity).
+    /// Batches routed but not yet settled (bounded by the pod's capacity).
     outstanding: usize,
-    /// Batches retired.
+    /// Batches settled (including batches adopted through `reroute`).
     batches: u64,
-    /// Requests inside retired batches.
+    /// Requests inside settled batches.
     requests: u64,
     /// Cold weight loads this replica has paid.
     cold_loads: u64,
     /// `resident[m]` — model `m`'s weights are on this replica.
     resident: Vec<bool>,
+    /// Healthy and eligible for routing.
+    up: bool,
+    /// Bumped on every crash; a batch whose routing epoch no longer matches
+    /// at settle time was stranded and must be refunded + re-routed.
+    epoch: u64,
+    /// Compute-cost multiplier from `Slow` faults (1.0 = full speed).
+    slow_factor: f64,
+    /// Crash faults applied.
+    crashes: u64,
+    /// Recovery faults applied.
+    recoveries: u64,
+    /// Stranded batches this replica adopted from crashed peers.
+    retried: u64,
 }
 
 /// What the router decided for one batch.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct RouteDecision {
     /// Chosen replica.
     pub replica: usize,
     /// Total simulated ns reserved on the replica's clock (compute plus
-    /// any one-time cold weight load) — what the worker retires after
+    /// any one-time cold weight load) — what the worker settles after
     /// executing the batch.
+    pub cost_ns: u64,
+    /// Portion of `cost_ns` that was a cold weight load.
+    pub weight_ns: u64,
+    /// The replica's crash epoch at routing time.
+    pub epoch: u64,
+}
+
+/// Outcome of settling an executed batch against its routed replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Settle {
+    /// The replica survived: cost retired, model tally charged.
+    Retired,
+    /// The replica crashed after routing: the reservation was refunded from
+    /// the dead clock and the batch must be re-routed via [`Pod::reroute`].
+    Stranded,
+}
+
+/// Returned by [`Pod::route`] when no replica is healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PodDown;
+
+/// What `reroute` charged the adopting survivor.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RerouteDecision {
+    /// The survivor that adopted the batch.
+    pub replica: usize,
+    /// Simulated ns charged (and immediately settled) on its clock.
+    /// Only read by tests today; production callers key off `replica`.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub cost_ns: u64,
 }
 
-/// The simulated pod: replica occupancy clocks, weight residency, and the
-/// routing policy, shared by every batcher and worker.
+/// Everything the pod mutex guards: replica clocks, the per-model device
+/// tally, the simulated clock, and the fault-plan cursor. Keeping the model
+/// tally here (rather than in [`crate::metrics`]) makes settle atomic with
+/// respect to snapshots — the replica and model tallies can never be
+/// observed out of step.
+struct PodState {
+    replicas: Vec<ReplicaState>,
+    /// Per-model settled device ns (indexed like `resident`).
+    model_device_ns: Vec<u64>,
+    /// Simulated pod time: cumulative presented compute ns across all
+    /// batches offered for routing. Drives the fault plan.
+    clock_ns: u64,
+    /// The fault schedule, sorted by `at_ns`; `next_event` is the cursor.
+    events: Vec<FaultEvent>,
+    next_event: usize,
+}
+
+/// Point-in-time pod statistics: per-replica stats, the simulated makespan
+/// (µs), and the per-model settled device tally — all read under one lock
+/// acquisition so they agree exactly.
+pub(crate) struct PodStats {
+    pub replicas: Vec<ReplicaStats>,
+    pub makespan_us: f64,
+    pub model_device_ns: Vec<u64>,
+}
+
+/// The simulated pod: replica occupancy clocks, weight residency, fault
+/// replay, and the routing policy, shared by every batcher and worker.
 pub(crate) struct Pod {
     spec: PodSpec,
     policy: Box<dyn RoutePolicy>,
     /// Per-replica bound on outstanding batches.
     capacity: usize,
-    state: Mutex<Vec<ReplicaState>>,
-    /// Signalled on every retire; `route` waits on it when all queues are full.
+    state: Mutex<PodState>,
+    /// Signalled on every settle and on fault transitions; `route` waits on
+    /// it when all healthy queues are full.
     freed: Condvar,
+    /// True once every replica is down with no recovery left in the plan —
+    /// `submit` fails fast instead of feeding batches to a pod that can
+    /// never answer them.
+    dead: AtomicBool,
 }
 
 fn us_to_ns(us: f64) -> u64 {
@@ -238,16 +333,19 @@ fn us_to_ns(us: f64) -> u64 {
 impl Pod {
     /// Builds the pod. Replica 0 starts with every model resident (the
     /// pre-pod runtime priced all batches on that one device, weights
-    /// already in SRAM); the other replicas are cold.
+    /// already in SRAM); the other replicas are cold. Plan events that
+    /// target a replica outside the pod are ignored.
     pub fn new(
         spec: PodSpec,
         policy: Box<dyn RoutePolicy>,
         capacity: usize,
         models: usize,
+        plan: &FaultPlan,
     ) -> Self {
         assert!(spec.ipus >= 1, "pod needs at least one replica");
         assert!(capacity >= 1, "replica queue capacity must be positive");
-        let state = (0..spec.ipus)
+        plan.validate();
+        let replicas = (0..spec.ipus)
             .map(|i| ReplicaState {
                 committed_ns: 0,
                 retired_ns: 0,
@@ -257,37 +355,145 @@ impl Pod {
                 requests: 0,
                 cold_loads: 0,
                 resident: vec![i == 0; models],
+                up: true,
+                epoch: 0,
+                slow_factor: 1.0,
+                crashes: 0,
+                recoveries: 0,
+                retried: 0,
             })
             .collect();
-        Self { spec, policy, capacity, state: Mutex::new(state), freed: Condvar::new() }
+        let events: Vec<FaultEvent> =
+            plan.events().iter().filter(|e| e.kind.replica() < spec.ipus).copied().collect();
+        let state = PodState {
+            replicas,
+            model_device_ns: vec![0; models],
+            clock_ns: 0,
+            events,
+            next_event: 0,
+        };
+        Self {
+            spec,
+            policy,
+            capacity,
+            state: Mutex::new(state),
+            freed: Condvar::new(),
+            dead: AtomicBool::new(false),
+        }
     }
 
-    /// Number of replicas.
-    pub fn len(&self) -> usize {
-        self.spec.ipus
+    /// True once every replica is down and the plan holds no more
+    /// recoveries: the pod can never answer another request.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Applies every fault event the simulated clock has passed. Returns
+    /// true when the healthy set changed (callers holding the lock should
+    /// notify `freed` so blocked routers re-evaluate).
+    fn apply_due_events(&self, state: &mut PodState) -> bool {
+        let mut changed = false;
+        while state.next_event < state.events.len()
+            && state.events[state.next_event].at_ns <= state.clock_ns
+        {
+            let event = state.events[state.next_event];
+            state.next_event += 1;
+            changed |= Self::apply_kind(state, event.kind);
+        }
+        if changed {
+            self.refresh_dead(state);
+        }
+        changed
+    }
+
+    /// Applies one fault. Returns true when the healthy set changed.
+    fn apply_kind(state: &mut PodState, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::Crash { replica } => {
+                let r = &mut state.replicas[replica];
+                if !r.up {
+                    return false;
+                }
+                r.up = false;
+                r.epoch += 1;
+                r.crashes += 1;
+                // Device SRAM is gone: every model is cold again, and any
+                // degradation no longer applies to the fresh chip that
+                // replaces this one on recovery.
+                r.resident.iter_mut().for_each(|m| *m = false);
+                r.slow_factor = 1.0;
+                true
+            }
+            FaultKind::Recover { replica } => {
+                let r = &mut state.replicas[replica];
+                if r.up {
+                    return false;
+                }
+                r.up = true;
+                r.recoveries += 1;
+                true
+            }
+            FaultKind::Slow { replica, factor } => {
+                let r = &mut state.replicas[replica];
+                if r.up {
+                    r.slow_factor = factor;
+                }
+                false
+            }
+        }
+    }
+
+    /// Recomputes the dead flag: all replicas down and no recovery pending.
+    fn refresh_dead(&self, state: &PodState) {
+        let any_up = state.replicas.iter().any(|r| r.up);
+        let recovery_pending = state.events[state.next_event..]
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Recover { .. }));
+        self.dead.store(!any_up && !recovery_pending, Ordering::Release);
     }
 
     /// Routes one batch: the policy picks a replica from a consistent
-    /// occupancy snapshot; a full pick falls back to the least-busy replica
-    /// with queue space, and when every replica is at capacity the call
-    /// blocks until a worker retires a batch. The batch's simulated cost
-    /// (IPU compute estimate plus, for a replica serving this model for the
-    /// first time, the one-time weight load) is reserved on the chosen
-    /// clock before the call returns, so concurrent routers see it.
-    pub fn route(&self, model: usize, weight_bytes: u64, compute_us: f64) -> RouteDecision {
+    /// occupancy snapshot of the *healthy* replicas; a full pick falls back
+    /// to the least-busy healthy replica with queue space, and when every
+    /// healthy replica is at capacity the call blocks until a worker
+    /// settles a batch. The batch's simulated cost (IPU compute estimate,
+    /// scaled by the replica's degradation factor, plus — for a replica
+    /// serving this model for the first time — the one-time weight load) is
+    /// reserved on the chosen clock before the call returns, so concurrent
+    /// routers see it.
+    ///
+    /// Offering a batch advances the simulated clock by its presented
+    /// compute cost (whether or not the batch lands), which is what drives
+    /// the fault plan; returns [`PodDown`] when no replica is healthy.
+    pub fn route(
+        &self,
+        model: usize,
+        weight_bytes: u64,
+        compute_us: f64,
+    ) -> Result<RouteDecision, PodDown> {
         let mut guard = self.state.lock();
+        guard.clock_ns += us_to_ns(compute_us);
         loop {
+            if self.apply_due_events(&mut guard) {
+                self.freed.notify_all();
+            }
             let occupancy: Vec<ReplicaOccupancy> = guard
+                .replicas
                 .iter()
                 .enumerate()
+                .filter(|(_, r)| r.up)
                 .map(|(i, r)| ReplicaOccupancy {
                     replica: i,
                     busy_until_ns: r.committed_ns,
                     outstanding: r.outstanding,
                 })
                 .collect();
-            let mut pick = self.policy.choose(&occupancy).min(self.len() - 1);
-            if guard[pick].outstanding >= self.capacity {
+            if occupancy.is_empty() {
+                return Err(PodDown);
+            }
+            let pos = self.policy.choose(&occupancy).min(occupancy.len() - 1);
+            let mut pick = occupancy[pos].replica;
+            if guard.replicas[pick].outstanding >= self.capacity {
                 let fallback = occupancy
                     .iter()
                     .filter(|o| o.outstanding < self.capacity)
@@ -300,44 +506,127 @@ impl Pod {
                     }
                 }
             }
-            let replica = &mut guard[pick];
-            let weight_load_ns = if replica.resident[model] {
+            let slow = guard.replicas[pick].slow_factor;
+            let replica = &mut guard.replicas[pick];
+            let weight_ns = if replica.resident[model] {
                 0
             } else {
                 replica.resident[model] = true;
                 replica.cold_loads += 1;
                 us_to_ns(weight_load_seconds(&self.spec, weight_bytes) * 1e6)
             };
-            let cost_ns = us_to_ns(compute_us) + weight_load_ns;
+            let cost_ns = us_to_ns(compute_us * slow) + weight_ns;
             replica.committed_ns += cost_ns;
-            replica.weight_load_ns += weight_load_ns;
+            replica.weight_load_ns += weight_ns;
             replica.outstanding += 1;
-            return RouteDecision { replica: pick, cost_ns };
+            return Ok(RouteDecision { replica: pick, cost_ns, weight_ns, epoch: replica.epoch });
         }
     }
 
-    /// Retires one executed batch against its replica's clock (called by
-    /// the worker after the forward pass) and wakes any router waiting for
-    /// queue space.
-    pub fn retire(&self, replica: usize, cost_ns: u64, requests: usize) {
-        {
+    /// Settles one executed batch (called by the worker after the forward
+    /// pass). If the routed replica's epoch still matches, the cost is
+    /// retired against its clock *and* charged to the model's device tally
+    /// in the same critical section — a concurrent snapshot can never see
+    /// the two out of step. If the replica crashed since routing (even if
+    /// it has already recovered), the reservation is refunded from the dead
+    /// clock — including any cold weight load, whose residency the crash
+    /// wiped — and [`Settle::Stranded`] tells the worker to re-route the
+    /// batch. Wakes any router waiting for queue space either way.
+    pub fn settle(&self, model: usize, decision: &RouteDecision, requests: usize) -> Settle {
+        let outcome = {
             let mut guard = self.state.lock();
-            let r = &mut guard[replica];
-            r.retired_ns += cost_ns;
+            if self.apply_due_events(&mut guard) {
+                self.freed.notify_all();
+            }
+            let r = &mut guard.replicas[decision.replica];
             r.outstanding -= 1;
-            r.batches += 1;
-            r.requests += requests as u64;
+            if r.epoch != decision.epoch {
+                r.committed_ns -= decision.cost_ns;
+                r.weight_load_ns -= decision.weight_ns;
+                Settle::Stranded
+            } else {
+                r.retired_ns += decision.cost_ns;
+                r.batches += 1;
+                r.requests += requests as u64;
+                guard.model_device_ns[model] += decision.cost_ns;
+                Settle::Retired
+            }
+        };
+        self.freed.notify_all();
+        outcome
+    }
+
+    /// Re-homes a stranded batch onto the least-busy healthy replica,
+    /// ignoring queue capacity (the forward pass already ran on the host —
+    /// the survivor is charged the simulated re-execution and the cost
+    /// settles immediately). The adopting replica pays its own cold weight
+    /// load if it has never served the model. Returns `None` when no
+    /// replica is healthy — the batch's requests are answered with the pod
+    /// down error instead.
+    pub fn reroute(
+        &self,
+        model: usize,
+        weight_bytes: u64,
+        compute_us: f64,
+        requests: usize,
+    ) -> Option<RerouteDecision> {
+        let mut guard = self.state.lock();
+        if self.apply_due_events(&mut guard) {
+            self.freed.notify_all();
         }
+        let pick = guard
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.up)
+            .map(|(i, r)| ReplicaOccupancy {
+                replica: i,
+                busy_until_ns: r.committed_ns,
+                outstanding: r.outstanding,
+            })
+            .reduce(|best, o| if less_busy(&o, &best) { o } else { best })?
+            .replica;
+        let slow = guard.replicas[pick].slow_factor;
+        let replica = &mut guard.replicas[pick];
+        let weight_ns = if replica.resident[model] {
+            0
+        } else {
+            replica.resident[model] = true;
+            replica.cold_loads += 1;
+            us_to_ns(weight_load_seconds(&self.spec, weight_bytes) * 1e6)
+        };
+        let cost_ns = us_to_ns(compute_us * slow) + weight_ns;
+        replica.committed_ns += cost_ns;
+        replica.retired_ns += cost_ns;
+        replica.weight_load_ns += weight_ns;
+        replica.batches += 1;
+        replica.requests += requests as u64;
+        replica.retried += 1;
+        guard.model_device_ns[model] += cost_ns;
+        Some(RerouteDecision { replica: pick, cost_ns })
+    }
+
+    /// Applies one fault immediately, outside the plan (tests only).
+    #[cfg(test)]
+    pub fn inject(&self, kind: FaultKind) {
+        let mut guard = self.state.lock();
+        if Self::apply_kind(&mut guard, kind) {
+            self.refresh_dead(&guard);
+        }
+        drop(guard);
         self.freed.notify_all();
     }
 
-    /// Point-in-time per-replica statistics plus the pod's simulated
-    /// makespan (the maximum retired occupancy clock, µs): utilization is
-    /// each replica's retired device time over that makespan.
-    pub fn stats(&self) -> (Vec<ReplicaStats>, f64) {
+    /// Point-in-time statistics: per-replica stats, the pod's simulated
+    /// makespan (the maximum settled occupancy clock, µs — utilization is
+    /// each replica's settled device time over that makespan), and the
+    /// per-model device tally, all read under one lock acquisition.
+    pub fn stats(&self) -> PodStats {
         let guard = self.state.lock();
-        let makespan_us = guard.iter().map(|r| r.retired_ns).max().unwrap_or(0) as f64 / 1e3;
-        let stats = guard
+        let makespan_us =
+            guard.replicas.iter().map(|r| r.retired_ns).max().unwrap_or(0) as f64 / 1e3;
+        let replicas = guard
+            .replicas
             .iter()
             .enumerate()
             .map(|(i, r)| {
@@ -351,10 +640,14 @@ impl Pod {
                     weight_load_us: r.weight_load_ns as f64 / 1e3,
                     cold_loads: r.cold_loads,
                     utilization: if makespan_us > 0.0 { device_us / makespan_us } else { 0.0 },
+                    crashes: r.crashes,
+                    recoveries: r.recoveries,
+                    retried_batches: r.retried,
+                    up: r.up,
                 }
             })
             .collect();
-        (stats, makespan_us)
+        PodStats { replicas, makespan_us, model_device_ns: guard.model_device_ns.clone() }
     }
 }
 
@@ -365,7 +658,7 @@ mod tests {
     use std::time::Duration;
 
     fn pod(replicas: usize, policy: Routing, capacity: usize, models: usize) -> Pod {
-        Pod::new(PodSpec::with_ipus(replicas), policy.build(), capacity, models)
+        Pod::new(PodSpec::with_ipus(replicas), policy.build(), capacity, models, &FaultPlan::none())
     }
 
     fn occupancy(busy: &[u64]) -> Vec<ReplicaOccupancy> {
@@ -406,24 +699,54 @@ mod tests {
     }
 
     #[test]
-    fn route_balances_and_retire_settles_the_clocks() {
+    fn zero_cost_batches_pile_up_but_the_floor_spreads_them() {
+        // Regression for the zero-cost routing skew: a batch whose IPU
+        // estimate was missing used to route at 0 µs, so a
+        // settle-as-you-go JSQ loop never advanced any clock and parked
+        // every batch on replica 0. The server now always routes at
+        // `DeviceEstimate::routed_us()`, which is floored at MIN_ROUTED_US.
+        let skewed = pod(3, Routing::JoinShortestQueue, 64, 1);
+        for _ in 0..9 {
+            let d = skewed.route(0, 0, 0.0).unwrap();
+            assert_eq!(d.replica, 0, "zero-cost batches never leave replica 0");
+            skewed.settle(0, &d, 1);
+        }
+        let floored = pod(3, Routing::JoinShortestQueue, 64, 1);
+        let mut seen = [0u64; 3];
+        for _ in 0..9 {
+            let d = floored.route(0, 0, crate::registry::MIN_ROUTED_US).unwrap();
+            seen[d.replica] += 1;
+            floored.settle(0, &d, 1);
+        }
+        // An exact even split is not expected — cold replicas also pay the
+        // one-time load launch — but every replica must serve.
+        assert!(seen.iter().all(|&n| n > 0), "floored batches reach every replica: {seen:?}");
+    }
+
+    #[test]
+    fn route_balances_and_settle_retires_the_clocks() {
         let p = pod(4, Routing::JoinShortestQueue, 64, 1);
         for _ in 0..16 {
-            let d = p.route(0, 0, 100.0);
-            p.retire(d.replica, d.cost_ns, 2);
+            let d = p.route(0, 0, 100.0).expect("healthy pod routes");
+            assert_eq!(p.settle(0, &d, 2), Settle::Retired);
         }
-        let (stats, makespan) = p.stats();
-        assert_eq!(stats.iter().map(|r| r.batches).sum::<u64>(), 16);
-        assert_eq!(stats.iter().map(|r| r.requests).sum::<u64>(), 32);
-        for r in &stats {
+        let stats = p.stats();
+        assert_eq!(stats.replicas.iter().map(|r| r.batches).sum::<u64>(), 16);
+        assert_eq!(stats.replicas.iter().map(|r| r.requests).sum::<u64>(), 32);
+        for r in &stats.replicas {
             assert_eq!(r.batches, 4, "jsq with equal costs is perfectly balanced");
             assert_eq!(r.queue_depth, 0);
             // Replicas 1..3 were cold for the model (zero bytes, but one
             // collective launch = 5 µs each); compute time is even.
             assert!((r.device_us - r.weight_load_us - 400.0).abs() < 1e-9);
             assert!(r.utilization > 0.98 && r.utilization <= 1.0 + 1e-9);
+            assert!(r.up);
+            assert_eq!((r.crashes, r.recoveries, r.retried_batches), (0, 0, 0));
         }
-        assert!((makespan - 405.0).abs() < 1e-9, "makespan {makespan}");
+        assert!((stats.makespan_us - 405.0).abs() < 1e-9, "makespan {}", stats.makespan_us);
+        let settled: u64 = stats.model_device_ns.iter().sum();
+        let per_replica: f64 = stats.replicas.iter().map(|r| r.device_us).sum();
+        assert!((settled as f64 / 1e3 - per_replica).abs() < 1e-9, "tallies agree");
     }
 
     #[test]
@@ -431,56 +754,57 @@ mod tests {
         let p = pod(2, Routing::RoundRobin, 64, 2);
         // Round-robin: batch 0 -> replica 0 (warm), batch 1 -> replica 1 (cold).
         let compute_ns = us_to_ns(10.0);
-        let d0 = p.route(0, 4_000_000, 10.0);
-        let d1 = p.route(0, 4_000_000, 10.0);
+        let d0 = p.route(0, 4_000_000, 10.0).unwrap();
+        let d1 = p.route(0, 4_000_000, 10.0).unwrap();
         assert_eq!((d0.replica, d1.replica), (0, 1));
         assert_eq!(d0.cost_ns, compute_ns, "replica 0 held the weights at startup");
         let load_ns = us_to_ns(weight_load_seconds(&PodSpec::with_ipus(2), 4_000_000) * 1e6);
         assert!(load_ns > 0);
         assert_eq!(d1.cost_ns, compute_ns + load_ns, "the cold replica pays the link transfer");
+        assert_eq!(d1.weight_ns, load_ns);
         // Same model on the now-warm replica 1: no second load.
-        p.retire(d0.replica, d0.cost_ns, 1);
-        p.retire(d1.replica, d1.cost_ns, 1);
-        let d2 = p.route(0, 4_000_000, 10.0);
-        let d3 = p.route(0, 4_000_000, 10.0);
+        p.settle(0, &d0, 1);
+        p.settle(0, &d1, 1);
+        let d2 = p.route(0, 4_000_000, 10.0).unwrap();
+        let d3 = p.route(0, 4_000_000, 10.0).unwrap();
         assert_eq!(d2.cost_ns, compute_ns);
         assert_eq!(d3.cost_ns, compute_ns);
         // A different model is cold on replica 1 independently.
-        p.retire(d2.replica, d2.cost_ns, 1);
-        p.retire(d3.replica, d3.cost_ns, 1);
-        let d4 = p.route(1, 1_000, 10.0);
-        let d5 = p.route(1, 1_000, 10.0);
+        p.settle(0, &d2, 1);
+        p.settle(0, &d3, 1);
+        let d4 = p.route(1, 1_000, 10.0).unwrap();
+        let d5 = p.route(1, 1_000, 10.0).unwrap();
         assert_eq!(
             [d4, d5].iter().filter(|d| d.cost_ns > compute_ns).count(),
             1,
             "exactly the cold replica pays for model 1"
         );
-        let (stats, _) = p.stats();
-        assert_eq!(stats[0].cold_loads, 0);
-        assert_eq!(stats[1].cold_loads, 2);
-        assert!(stats[1].weight_load_us > 0.0);
+        let stats = p.stats();
+        assert_eq!(stats.replicas[0].cold_loads, 0);
+        assert_eq!(stats.replicas[1].cold_loads, 2);
+        assert!(stats.replicas[1].weight_load_us > 0.0);
     }
 
     #[test]
     fn full_pick_falls_back_to_a_replica_with_space() {
         let p = pod(2, Routing::RoundRobin, 1, 1);
-        let a = p.route(0, 0, 5.0);
+        let a = p.route(0, 0, 5.0).unwrap();
         assert_eq!(a.replica, 0);
         // Round-robin would pick 1, which has space.
-        let b = p.route(0, 0, 5.0);
+        let b = p.route(0, 0, 5.0).unwrap();
         assert_eq!(b.replica, 1);
         // Both full now: round-robin picks 0 again — no space anywhere, so
-        // this would block; retire from another thread unblocks it.
+        // this would block; settling from another thread unblocks it.
         let p = Arc::new(p);
         let router = {
             let p = Arc::clone(&p);
-            std::thread::spawn(move || p.route(0, 0, 5.0).replica)
+            std::thread::spawn(move || p.route(0, 0, 5.0).unwrap().replica)
         };
         std::thread::sleep(Duration::from_millis(20));
-        p.retire(1, b.cost_ns, 1);
+        p.settle(0, &b, 1);
         let picked = router.join().expect("router thread");
         assert_eq!(picked, 1, "the freed replica takes the blocked batch");
-        p.retire(0, a.cost_ns, 1);
+        p.settle(0, &a, 1);
     }
 
     #[test]
@@ -493,5 +817,181 @@ mod tests {
         for r in [Routing::RoundRobin, Routing::PowerOfTwoChoices, Routing::JoinShortestQueue] {
             assert_eq!(r.build().name(), r.label());
         }
+    }
+
+    #[test]
+    fn crashed_replicas_are_never_routed_to() {
+        let p = pod(3, Routing::RoundRobin, 64, 1);
+        p.inject(FaultKind::Crash { replica: 1 });
+        for _ in 0..12 {
+            let d = p.route(0, 0, 5.0).unwrap();
+            assert_ne!(d.replica, 1, "round-robin skips the downed replica");
+            p.settle(0, &d, 1);
+        }
+        let stats = p.stats();
+        assert!(!stats.replicas[1].up);
+        assert_eq!(stats.replicas[1].crashes, 1);
+        assert_eq!(stats.replicas[1].batches, 0);
+    }
+
+    #[test]
+    fn all_replicas_down_returns_pod_down_not_deadlock() {
+        let p = pod(2, Routing::PowerOfTwoChoices, 4, 1);
+        p.inject(FaultKind::Crash { replica: 0 });
+        p.inject(FaultKind::Crash { replica: 1 });
+        assert_eq!(p.route(0, 0, 5.0), Err(PodDown));
+        assert!(p.is_dead(), "no recovery pending anywhere");
+        p.inject(FaultKind::Recover { replica: 1 });
+        assert!(!p.is_dead());
+        let d = p.route(0, 0, 5.0).unwrap();
+        assert_eq!(d.replica, 1);
+        p.settle(0, &d, 1);
+    }
+
+    #[test]
+    fn stranded_batches_are_refunded_and_rerouted() {
+        let p = pod(2, Routing::RoundRobin, 64, 1);
+        let d0 = p.route(0, 4_000_000, 10.0).unwrap();
+        assert_eq!(d0.replica, 0);
+        p.inject(FaultKind::Crash { replica: 0 });
+        // The worker executes the batch, then discovers the crash.
+        assert_eq!(p.settle(0, &d0, 3), Settle::Stranded);
+        let r = p.reroute(0, 4_000_000, 10.0, 3).expect("replica 1 survives");
+        assert_eq!(r.replica, 1);
+        assert!(r.cost_ns > us_to_ns(10.0), "the survivor pays its own cold load");
+        let stats = p.stats();
+        assert_eq!(stats.replicas[0].batches, 0, "nothing retired on the dead clock");
+        assert!(
+            (stats.replicas[0].device_us, stats.replicas[0].weight_load_us) == (0.0, 0.0),
+            "the refund drained the reservation"
+        );
+        assert_eq!(stats.replicas[1].retried_batches, 1);
+        assert_eq!(stats.replicas[1].requests, 3);
+        let settled: u64 = stats.model_device_ns.iter().sum();
+        assert_eq!(settled, r.cost_ns, "model tally only holds the survivor's charge");
+    }
+
+    #[test]
+    fn recovery_resets_residency_so_cold_load_is_paid_again() {
+        let p = pod(2, Routing::RoundRobin, 64, 1);
+        let d0 = p.route(0, 4_000_000, 10.0).unwrap();
+        let d1 = p.route(0, 4_000_000, 10.0).unwrap();
+        p.settle(0, &d0, 1);
+        p.settle(0, &d1, 1);
+        assert_eq!(p.stats().replicas[1].cold_loads, 1, "first visit was cold");
+        p.inject(FaultKind::Crash { replica: 1 });
+        p.inject(FaultKind::Recover { replica: 1 });
+        // Warm-up batch on replica 0, then round-robin lands on replica 1,
+        // which must re-pay the load it lost with its SRAM.
+        let d2 = p.route(0, 4_000_000, 10.0).unwrap();
+        let d3 = p.route(0, 4_000_000, 10.0).unwrap();
+        assert_eq!((d2.replica, d3.replica), (0, 1));
+        assert!(d3.weight_ns > 0, "recovered replica is cold again");
+        p.settle(0, &d2, 1);
+        p.settle(0, &d3, 1);
+        let stats = p.stats();
+        assert_eq!(stats.replicas[1].cold_loads, 2);
+        assert_eq!(stats.replicas[1].recoveries, 1);
+    }
+
+    #[test]
+    fn slow_factor_scales_compute_and_resets_on_crash() {
+        let p = pod(2, Routing::RoundRobin, 64, 1);
+        p.inject(FaultKind::Slow { replica: 0, factor: 3.0 });
+        let d0 = p.route(0, 0, 10.0).unwrap();
+        assert_eq!(d0.replica, 0);
+        assert_eq!(d0.cost_ns, us_to_ns(30.0), "degraded replica is 3x slower");
+        p.settle(0, &d0, 1);
+        p.inject(FaultKind::Crash { replica: 0 });
+        p.inject(FaultKind::Recover { replica: 0 });
+        let d1 = p.route(0, 0, 10.0).unwrap();
+        let d2 = p.route(0, 0, 10.0).unwrap();
+        let on_zero = if d1.replica == 0 { d1 } else { d2 };
+        // Compute portion only: the recovered chip also re-pays the cold
+        // weight-load launch, which is deliberate and covered elsewhere.
+        assert_eq!(
+            on_zero.cost_ns - on_zero.weight_ns,
+            us_to_ns(10.0),
+            "the replacement chip runs at full speed"
+        );
+        p.settle(0, &d1, 1);
+        p.settle(0, &d2, 1);
+    }
+
+    #[test]
+    fn planned_crash_fires_when_the_simulated_clock_passes_it() {
+        let plan = FaultPlan::none().crash_at(25.0, 1);
+        let p = Pod::new(PodSpec::with_ipus(2), Routing::RoundRobin.build(), 64, 1, &plan);
+        // 10 µs presented: clock 10 000 ns < 25 000 ns, replica 1 still up.
+        let d0 = p.route(0, 0, 10.0).unwrap();
+        let d1 = p.route(0, 0, 10.0).unwrap();
+        assert_eq!((d0.replica, d1.replica), (0, 1));
+        // Third batch pushes the clock to 30 µs: the crash fires before
+        // routing, so round-robin's pick is drawn from {0} only.
+        let d2 = p.route(0, 0, 10.0).unwrap();
+        assert_eq!(d2.replica, 0);
+        assert!(!p.stats().replicas[1].up);
+        for d in [d0, d2] {
+            p.settle(0, &d, 1);
+        }
+        assert_eq!(p.settle(0, &d1, 1), Settle::Stranded, "outstanding batch was stranded");
+    }
+
+    #[test]
+    fn blocked_route_survives_a_crash_without_deadlock() {
+        // Capacity 1, both replicas full, then replica 0 crashes while a
+        // third route is blocked: the blocked call must complete (on the
+        // survivor) once the stranded batch refunds its slot.
+        let p = Arc::new(pod(2, Routing::RoundRobin, 1, 1));
+        let a = p.route(0, 0, 5.0).unwrap();
+        let b = p.route(0, 0, 5.0).unwrap();
+        assert_eq!((a.replica, b.replica), (0, 1));
+        let router = {
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || p.route(0, 0, 5.0))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        p.inject(FaultKind::Crash { replica: 0 });
+        // The worker discovers the strand; the refund frees no *healthy*
+        // slot, so the router keeps waiting until replica 1 settles.
+        assert_eq!(p.settle(0, &a, 1), Settle::Stranded);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(p.settle(0, &b, 1), Settle::Retired);
+        let d = router.join().expect("router thread").expect("survivor routes");
+        assert_eq!(d.replica, 1, "the blocked batch lands on the survivor");
+        p.settle(0, &d, 1);
+    }
+
+    #[test]
+    fn blocked_route_returns_pod_down_when_the_last_replica_dies() {
+        let p = Arc::new(pod(1, Routing::RoundRobin, 1, 1));
+        let a = p.route(0, 0, 5.0).unwrap();
+        let router = {
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || p.route(0, 0, 5.0))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        p.inject(FaultKind::Crash { replica: 0 });
+        assert_eq!(router.join().expect("router thread"), Err(PodDown));
+        assert_eq!(p.settle(0, &a, 1), Settle::Stranded);
+        assert!(p.reroute(0, 0, 5.0, 1).is_none(), "no survivor to adopt the batch");
+        assert!(p.is_dead());
+    }
+
+    #[test]
+    fn utilization_is_zero_when_nothing_has_settled() {
+        let p = pod(3, Routing::JoinShortestQueue, 64, 1);
+        let stats = p.stats();
+        assert_eq!(stats.makespan_us, 0.0);
+        for r in &stats.replicas {
+            assert_eq!(r.utilization, 0.0, "no division by a zero makespan");
+        }
+        // Routed but unsettled work still shows a zero makespan (it is
+        // committed, not settled) — utilization stays finite.
+        let d = p.route(0, 0, 50.0).unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.makespan_us, 0.0);
+        assert!(stats.replicas.iter().all(|r| r.utilization == 0.0));
+        p.settle(0, &d, 1);
     }
 }

@@ -19,6 +19,22 @@ pub enum ServedFrom {
     /// Coalesced onto another in-flight request's forward; the device time
     /// is attributed to that leader, so this response reports 0 device-µs.
     Coalesced,
+    /// The request's deadline passed before its batch was dispatched; the
+    /// forward pass never ran, `output` is empty, and 0 device-µs is
+    /// attributed.
+    DeadlineExceeded,
+    /// Every pod replica was down when the request's batch was routed; the
+    /// forward pass never ran, `output` is empty, and 0 device-µs is
+    /// attributed.
+    PodDown,
+}
+
+impl ServedFrom {
+    /// True for the failure outcomes ([`ServedFrom::DeadlineExceeded`],
+    /// [`ServedFrom::PodDown`]) that carry no computed output.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, ServedFrom::DeadlineExceeded | ServedFrom::PodDown)
+    }
 }
 
 /// Per-request timing attribution attached to every response.
@@ -71,6 +87,13 @@ pub(crate) struct InferRequest {
     pub seq: u64,
     pub input: Vec<f32>,
     pub submitted: Instant,
+    /// The request must start executing before this instant or be answered
+    /// [`ServedFrom::DeadlineExceeded`]; `None` never expires. Checked at
+    /// batch formation. Cache leaders expire like any other request — their
+    /// coalesced waiters are released with the same failure answer (with
+    /// the cache on, every admitted request is a leader, so exempting
+    /// leaders would make deadlines a no-op in the default configuration).
+    pub deadline: Option<Instant>,
     pub reply: Sender<InferResponse>,
     /// Present when this request leads a cached/coalesced computation: on
     /// completion the worker memoizes the result and wakes the key's
@@ -123,6 +146,11 @@ pub enum SubmitError {
         /// Length actually submitted.
         got: usize,
     },
+    /// Every pod replica is down with no recovery left in the fault plan:
+    /// the pod can never answer, so admission fails fast. (While a recovery
+    /// is still pending, requests are admitted and individually answered
+    /// [`ServedFrom::PodDown`] if their batch routes during the outage.)
+    PodDown,
 }
 
 impl fmt::Display for SubmitError {
@@ -134,6 +162,7 @@ impl fmt::Display for SubmitError {
             SubmitError::WrongInputLen { expected, got } => {
                 write!(f, "input length {got} does not match model dimension {expected}")
             }
+            SubmitError::PodDown => f.write_str("every pod replica is down and none will recover"),
         }
     }
 }
@@ -180,5 +209,15 @@ mod tests {
     fn submit_errors_have_readable_messages() {
         assert!(SubmitError::Overloaded.to_string().contains("full"));
         assert!(SubmitError::WrongInputLen { expected: 4, got: 2 }.to_string().contains('4'));
+        assert!(SubmitError::PodDown.to_string().contains("down"));
+    }
+
+    #[test]
+    fn failure_sources_are_flagged() {
+        assert!(ServedFrom::DeadlineExceeded.is_failure());
+        assert!(ServedFrom::PodDown.is_failure());
+        assert!(!ServedFrom::Compute.is_failure());
+        assert!(!ServedFrom::CacheHit.is_failure());
+        assert!(!ServedFrom::Coalesced.is_failure());
     }
 }

@@ -28,12 +28,23 @@
 //! coalesced followers report 0 device-µs (the one forward's device time is
 //! attributed to the computing request alone), so summing device time over
 //! responses remains honest.
+//!
+//! Fault tolerance rides the same topology: the batcher checks per-request
+//! deadlines when it seals a batch (expired requests are answered
+//! [`ServedFrom::DeadlineExceeded`], never computed), routing only ever
+//! considers healthy replicas, and a batch stranded by a crash — discovered
+//! by the worker when it settles — is refunded from the dead clock and
+//! re-routed to a survivor. When no replica is healthy a batch's requests
+//! are answered [`ServedFrom::PodDown`]; once the pod can never recover,
+//! `submit` itself fails fast with [`SubmitError::PodDown`]. Every response
+//! still flows through the worker in batch order, so per-client FIFO holds
+//! through crashes, deadlines, and retries alike.
 
 use crate::cache::{input_key, AdmitOutcome, ResponseCache, Waiter};
 use crate::config::ServeConfig;
 use crate::metrics::{CacheStats, ModelMetrics, RegistryShardStats, ServeSnapshot};
 use crate::registry::{DeviceEstimate, ModelRegistry};
-use crate::replica::{Pod, RoutePolicy};
+use crate::replica::{Pod, RouteDecision, RoutePolicy, Settle};
 use crate::request::{
     InferRequest, InferResponse, ResponseHandle, ServedFrom, SubmitError, Timing,
 };
@@ -46,21 +57,38 @@ use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// One coalesced unit of work travelling batcher -> worker, already routed
-/// to a pod replica with its simulated cost reserved on that replica's
-/// occupancy clock.
+/// One coalesced unit of work travelling batcher -> worker. Requests stay
+/// in arrival order whatever their fate — computed, expired, or failed —
+/// and the worker answers them in that order, which is what keeps
+/// per-client FIFO intact across deadlines and faults (the batcher itself
+/// never replies: it runs ahead of the workers, so a batcher-side reply
+/// could overtake an earlier batch still in the worker queue).
 struct Batch {
     model: usize,
     requests: Vec<InferRequest>,
-    /// Replica whose clock this batch was routed to.
-    replica: usize,
-    /// Per-batch IPU/GPU pricing, resolved at routing time from the memo.
-    estimate: DeviceEstimate,
-    /// Simulated ns to retire against the replica's clock after execution
-    /// (IPU compute estimate plus any cold weight load).
-    cost_ns: u64,
+    /// `expired[i]` — `requests[i]` passed its deadline at batch formation;
+    /// it is answered `DeadlineExceeded` and excluded from the forward.
+    expired: Vec<bool>,
+    /// What the batcher decided for the live (non-expired) requests.
+    dispatch: Dispatch,
+}
+
+/// Routing outcome for a batch's live requests.
+enum Dispatch {
+    /// Routed to a pod replica with the simulated cost reserved on its
+    /// occupancy clock.
+    Routed {
+        decision: RouteDecision,
+        /// Per-batch IPU/GPU pricing, resolved at routing time from the memo.
+        estimate: DeviceEstimate,
+    },
+    /// Every request in the batch expired; nothing was priced or routed.
+    AllExpired,
+    /// No replica was healthy at routing time: live requests are answered
+    /// `PodDown` and cache leaders release their waiters with the same.
+    PodDown,
 }
 
 /// Admission lane of one registry shard: the submit senders of the shard's
@@ -150,6 +178,7 @@ impl Server {
             policy,
             config.replica_queue,
             registry.len(),
+            &config.fault_plan,
         );
         let inner = Arc::new(Inner {
             config: config.clone(),
@@ -202,7 +231,8 @@ impl Server {
         self.inner.registry.entries().iter().map(|e| e.name().to_string()).collect()
     }
 
-    /// Submits one inference request.
+    /// Submits one inference request under the configured
+    /// [`ServeConfig::default_deadline`] (none by default).
     ///
     /// The fast path never touches the batcher: a repeated input returns
     /// the memoized response immediately, and a request identical to one
@@ -211,6 +241,8 @@ impl Server {
     /// full queue immediately returns [`SubmitError::Overloaded`] rather
     /// than stalling the caller — the load-shedding contract of the
     /// runtime.
+    ///
+    /// [`ServeConfig::default_deadline`]: crate::ServeConfig::default_deadline
     pub fn submit(
         &self,
         model: &str,
@@ -218,22 +250,48 @@ impl Server {
         seq: u64,
         input: Vec<f32>,
     ) -> Result<ResponseHandle, SubmitError> {
+        self.submit_with_deadline(model, client, seq, input, self.inner.config.default_deadline)
+    }
+
+    /// [`Server::submit`] with an explicit per-request deadline overriding
+    /// the configured default: if the request's batch has not been
+    /// dispatched within `deadline` of submission it is answered
+    /// [`ServedFrom::DeadlineExceeded`] instead of computed (a coalesced
+    /// request rides its leader's deadline — if the leader expires, its
+    /// waiters share the answer). `None` never expires.
+    pub fn submit_with_deadline(
+        &self,
+        model: &str,
+        client: u64,
+        seq: u64,
+        input: Vec<f32>,
+        deadline: Option<Duration>,
+    ) -> Result<ResponseHandle, SubmitError> {
         let loc = self.inner.registry.locate(model).ok_or(SubmitError::UnknownModel)?;
         let entry = &self.inner.registry.entries()[loc.index];
         let expected = entry.dim();
         if input.len() != expected {
             return Err(SubmitError::WrongInputLen { expected, got: input.len() });
         }
+        if self.inner.pod.is_dead() {
+            // Every replica is down and no recovery is scheduled: queued
+            // batches only drain as PodDown answers, so fail at the door.
+            // (A *temporary* outage keeps admitting — traffic must keep
+            // flowing for the simulated clock to reach the recovery event.)
+            return Err(SubmitError::PodDown);
+        }
         let metrics = &self.inner.metrics[loc.index];
         let guard = self.inner.lanes[loc.shard].submit.read();
         let senders = guard.as_ref().ok_or(SubmitError::ShuttingDown)?;
         let sender = &senders[loc.within];
         let submitted = Instant::now();
+        let deadline = deadline.map(|d| submitted + d);
         let (reply, handle) = ResponseHandle::channel();
 
         let Some(cache) = &self.inner.cache else {
             // Cache off: the pre-cache admission path, verbatim.
-            let request = InferRequest { client, seq, input, submitted, reply, cache_tag: None };
+            let request =
+                InferRequest { client, seq, input, submitted, deadline, reply, cache_tag: None };
             return match sender.try_send(request) {
                 Ok(()) => {
                     metrics.admitted.fetch_add(1, Ordering::Relaxed);
@@ -258,6 +316,7 @@ impl Server {
                     seq,
                     input: input.clone(),
                     submitted,
+                    deadline,
                     reply: reply.clone(),
                     cache_tag: Some(tag),
                 };
@@ -334,6 +393,11 @@ impl Server {
                 queue_depth,
             });
         }
+        // One lock acquisition yields both accountings of simulated device
+        // time — per replica (retirement clocks) and per model (settlement
+        // tallies) — so no batch can settle between the two reads and the
+        // snapshot's cross-check holds even mid-flight.
+        let pod_stats = self.inner.pod.stats();
         let models: Vec<crate::metrics::ModelStats> = registry
             .entries()
             .iter()
@@ -345,6 +409,7 @@ impl Server {
                     elapsed_s,
                     model_depths[i],
                     entry.memoized_estimates(),
+                    pod_stats.model_device_ns[i],
                 )
             })
             .collect();
@@ -352,17 +417,14 @@ impl Server {
             Some(cache) => cache.stats(),
             None => CacheStats::disabled(),
         };
-        let (replicas, pod_makespan_us) = self.inner.pod.stats();
-        // Model-side tally; the per-replica device_us values sum to the
-        // same total (pinned by tests).
         let total_device_us = models.iter().map(|m| m.device_us).sum();
         ServeSnapshot {
             elapsed_s,
             models,
             shards,
-            replicas,
+            replicas: pod_stats.replicas,
             total_device_us,
-            pod_makespan_us,
+            pod_makespan_us: pod_stats.makespan_us,
             cache,
         }
     }
@@ -423,24 +485,32 @@ fn batcher_loop(inner: &Inner, model: usize, rx: Receiver<InferRequest>, tx: Sen
             }
         }
         inner.metrics[model].record_batch(requests.len());
-        // Price the batch (memoized per size) and reserve its simulated
-        // cost on a replica's occupancy clock. Routing here — not in the
-        // worker — keeps the policy's occupancy view ahead of execution,
-        // and blocks for queue space when the whole pod is saturated.
-        let estimate = entry.device_estimate(
-            requests.len(),
-            &inner.ipu,
-            &inner.gpu,
-            inner.config.tensor_cores,
-        );
-        let decision = inner.pod.route(model, weight_bytes, estimate.ipu_us.unwrap_or(0.0));
-        let batch = Batch {
-            model,
-            requests,
-            replica: decision.replica,
-            estimate,
-            cost_ns: decision.cost_ns,
+        // Deadlines are checked exactly here, when the batch seals: a
+        // request that waited past its deadline is masked out of the
+        // forward and will be answered DeadlineExceeded — by the worker,
+        // in arrival order, because an early batcher-side reply could
+        // overtake an earlier batch still queued for a worker.
+        let now = Instant::now();
+        let expired: Vec<bool> =
+            requests.iter().map(|r| r.deadline.is_some_and(|d| now >= d)).collect();
+        let live = expired.iter().filter(|&&e| !e).count();
+        let dispatch = if live == 0 {
+            Dispatch::AllExpired
+        } else {
+            // Price the live rows (memoized per size) and reserve the
+            // simulated cost on a healthy replica's occupancy clock.
+            // Routing here — not in the worker — keeps the policy's
+            // occupancy view ahead of execution, and blocks for queue
+            // space when the whole pod is saturated (but never when no
+            // replica is up: that returns PodDown instead of deadlocking).
+            let estimate =
+                entry.device_estimate(live, &inner.ipu, &inner.gpu, inner.config.tensor_cores);
+            match inner.pod.route(model, weight_bytes, estimate.routed_us()) {
+                Ok(decision) => Dispatch::Routed { decision, estimate },
+                Err(_) => Dispatch::PodDown,
+            }
         };
+        let batch = Batch { model, requests, expired, dispatch };
         if tx.send(batch).is_err() {
             break;
         }
@@ -456,43 +526,136 @@ fn worker_loop(inner: &Inner, rx: Receiver<Batch>) {
     }
 }
 
-/// One batch: single lock-free forward pass, single (memoized) simulator
-/// pricing — then per-request response fan-out. A request that leads a
-/// cached computation additionally publishes its result and wakes the
-/// key's coalesced waiters, immediately after its own response so a
-/// client's same-key stream completes in submission order.
+/// Answers one request with a failure `source` — no output, an explicit 0
+/// device-µs — and wakes any coalesced waiters parked on it with the same
+/// answer (a failed leader must not leave its followers parked forever).
+/// Failures still draw completion indices and count as completed, but
+/// [`ModelMetrics::record_response`] keeps them out of the latency
+/// histograms.
+fn fail_request(inner: &Inner, metrics: &ModelMetrics, request: InferRequest, source: ServedFrom) {
+    let now = Instant::now();
+    let failure_timing = |submitted: Instant| Timing {
+        queue_us: now.saturating_duration_since(submitted).as_micros() as u64,
+        service_us: 0,
+        total_us: submitted.elapsed().as_micros() as u64,
+        batch_size: 1,
+        ipu_batch_us: Some(0.0),
+        gpu_batch_us: Some(0.0),
+        source,
+        replica: None,
+    };
+    let timing = failure_timing(request.submitted);
+    metrics.record_response(&timing);
+    let completed_index = inner.completion_counter.fetch_add(1, Ordering::Relaxed);
+    let woken = match (&inner.cache, request.cache_tag) {
+        (Some(cache), Some(tag)) => {
+            cache.fail(tag, || inner.completion_counter.fetch_add(1, Ordering::Relaxed))
+        }
+        _ => Vec::new(),
+    };
+    let _ = request.reply.send(InferResponse {
+        client: request.client,
+        seq: request.seq,
+        output: Vec::new(),
+        completed_index,
+        timing,
+    });
+    for (waiter, completed_index) in woken {
+        let timing = failure_timing(waiter.submitted);
+        metrics.record_response(&timing);
+        let _ = waiter.reply.send(InferResponse {
+            client: waiter.client,
+            seq: waiter.seq,
+            output: Vec::new(),
+            completed_index,
+            timing,
+        });
+    }
+}
+
+/// One batch: single lock-free forward pass over the live rows, single
+/// (memoized) simulator pricing — then per-request response fan-out in
+/// arrival order, failures interleaved where their requests sat. A request
+/// that leads a cached computation additionally publishes its result and
+/// wakes the key's coalesced waiters, immediately after its own response so
+/// a client's same-key stream completes in submission order. A batch
+/// stranded by a replica crash (settle sees a bumped epoch) is re-routed to
+/// a survivor; only when no survivor exists do its requests fail `PodDown`.
 fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
     let entry = &inner.registry.entries()[batch.model];
     let metrics = &inner.metrics[batch.model];
-    let rows = batch.requests.len();
     let dim = entry.dim();
 
-    let mut data = Vec::with_capacity(rows * dim);
-    for request in &batch.requests {
-        data.extend_from_slice(&request.input);
+    let (decision, estimate) = match batch.dispatch {
+        Dispatch::Routed { decision, estimate } => (decision, estimate),
+        Dispatch::AllExpired => {
+            for request in batch.requests {
+                fail_request(inner, metrics, request, ServedFrom::DeadlineExceeded);
+            }
+            return;
+        }
+        Dispatch::PodDown => {
+            for (request, expired) in batch.requests.into_iter().zip(batch.expired) {
+                let source =
+                    if expired { ServedFrom::DeadlineExceeded } else { ServedFrom::PodDown };
+                fail_request(inner, metrics, request, source);
+            }
+            return;
+        }
+    };
+
+    let live = batch.expired.iter().filter(|&&e| !e).count();
+    let mut data = Vec::with_capacity(live * dim);
+    for (request, &expired) in batch.requests.iter().zip(&batch.expired) {
+        if !expired {
+            data.extend_from_slice(&request.input);
+        }
     }
-    let x = Matrix::from_vec(rows, dim, data);
+    let x = Matrix::from_vec(live, dim, data);
 
     let forward_start = Instant::now();
     let y = entry.forward(&x, scratch);
     let service_us = forward_start.elapsed().as_micros() as u64;
-    // Retire the batch against its replica's occupancy clock and tally the
-    // same cost on the model's device counter — the two independent
-    // accountings the snapshot cross-checks.
-    inner.pod.retire(batch.replica, batch.cost_ns, rows);
-    metrics.record_device_ns(batch.cost_ns);
-    let estimate = batch.estimate;
+    // Settle the batch against its replica's occupancy clock (which also
+    // tallies the cost on the model's device counter, in the same critical
+    // section — the two accountings the snapshot cross-checks). A crash
+    // since routing already refunded the reserved cost from the dead clock;
+    // settle reports the batch stranded and the retry re-prices it on the
+    // least-busy survivor.
+    let replica = match inner.pod.settle(batch.model, &decision, live) {
+        Settle::Retired => Some(decision.replica),
+        Settle::Stranded => {
+            let weight_bytes = 4 * entry.param_count() as u64;
+            inner
+                .pod
+                .reroute(batch.model, weight_bytes, estimate.routed_us(), live)
+                .map(|r| r.replica)
+        }
+    };
 
-    for (i, request) in batch.requests.into_iter().enumerate() {
+    let mut row = 0usize;
+    for (request, expired) in batch.requests.into_iter().zip(batch.expired) {
+        if expired {
+            fail_request(inner, metrics, request, ServedFrom::DeadlineExceeded);
+            continue;
+        }
+        let i = row;
+        row += 1;
+        let Some(replica) = replica else {
+            // Stranded and no survivor to retry on: the forward's result
+            // has no simulated device to be attributed to.
+            fail_request(inner, metrics, request, ServedFrom::PodDown);
+            continue;
+        };
         let timing = Timing {
             queue_us: forward_start.saturating_duration_since(request.submitted).as_micros() as u64,
             service_us,
             total_us: request.submitted.elapsed().as_micros() as u64,
-            batch_size: rows,
+            batch_size: live,
             ipu_batch_us: estimate.ipu_us,
             gpu_batch_us: estimate.gpu_us,
             source: ServedFrom::Compute,
-            replica: Some(batch.replica),
+            replica: Some(replica),
         };
         metrics.record_response(&timing);
         // The leader's completion index is drawn before the cache-side
@@ -520,13 +683,13 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
                     as u64,
                 service_us,
                 total_us: waiter.submitted.elapsed().as_micros() as u64,
-                batch_size: rows,
+                batch_size: live,
                 // The forward's device time is attributed to the leader;
                 // riding along costs 0 device-µs.
                 ipu_batch_us: Some(0.0),
                 gpu_batch_us: Some(0.0),
                 source: ServedFrom::Coalesced,
-                replica: Some(batch.replica),
+                replica: Some(replica),
             };
             metrics.record_response(&timing);
             let _ = waiter.reply.send(InferResponse {
@@ -853,5 +1016,204 @@ mod tests {
             9,
             "the other nine were hits or coalesced"
         );
+    }
+
+    #[test]
+    fn snapshot_tallies_agree_even_mid_flight() {
+        // Regression for the snapshot accounting race: replica retirement
+        // and the per-model device tally used to be updated by two separate
+        // calls, so a snapshot between them could observe a batch on one
+        // ledger but not the other. Both now move in one pod critical
+        // section and the snapshot reads both under one lock acquisition —
+        // so hammering snapshots *while* batches settle must never catch
+        // the ledgers apart.
+        let config = ServeConfig {
+            replicas: 3,
+            routing: crate::replica::Routing::JoinShortestQueue,
+            cache: CacheConfig::disabled(),
+            queue_capacity: 512,
+            max_batch: 4,
+            ..small_config()
+        };
+        let server = Server::start(config, &[Method::Baseline, Method::Butterfly]).expect("valid");
+        std::thread::scope(|s| {
+            let snapshots = s.spawn(|| {
+                for _ in 0..200 {
+                    let snap = server.snapshot();
+                    let replica_sum: f64 = snap.replicas.iter().map(|r| r.device_us).sum();
+                    let model_sum: f64 = snap.models.iter().map(|m| m.device_us).sum();
+                    assert!(
+                        (replica_sum - model_sum).abs() < 1e-6,
+                        "mid-flight snapshot caught the ledgers apart: \
+                         replicas {replica_sum} vs models {model_sum}"
+                    );
+                    std::thread::yield_now();
+                }
+            });
+            let mut handles = Vec::new();
+            for i in 0..120u64 {
+                let model = if i % 2 == 0 { "baseline" } else { "butterfly" };
+                handles.push(
+                    server.submit(model, i % 5, i, vec![(i as f32).cos(); 64]).expect("admitted"),
+                );
+            }
+            for handle in handles {
+                handle.wait().expect("served");
+            }
+            snapshots.join().expect("snapshot thread clean");
+        });
+        let snapshot = server.shutdown();
+        let replica_sum: f64 = snapshot.replicas.iter().map(|r| r.device_us).sum();
+        assert!((replica_sum - snapshot.total_device_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_deadline_expires_every_request() {
+        // A deadline of zero is already past when the batcher seals the
+        // batch, so every request must come back DeadlineExceeded — empty
+        // output, zero device time — and none may be lost.
+        let config = ServeConfig {
+            cache: CacheConfig::disabled(),
+            default_deadline: Some(Duration::ZERO),
+            ..small_config()
+        };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let handles: Vec<_> = (0..16)
+            .map(|i| server.submit("butterfly", 2, i, vec![i as f32; 64]).expect("admitted"))
+            .collect();
+        for handle in handles {
+            let r = handle.wait().expect("answered, not dropped");
+            assert_eq!(r.timing.source, ServedFrom::DeadlineExceeded);
+            assert!(r.timing.source.is_failure());
+            assert!(r.output.is_empty());
+            assert_eq!(r.timing.ipu_batch_us, Some(0.0));
+            assert_eq!(r.timing.replica, None);
+        }
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.models[0].deadline_exceeded, 16);
+        assert_eq!(snapshot.models[0].completed, 16, "failures still resolve");
+        assert_eq!(snapshot.models[0].device_us, 0.0, "expired batches are never priced");
+        assert_eq!(snapshot.replicas[0].batches, 0);
+    }
+
+    #[test]
+    fn per_submit_deadline_overrides_the_default() {
+        // No default deadline; one request opts into an already-expired
+        // deadline while its neighbours compute normally.
+        let config = ServeConfig { cache: CacheConfig::disabled(), ..small_config() };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let doomed = server
+            .submit_with_deadline("butterfly", 0, 0, vec![0.5; 64], Some(Duration::ZERO))
+            .expect("admitted");
+        let fine = server.submit("butterfly", 0, 1, vec![0.5; 64]).expect("admitted");
+        assert_eq!(doomed.wait().expect("answered").timing.source, ServedFrom::DeadlineExceeded);
+        assert_eq!(fine.wait().expect("answered").timing.source, ServedFrom::Compute);
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.models[0].deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn expired_leader_fails_its_coalesced_waiters() {
+        // With the cache ON every admitted request is a leader, so if
+        // leaders were exempt from deadlines the feature would be a no-op
+        // in the default configuration. Instead an expired leader fails,
+        // and the waiters coalesced onto it are released with the same
+        // DeadlineExceeded answer rather than parking forever.
+        let config =
+            ServeConfig { default_deadline: Some(Duration::ZERO), workers: 1, ..small_config() };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let input = vec![0.75f32; 64];
+        let handles: Vec<_> = (0..8)
+            .map(|i| server.submit("butterfly", 4, i, input.clone()).expect("accepted"))
+            .collect();
+        let responses: Vec<_> = handles.into_iter().map(|h| h.wait().expect("released")).collect();
+        for r in &responses {
+            assert_eq!(r.timing.source, ServedFrom::DeadlineExceeded);
+            assert!(r.output.is_empty());
+        }
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.models[0].deadline_exceeded, 8);
+        assert_eq!(snapshot.cache.entries, 0, "a failed leader memoizes nothing");
+    }
+
+    #[test]
+    fn unrecoverable_pod_fails_requests_then_submits() {
+        // One replica crashed at clock 0 with no recovery scheduled: the
+        // first admitted batch routes into the outage and is answered
+        // PodDown; once the pod is marked dead, submit itself fails fast.
+        let config = ServeConfig {
+            cache: CacheConfig::disabled(),
+            fault_plan: crate::fault::FaultPlan::none().crash_at(0.0, 0),
+            ..small_config()
+        };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let first = server.submit("butterfly", 0, 0, vec![0.1; 64]).expect("admitted before dead");
+        let r = first.wait().expect("answered, not dropped");
+        assert_eq!(r.timing.source, ServedFrom::PodDown);
+        assert!(r.output.is_empty());
+        // The batcher marked the pod dead while routing; later submits are
+        // refused at the door.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match server.submit("butterfly", 0, 1, vec![0.2; 64]) {
+                Err(SubmitError::PodDown) => break,
+                Ok(handle) => {
+                    assert_eq!(handle.wait().expect("answered").timing.source, ServedFrom::PodDown);
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+            assert!(Instant::now() < deadline, "pod never went dead");
+            std::thread::yield_now();
+        }
+        let snapshot = server.shutdown();
+        assert!(snapshot.models[0].pod_down >= 1);
+        assert_eq!(snapshot.replicas[0].crashes, 1);
+        assert!(!snapshot.replicas[0].up);
+        assert_eq!(snapshot.models[0].device_us, 0.0, "nothing settled on a dead pod");
+    }
+
+    #[test]
+    fn crash_and_recovery_reroute_without_losing_requests() {
+        // Crash replica 0 mid-run and recover it later; whatever the
+        // interleaving, every admitted request resolves (Compute on any
+        // replica, or a failure) and the device ledgers agree after the
+        // refunds.
+        let config = ServeConfig {
+            replicas: 2,
+            routing: crate::replica::Routing::RoundRobin,
+            cache: CacheConfig::disabled(),
+            max_batch: 2,
+            queue_capacity: 512,
+            // Each routed batch presents at least MIN_ROUTED_US (1 µs) of
+            // simulated compute, so 40 batches push the clock well past
+            // both events whatever the real kernel timings are.
+            fault_plan: crate::fault::FaultPlan::none().crash_at(10.0, 0).recover_at(30.0, 0),
+            ..small_config()
+        };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let handles: Vec<_> = (0..80)
+            .map(|i| server.submit("butterfly", i % 3, i, vec![(i as f32).sin(); 64]).expect("ok"))
+            .collect();
+        let mut computed = 0u64;
+        for handle in handles {
+            let r = handle.wait().expect("resolved");
+            match r.timing.source {
+                ServedFrom::Compute => {
+                    computed += 1;
+                    assert!(r.timing.replica.expect("attributed") < 2);
+                }
+                ServedFrom::PodDown => assert!(r.output.is_empty()),
+                other => panic!("unexpected source {other:?}"),
+            }
+        }
+        assert!(computed > 0, "survivor keeps serving through the outage");
+        let snapshot = server.shutdown();
+        let replica_sum: f64 = snapshot.replicas.iter().map(|r| r.device_us).sum();
+        assert!(
+            (replica_sum - snapshot.total_device_us).abs() < 1e-6,
+            "refunded strands must keep the ledgers equal"
+        );
+        assert_eq!(snapshot.replicas[0].crashes, 1);
+        assert_eq!(snapshot.replicas[0].recoveries, 1);
     }
 }

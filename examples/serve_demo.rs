@@ -4,16 +4,20 @@
 //!
 //! Starts a `bfly-serve` server holding a dense baseline and a butterfly
 //! SHL model (both forward-only — no gradient or momentum memory) on a
-//! simulated 4-IPU pod, pushes a burst of concurrent requests at it, and
-//! shows what every response carries: the class scores, the micro-batch
-//! the request was coalesced into, the pod replica that served it, and the
-//! predicted IPU/GPU device time for that batch next to the measured wall
-//! time. Ends with a graceful shutdown and the final metrics snapshot as
-//! JSON — including per-replica device time, utilization, and the one-time
-//! weight loads the cold replicas paid.
+//! simulated 4-IPU pod *with a fault plan*: one replica crashes partway
+//! into the run and recovers later, so the demo shows health-aware routing
+//! riding out the outage — stranded batches retried on survivors, the
+//! recovered replica re-paying its cold weight load — while a burst of
+//! concurrent requests (one under an aggressive deadline) flows through.
+//! Every response carries the class scores, the micro-batch the request
+//! was coalesced into, the pod replica that served it, and the predicted
+//! IPU/GPU device time next to measured wall time. Ends with a graceful
+//! shutdown and the final metrics snapshot as JSON — including per-replica
+//! crashes, recoveries, retried batches, and the weight loads cold (and
+//! re-warmed) replicas paid.
 
 use bfly_core::Method;
-use bfly_serve::{Routing, ServeConfig, Server};
+use bfly_serve::{FaultPlan, Routing, ServeConfig, ServedFrom, Server};
 use std::time::Duration;
 
 fn main() {
@@ -28,6 +32,11 @@ fn main() {
         tensor_cores: false,
         replicas: 4,
         routing: Routing::PowerOfTwoChoices,
+        // Replica 2 crashes once the pod has been presented 400 µs of
+        // simulated compute and comes back at 1200 µs; between the two it
+        // is invisible to routing, and on recovery it re-pays its weight
+        // loads (its SRAM came back empty).
+        fault_plan: FaultPlan::none().crash_at(400.0, 2).recover_at(1200.0, 2),
         ..Default::default()
     };
     let dim = config.dim;
@@ -37,7 +46,8 @@ fn main() {
     println!("serving models: {:?}\n", server.model_names());
 
     // A burst of requests from 4 client threads, alternating models — the
-    // batchers coalesce each model's stream independently.
+    // batchers coalesce each model's stream independently while the fault
+    // plan plays out against the pod's simulated clock.
     std::thread::scope(|scope| {
         for client in 0..4u64 {
             let server = &server;
@@ -66,7 +76,31 @@ fn main() {
         }
     });
 
+    // A per-request deadline override: zero means "already expired", so
+    // the runtime answers DeadlineExceeded instead of computing.
+    let doomed = server
+        .submit_with_deadline("butterfly", 9, 0, vec![0.25; dim], Some(Duration::ZERO))
+        .expect("admitted");
+    let r = doomed.wait().expect("failures are answered, never dropped");
+    assert_eq!(r.timing.source, ServedFrom::DeadlineExceeded);
+    println!(
+        "\ndeadline demo: client 9 seq 0 answered {:?} with empty output ({} scores)",
+        r.timing.source,
+        r.output.len()
+    );
+
     println!("\nfinal metrics snapshot:");
     let snapshot = server.shutdown();
+    for replica in &snapshot.replicas {
+        println!(
+            "replica {}: up={}, crashes={}, recoveries={}, retried_batches={}, cold_loads={}",
+            replica.replica,
+            replica.up,
+            replica.crashes,
+            replica.recoveries,
+            replica.retried_batches,
+            replica.cold_loads
+        );
+    }
     println!("{}", snapshot.to_json());
 }
