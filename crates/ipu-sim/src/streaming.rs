@@ -37,6 +37,48 @@ impl StreamingSpec {
     pub fn m2000() -> Self {
         Self { capacity_bytes: 64 * (1 << 30), bytes_per_sec: 20.0e9, staging_fraction: 0.5 }
     }
+
+    /// Checks the spec describes a physically meaningful link. A
+    /// `staging_fraction` outside (0, 1] would silently produce a 0-byte
+    /// staging buffer (or stage more than the SRAM that exists), and a
+    /// non-positive or non-finite `bytes_per_sec` turns every stream time
+    /// into infinity or nonsense — both are rejected here instead.
+    pub fn validate(&self) -> Result<(), StreamingError> {
+        if !self.staging_fraction.is_finite()
+            || self.staging_fraction <= 0.0
+            || self.staging_fraction > 1.0
+        {
+            return Err(StreamingError::InvalidSpec {
+                field: "staging_fraction",
+                value: self.staging_fraction,
+            });
+        }
+        if !self.bytes_per_sec.is_finite() || self.bytes_per_sec <= 0.0 {
+            return Err(StreamingError::InvalidSpec {
+                field: "bytes_per_sec",
+                value: self.bytes_per_sec,
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with out-of-range fields clamped to the nearest valid
+    /// value: `staging_fraction` into (0, 1] (non-finite or non-positive
+    /// values fall back to the M2000 default of 0.5) and `bytes_per_sec` to
+    /// at least 1 byte/s. The clamped spec always passes [`validate`].
+    ///
+    /// [`validate`]: StreamingSpec::validate
+    pub fn clamped(mut self) -> Self {
+        if !self.staging_fraction.is_finite() || self.staging_fraction <= 0.0 {
+            self.staging_fraction = 0.5;
+        } else if self.staging_fraction > 1.0 {
+            self.staging_fraction = 1.0;
+        }
+        if !self.bytes_per_sec.is_finite() || self.bytes_per_sec < 1.0 {
+            self.bytes_per_sec = 1.0;
+        }
+        self
+    }
 }
 
 /// Result of a streaming execution.
@@ -83,6 +125,14 @@ pub enum StreamingError {
         /// Available staging bytes.
         staging_bytes: u64,
     },
+    /// The spec itself is unusable: `staging_fraction` outside (0, 1] or a
+    /// non-positive `bytes_per_sec` (see [`StreamingSpec::validate`]).
+    InvalidSpec {
+        /// Which field failed validation.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for StreamingError {
@@ -96,6 +146,9 @@ impl std::fmt::Display for StreamingError {
                     f,
                     "operand of {operand_bytes} bytes exceeds {staging_bytes} bytes of staging"
                 )
+            }
+            StreamingError::InvalidSpec { field, value } => {
+                write!(f, "invalid streaming spec: {field} = {value}")
             }
         }
     }
@@ -114,6 +167,7 @@ pub fn run_streaming(
     spec: &IpuSpec,
     streaming: &StreamingSpec,
 ) -> Result<StreamingReport, StreamingError> {
+    streaming.validate()?;
     match compile(trace, spec) {
         Ok(compiled) => {
             let report = execute(&compiled.graph, spec);
@@ -221,6 +275,75 @@ mod tests {
             run_streaming(&[LinOp::MatMul { m: n, k: n, n: 4 }], &spec(), &StreamingSpec::m2000())
                 .expect_err("must not fit");
         assert!(matches!(err, StreamingError::ExceedsStreamingMemory { .. }));
+    }
+
+    #[test]
+    fn zero_staging_fraction_is_rejected_not_silently_zero_staging() {
+        // staging_fraction = 0 used to yield a 0-byte staging buffer that
+        // made every single-tile operand "too large"; now the spec itself
+        // is refused before any graph work happens.
+        let bad = StreamingSpec { staging_fraction: 0.0, ..StreamingSpec::m2000() };
+        assert!(matches!(
+            bad.validate(),
+            Err(StreamingError::InvalidSpec { field: "staging_fraction", .. })
+        ));
+        let err = run_streaming(&[LinOp::MatMul { m: 4, k: 64, n: 64 }], &spec(), &bad)
+            .expect_err("invalid spec must not run");
+        assert!(err.to_string().contains("staging_fraction"), "{err}");
+        // Above 1.0 is equally meaningless: staging cannot exceed the SRAM.
+        let over = StreamingSpec { staging_fraction: 1.5, ..StreamingSpec::m2000() };
+        assert!(over.validate().is_err());
+        assert!(StreamingSpec { staging_fraction: -0.25, ..StreamingSpec::m2000() }
+            .validate()
+            .is_err());
+        assert!(StreamingSpec { staging_fraction: f64::NAN, ..StreamingSpec::m2000() }
+            .validate()
+            .is_err());
+        assert!(
+            StreamingSpec { staging_fraction: 1.0, ..StreamingSpec::m2000() }.validate().is_ok(),
+            "the closed upper edge is legal"
+        );
+    }
+
+    #[test]
+    fn zero_bandwidth_is_rejected_not_infinite_stream_time() {
+        // bytes_per_sec = 0 used to make stream_seconds infinite for any
+        // overflow; the spec is now rejected up front.
+        let bad = StreamingSpec { bytes_per_sec: 0.0, ..StreamingSpec::m2000() };
+        assert!(matches!(
+            bad.validate(),
+            Err(StreamingError::InvalidSpec { field: "bytes_per_sec", .. })
+        ));
+        let err = run_streaming(&[LinOp::MatMul { m: 4, k: 64, n: 64 }], &spec(), &bad)
+            .expect_err("invalid spec must not run");
+        assert!(matches!(err, StreamingError::InvalidSpec { field: "bytes_per_sec", .. }));
+        assert!(StreamingSpec { bytes_per_sec: -1.0, ..StreamingSpec::m2000() }
+            .validate()
+            .is_err());
+        assert!(StreamingSpec { bytes_per_sec: f64::INFINITY, ..StreamingSpec::m2000() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn clamped_specs_always_validate() {
+        for (fraction, bps) in
+            [(0.0, 0.0), (-3.0, -20.0e9), (1.5, f64::NAN), (f64::NAN, f64::INFINITY), (0.5, 20.0e9)]
+        {
+            let spec = StreamingSpec {
+                capacity_bytes: 64 * (1 << 30),
+                bytes_per_sec: bps,
+                staging_fraction: fraction,
+            }
+            .clamped();
+            spec.validate().expect("clamped spec is always usable");
+        }
+        // In-range values pass through untouched.
+        let untouched = StreamingSpec::m2000().clamped();
+        assert_eq!(untouched, StreamingSpec::m2000());
+        // Over-range staging clamps to the edge, not the default.
+        let edge = StreamingSpec { staging_fraction: 2.0, ..StreamingSpec::m2000() }.clamped();
+        assert_eq!(edge.staging_fraction, 1.0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::fault::FaultPlan;
 use crate::replica::Routing;
+use crate::residency::ResidencyConfig;
 use std::time::Duration;
 
 /// Tunables of the content-addressed response cache and in-flight dedup
@@ -99,6 +100,11 @@ pub struct ServeConfig {
     /// the pod's simulated clock. [`FaultPlan::none`] (the default)
     /// reproduces the fault-free runtime bit-exactly.
     pub fault_plan: FaultPlan,
+    /// Per-replica SRAM budget, eviction policy and tenant quotas for model
+    /// weights (see [`crate::residency`]). The default (no budget) keeps
+    /// every registered model resident forever — the pre-residency runtime
+    /// bit-exactly.
+    pub residency: ResidencyConfig,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +125,7 @@ impl Default for ServeConfig {
             replica_queue: 256,
             default_deadline: None,
             fault_plan: FaultPlan::none(),
+            residency: ResidencyConfig::default(),
         }
     }
 }
@@ -136,6 +143,7 @@ impl ServeConfig {
         assert!(self.replica_queue > 0, "replica_queue must be positive");
         self.cache.validate();
         self.fault_plan.validate();
+        self.residency.validate();
     }
 }
 
@@ -177,6 +185,20 @@ mod tests {
     #[should_panic(expected = "replica_queue")]
     fn zero_replica_queue_rejected() {
         ServeConfig { replica_queue: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sram budget")]
+    fn zero_residency_budget_rejected() {
+        let residency = ResidencyConfig::with_budget(0);
+        ServeConfig { residency, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn residency_budget_and_quotas_are_valid() {
+        let residency = ResidencyConfig::with_budget(1 << 20).quota("a", 1 << 18);
+        assert!(ServeConfig::default().residency.sram_budget_bytes.is_none());
+        ServeConfig { residency, ..Default::default() }.validate();
     }
 
     #[test]

@@ -22,10 +22,15 @@
 //!   `serve_throughput` bench quantifies;
 //! - routes each micro-batch across a simulated multi-IPU pod
 //!   ([`crate::replica`]): `replicas` simulated devices with per-replica
-//!   occupancy clocks, weight residency (cold replicas pay a one-time
-//!   simulated IPU-Link weight load), bounded replica queues, and
-//!   pluggable policies ([`Routing`]: round-robin, power-of-two-choices,
+//!   occupancy clocks, bounded replica queues, and pluggable policies
+//!   ([`Routing`]: round-robin, power-of-two-choices,
 //!   join-shortest-queue);
+//! - manages weight residency as a cache over streaming memory
+//!   ([`crate::residency`]): per-replica SRAM budgets, IPU-Link cold loads
+//!   vs. streaming page-ins, pluggable eviction (LRU / cost-aware), and
+//!   per-tenant resident-byte quotas ([`ResidencyConfig`]) — butterfly
+//!   models' O(n log n) footprints let several tenants stay resident where
+//!   one dense baseline would monopolise the budget;
 //! - executes batches on a worker pool running the repository's real Rust
 //!   kernels, and prices each batch's op trace on the IPU and GPU
 //!   simulators so every response carries predicted device time next to
@@ -62,6 +67,7 @@ pub mod metrics;
 pub mod registry;
 pub mod replica;
 pub mod request;
+pub mod residency;
 pub mod server;
 
 pub use cache::{hash_bytes, input_key};
@@ -69,17 +75,18 @@ pub use config::{CacheConfig, ServeConfig};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use loadgen::{
     closed_loop, closed_loop_models, closed_loop_models_with_pool, closed_loop_with_pool,
-    input_pool, open_loop, open_loop_with_pool, LoadReport, DEFAULT_INPUT_POOL,
+    input_pool, open_loop, open_loop_with_pool, LoadReport, ZipfSampler, DEFAULT_INPUT_POOL,
 };
 pub use metrics::{
     CacheStats, Histogram, ModelMetrics, ModelStats, RegistryShardStats, ReplicaStats,
-    ServeSnapshot,
+    ResidencySummary, ServeSnapshot,
 };
 pub use registry::{
-    DeviceEstimate, ModelEntry, ModelLocation, ModelRegistry, DEFAULT_REGISTRY_SHARDS,
+    DeviceEstimate, ModelEntry, ModelLocation, ModelRegistry, ModelSpec, DEFAULT_REGISTRY_SHARDS,
 };
 pub use replica::{
     JoinShortestQueue, PowerOfTwoChoices, ReplicaOccupancy, RoundRobin, RoutePolicy, Routing,
 };
 pub use request::{InferResponse, ResponseHandle, ServedFrom, SubmitError, Timing};
+pub use residency::{ResidencyConfig, ResidencyPolicy, TenantQuota};
 pub use server::Server;

@@ -47,6 +47,19 @@ pub struct LoadReport {
     pub latency_mean_us: f64,
     /// Mean micro-batch size the responses were served in.
     pub mean_batch: f64,
+    /// Median *simulated* per-batch latency, microseconds: what each
+    /// response's batch reserved on its replica's occupancy clock (routed
+    /// compute plus any residency weight transfer). Cache hits and
+    /// coalesced followers contribute their honest 0.
+    pub sim_p50_us: f64,
+    /// 95th-percentile simulated per-batch latency, microseconds.
+    pub sim_p95_us: f64,
+    /// 99th-percentile simulated per-batch latency, microseconds — the
+    /// tail that collapses when a working set outgrows the SRAM budget and
+    /// every touch becomes a streaming page-in.
+    pub sim_p99_us: f64,
+    /// Mean simulated per-batch latency, microseconds.
+    pub sim_mean_us: f64,
 }
 
 fn quantile(sorted: &[u64], q: f64) -> u64 {
@@ -55,6 +68,68 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+fn quantile_f64(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Seeded Zipf(s) sampler over `n` items: item `i` is drawn with
+/// probability proportional to `1 / (i + 1)^s`. The skewed-popularity
+/// workload of the multi-tenant bench — a handful of hot models plus a
+/// long cold tail is exactly the traffic shape that makes an SRAM budget
+/// either hold (butterfly working set fits) or thrash (dense does not).
+///
+/// The CDF is precomputed at construction; sampling is one uniform draw
+/// plus a binary search, so the generator's submit path stays cheap.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cdf[n - 1] == 1.0`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler. `exponent` 0.0 is the uniform distribution;
+    /// larger exponents concentrate mass on the low ranks (classic web
+    /// traffic is near 1.0).
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "zipf sampler needs at least one item");
+        assert!(exponent >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf: Vec<f64> = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        cdf[n - 1] = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of items the sampler draws from.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has exactly one item (which it then always
+    /// returns).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one item index in `0..len()`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose cumulative probability covers the draw.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
 }
 
 /// Classified client-side outcomes of one generator run: failure responses
@@ -67,6 +142,8 @@ struct Outcomes {
     pod_down: u64,
     latencies: Vec<u64>,
     batch_sizes: Vec<usize>,
+    /// Simulated per-batch µs of successful responses ([`Timing::sim_batch_us`]).
+    sim_latencies: Vec<f64>,
 }
 
 impl Outcomes {
@@ -77,6 +154,9 @@ impl Outcomes {
             _ => {
                 self.latencies.push(response.timing.total_us);
                 self.batch_sizes.push(response.timing.batch_size);
+                if let Some(sim_us) = response.timing.sim_batch_us {
+                    self.sim_latencies.push(sim_us);
+                }
             }
         }
     }
@@ -96,9 +176,16 @@ fn report_from(
     submit_window_s: f64,
 ) -> LoadReport {
     let completed = outcomes.completed();
-    let Outcomes { deadline_exceeded, pod_down, mut latencies, batch_sizes } = outcomes;
+    let Outcomes { deadline_exceeded, pod_down, mut latencies, batch_sizes, mut sim_latencies } =
+        outcomes;
     let pod_down = pod_down + refused_pod_down;
     latencies.sort_unstable();
+    sim_latencies.sort_unstable_by(f64::total_cmp);
+    let sim_mean = if sim_latencies.is_empty() {
+        0.0
+    } else {
+        sim_latencies.iter().sum::<f64>() / sim_latencies.len() as f64
+    };
     let mean = if latencies.is_empty() {
         0.0
     } else {
@@ -124,6 +211,10 @@ fn report_from(
         latency_p99_us: quantile(&latencies, 0.99),
         latency_mean_us: mean,
         mean_batch,
+        sim_p50_us: quantile_f64(&sim_latencies, 0.50),
+        sim_p95_us: quantile_f64(&sim_latencies, 0.95),
+        sim_p99_us: quantile_f64(&sim_latencies, 0.99),
+        sim_mean_us: sim_mean,
     }
 }
 
@@ -313,6 +404,7 @@ pub fn closed_loop_models_with_pool(
         outcomes.pod_down += o.pod_down;
         outcomes.latencies.extend(o.latencies);
         outcomes.batch_sizes.extend(o.batch_sizes);
+        outcomes.sim_latencies.extend(o.sim_latencies);
     }
     let offered = accepted + shed + refused_pod_down;
     report_from(offered, accepted, shed, refused_pod_down, outcomes, elapsed_s, elapsed_s)
@@ -437,5 +529,71 @@ mod tests {
         assert_eq!(quantile(&[7], 0.5), 7);
         assert_eq!(quantile(&[1, 2, 3, 4], 0.5), 2);
         assert_eq!(quantile(&[1, 2, 3, 4], 1.0), 4);
+        assert_eq!(quantile_f64(&[], 0.99), 0.0);
+        assert_eq!(quantile_f64(&[1.5, 2.5], 0.5), 1.5);
+    }
+
+    #[test]
+    fn zipf_sampler_is_seeded_and_skewed() {
+        let z = ZipfSampler::new(16, 1.0);
+        assert_eq!(z.len(), 16);
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let draws_a: Vec<usize> = (0..512).map(|_| z.sample(&mut a)).collect();
+        let draws_b: Vec<usize> = (0..512).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(draws_a, draws_b, "same seed, same trace");
+        assert!(draws_a.iter().all(|&d| d < 16), "every draw in range");
+        let mut counts = [0usize; 16];
+        for &d in &draws_a {
+            counts[d] += 1;
+        }
+        assert!(counts[0] > counts[8], "rank 0 must beat the mid-tail under zipf(1): {counts:?}");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 1000.0).abs() < 150.0,
+                "exponent 0 should be near-uniform: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipf_over_nothing_is_rejected() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn computed_responses_carry_simulated_latency() {
+        // Cache off so every response is a genuine computation with a
+        // positive simulated reservation on its replica's clock.
+        let config = ServeConfig {
+            dim: 64,
+            classes: 10,
+            seed: 21,
+            max_batch: 4,
+            max_wait: Duration::from_micros(300),
+            queue_capacity: 128,
+            workers: 2,
+            cache: crate::config::CacheConfig::disabled(),
+            ..Default::default()
+        };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let report = closed_loop(&server, "butterfly", 2, 20, 13);
+        assert_eq!(report.completed, 40);
+        assert!(report.sim_p50_us > 0.0, "computed batches reserve simulated time");
+        assert!(report.sim_p50_us <= report.sim_p95_us);
+        assert!(report.sim_p95_us <= report.sim_p99_us);
+        assert!(report.sim_mean_us > 0.0);
+        server.shutdown();
     }
 }

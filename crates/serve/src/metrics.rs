@@ -151,17 +151,23 @@ impl ModelMetrics {
     }
 
     /// Builds the serializable view. `device_ns` is this model's settled
-    /// device tally, read from the pod's critical section (where it is
+    /// device tally and `residency` its (hits, misses, paged bytes)
+    /// counters, both read from the pod's critical section (where they are
     /// updated atomically with the per-replica clocks) rather than tracked
     /// here — that is what keeps the replica-vs-model cross-check exact.
+    #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         &self,
         name: &str,
+        tenant: &str,
+        weight_bytes: u64,
         elapsed_s: f64,
         queue_depth: usize,
         memoized_estimates: usize,
         device_ns: u64,
+        residency: (u64, u64, u64),
     ) -> ModelStats {
+        let (residency_hits, residency_misses, paged_in_bytes) = residency;
         let admitted = self.admitted.load(Ordering::Relaxed);
         let shed = self.shed.load(Ordering::Relaxed);
         let completed = self.completed.load(Ordering::Relaxed);
@@ -170,8 +176,11 @@ impl ModelMetrics {
         let cache_misses = self.cache_misses.load(Ordering::Relaxed);
         let offered = admitted + cache_hits + cache_coalesced + shed;
         let cache_looked = cache_hits + cache_coalesced + cache_misses;
+        let touches = residency_hits + residency_misses;
         ModelStats {
             model: name.to_string(),
+            tenant: tenant.to_string(),
+            weight_bytes,
             admitted,
             shed,
             completed,
@@ -195,6 +204,14 @@ impl ModelMetrics {
             },
             memoized_estimates,
             device_us: device_ns as f64 / 1e3,
+            residency_hits,
+            residency_misses,
+            residency_hit_rate: if touches == 0 {
+                0.0
+            } else {
+                residency_hits as f64 / touches as f64
+            },
+            paged_in_bytes,
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             pod_down: self.pod_down.load(Ordering::Relaxed),
         }
@@ -206,6 +223,11 @@ impl ModelMetrics {
 pub struct ModelStats {
     /// Model name (registry key).
     pub model: String,
+    /// Owning tenant (what residency quotas group by).
+    pub tenant: String,
+    /// Resident weight footprint, bytes (butterfly O(n log n) vs dense
+    /// ~n²·4 — the paper's compression gap as a serving quantity).
+    pub weight_bytes: u64,
     /// Requests accepted into the admission queue.
     pub admitted: u64,
     /// Requests shed at admission.
@@ -246,6 +268,15 @@ pub struct ModelStats {
     /// Simulated device µs retired for this model's batches (compute plus
     /// cold weight loads), counted once per batch.
     pub device_us: f64,
+    /// Batches that found this model's weights already in SRAM, summed
+    /// across replicas.
+    pub residency_hits: u64,
+    /// Batches that paid a weight transfer (cold load or page-in).
+    pub residency_misses: u64,
+    /// residency_hits / (residency_hits + residency_misses).
+    pub residency_hit_rate: f64,
+    /// Bytes paged in over the streaming link for this model, all replicas.
+    pub paged_in_bytes: u64,
     /// Requests answered `DeadlineExceeded` instead of computed.
     pub deadline_exceeded: u64,
     /// Requests answered `PodDown` instead of computed.
@@ -266,10 +297,25 @@ pub struct ReplicaStats {
     /// Simulated device µs retired on this replica's occupancy clock
     /// (compute estimates plus cold weight loads).
     pub device_us: f64,
-    /// Portion of `device_us` that was one-time weight transfer.
+    /// Portion of `device_us` that was weight transfer (IPU-Link cold
+    /// loads plus streaming page-ins), net of crash refunds.
     pub weight_load_us: f64,
-    /// Cold weight loads this replica paid (one per model it warmed up).
+    /// First-time IPU-Link weight loads this replica paid.
     pub cold_loads: u64,
+    /// Batches whose model was already resident in this replica's SRAM.
+    pub residency_hits: u64,
+    /// Batches that paid a weight transfer (cold load or page-in).
+    pub residency_misses: u64,
+    /// Models evicted from SRAM under budget or quota pressure.
+    pub evictions: u64,
+    /// Bytes paged in over the streaming link (reloads after eviction).
+    pub paged_in_bytes: u64,
+    /// Simulated µs spent on streaming page-ins (subset of weight_load_us).
+    pub paging_us: f64,
+    /// Weight bytes resident in SRAM at snapshot time.
+    pub resident_bytes: u64,
+    /// Models resident in SRAM at snapshot time.
+    pub resident_models: usize,
     /// `device_us` over the pod's simulated makespan (the busiest replica's
     /// clock): 1.0 means this replica was the critical path.
     pub utilization: f64,
@@ -332,6 +378,63 @@ impl CacheStats {
     }
 }
 
+/// Pod-wide residency summary: the configured budget/policy plus the
+/// per-replica counters summed (point-in-time resident set included).
+#[derive(Debug, Clone, Serialize)]
+pub struct ResidencySummary {
+    /// Configured per-replica SRAM budget, bytes (`null` = unbounded).
+    pub sram_budget_bytes: Option<u64>,
+    /// Eviction policy label (`"lru"` / `"cost-aware"`).
+    pub policy: String,
+    /// Configured tenant quotas, `(tenant, resident_bytes)` pairs.
+    pub tenant_quotas: Vec<(String, u64)>,
+    /// Residency hits across all replicas.
+    pub hits: u64,
+    /// Residency misses (cold loads + page-ins) across all replicas.
+    pub misses: u64,
+    /// hits / (hits + misses).
+    pub hit_rate: f64,
+    /// Evictions across all replicas.
+    pub evictions: u64,
+    /// First-time IPU-Link cold loads across all replicas.
+    pub cold_loads: u64,
+    /// Bytes paged in over the streaming link across all replicas.
+    pub paged_in_bytes: u64,
+    /// Simulated µs of streaming page-ins across all replicas.
+    pub paging_us: f64,
+    /// Weight bytes resident across all replicas at snapshot time.
+    pub resident_bytes: u64,
+    /// Resident (replica, model) pairs at snapshot time.
+    pub resident_models: usize,
+}
+
+impl ResidencySummary {
+    /// Sums the per-replica counters under the given configuration echo.
+    pub fn from_replicas(
+        sram_budget_bytes: Option<u64>,
+        policy: &str,
+        tenant_quotas: Vec<(String, u64)>,
+        replicas: &[ReplicaStats],
+    ) -> Self {
+        let hits: u64 = replicas.iter().map(|r| r.residency_hits).sum();
+        let misses: u64 = replicas.iter().map(|r| r.residency_misses).sum();
+        Self {
+            sram_budget_bytes,
+            policy: policy.to_string(),
+            tenant_quotas,
+            hits,
+            misses,
+            hit_rate: if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 },
+            evictions: replicas.iter().map(|r| r.evictions).sum(),
+            cold_loads: replicas.iter().map(|r| r.cold_loads).sum(),
+            paged_in_bytes: replicas.iter().map(|r| r.paged_in_bytes).sum(),
+            paging_us: replicas.iter().map(|r| r.paging_us).sum(),
+            resident_bytes: replicas.iter().map(|r| r.resident_bytes).sum(),
+            resident_models: replicas.iter().map(|r| r.resident_models).sum(),
+        }
+    }
+}
+
 /// Per-registry-shard aggregate view.
 #[derive(Debug, Clone, Serialize)]
 pub struct RegistryShardStats {
@@ -362,6 +465,9 @@ pub struct ServeSnapshot {
     pub pod_makespan_us: f64,
     /// Response-cache statistics (counters all zero when disabled).
     pub cache: CacheStats,
+    /// Pod-wide weight-residency summary (budget, policy, hit/eviction/
+    /// paging totals).
+    pub residency: ResidencySummary,
 }
 
 impl ServeSnapshot {
@@ -476,34 +582,51 @@ mod tests {
             batch_size: 4,
             ipu_batch_us: None,
             gpu_batch_us: None,
+            sim_batch_us: Some(12.5),
             source: ServedFrom::Compute,
             replica: Some(1),
         };
         m.record_response(&t);
+        let replicas = vec![ReplicaStats {
+            replica: 0,
+            batches: 1,
+            requests: 4,
+            queue_depth: 0,
+            device_us: 12.5,
+            weight_load_us: 0.0,
+            cold_loads: 0,
+            residency_hits: 1,
+            residency_misses: 0,
+            evictions: 0,
+            paged_in_bytes: 0,
+            paging_us: 0.0,
+            resident_bytes: 4_096,
+            resident_models: 1,
+            utilization: 1.0,
+            crashes: 0,
+            recoveries: 0,
+            retried_batches: 0,
+            up: true,
+        }];
+        let residency = ResidencySummary::from_replicas(Some(1 << 20), "lru", vec![], &replicas);
         let snap = ServeSnapshot {
             elapsed_s: 1.0,
-            models: vec![m.snapshot("butterfly", 1.0, 3, 2, 12_500)],
+            models: vec![m.snapshot("butterfly", "default", 4_096, 1.0, 3, 2, 12_500, (1, 0, 0))],
             shards: vec![RegistryShardStats { shard: 0, models: 1, queue_depth: 3 }],
-            replicas: vec![ReplicaStats {
-                replica: 0,
-                batches: 1,
-                requests: 4,
-                queue_depth: 0,
-                device_us: 12.5,
-                weight_load_us: 0.0,
-                cold_loads: 0,
-                utilization: 1.0,
-                crashes: 0,
-                recoveries: 0,
-                retried_batches: 0,
-                up: true,
-            }],
+            replicas,
             total_device_us: 12.5,
             pod_makespan_us: 12.5,
             cache: CacheStats::disabled(),
+            residency,
         };
         let json = snap.to_json();
         assert!(json.contains("\"model\": \"butterfly\""), "{json}");
+        assert!(json.contains("\"tenant\": \"default\""), "{json}");
+        assert!(json.contains("\"weight_bytes\": 4096"), "{json}");
+        assert!(json.contains("\"sram_budget_bytes\": 1048576"), "{json}");
+        assert!(json.contains("\"policy\": \"lru\""), "{json}");
+        assert!(json.contains("\"resident_models\": 1"), "{json}");
+        assert_eq!(snap.residency.hit_rate, 1.0);
         assert!(json.contains("\"shed\": 2"), "{json}");
         assert!(json.contains("\"queue_depth\": 3"), "{json}");
         assert!(json.contains("\"cache_hits\": 5"), "{json}");
@@ -528,13 +651,14 @@ mod tests {
             batch_size: 1,
             ipu_batch_us: Some(0.0),
             gpu_batch_us: Some(0.0),
+            sim_batch_us: Some(0.0),
             source: ServedFrom::DeadlineExceeded,
             replica: None,
         };
         m.record_response(&base);
         m.record_response(&Timing { source: ServedFrom::PodDown, ..base });
         m.record_response(&Timing { source: ServedFrom::Compute, total_us: 30, ..base });
-        let s = m.snapshot("x", 1.0, 0, 0, 0);
+        let s = m.snapshot("x", "t", 0, 1.0, 0, 0, 0, (0, 0, 0));
         assert_eq!(s.completed, 3);
         assert_eq!(s.deadline_exceeded, 1);
         assert_eq!(s.pod_down, 1);
@@ -547,7 +671,7 @@ mod tests {
         let m = ModelMetrics::default();
         m.admitted.fetch_add(3, Ordering::Relaxed);
         m.shed.fetch_add(1, Ordering::Relaxed);
-        let s = m.snapshot("x", 1.0, 0, 0, 0);
+        let s = m.snapshot("x", "t", 0, 1.0, 0, 0, 0, (0, 0, 0));
         assert!((s.shed_rate - 0.25).abs() < 1e-12);
     }
 
@@ -557,7 +681,7 @@ mod tests {
         m.cache_hits.fetch_add(6, Ordering::Relaxed);
         m.cache_coalesced.fetch_add(2, Ordering::Relaxed);
         m.cache_misses.fetch_add(4, Ordering::Relaxed);
-        let s = m.snapshot("x", 1.0, 0, 0, 0);
+        let s = m.snapshot("x", "t", 0, 1.0, 0, 0, 0, (0, 0, 0));
         assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
         assert_eq!(s.cache_hits, 6);
         assert_eq!(s.cache_coalesced, 2);

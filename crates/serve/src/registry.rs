@@ -56,6 +56,34 @@ impl DeviceEstimate {
     }
 }
 
+/// What to register: a named model built from one compression method,
+/// owned by a tenant. The fleet constructor ([`ModelRegistry::build_fleet`])
+/// takes a list of these, so many models can share a method while keeping
+/// distinct names, weights (seeded per registration index) and tenants.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Registry key; must be unique across the fleet.
+    pub name: String,
+    /// Compression method the model is built from.
+    pub method: Method,
+    /// Owning tenant (residency quotas group by this; see
+    /// [`crate::ResidencyConfig`]).
+    pub tenant: String,
+}
+
+impl ModelSpec {
+    /// A spec under the `"default"` tenant with the method's lowercased
+    /// Table 4 label as its name — what [`ModelRegistry::build`] registers.
+    pub fn of_method(method: Method) -> Self {
+        Self { name: method.label().to_ascii_lowercase(), method, tenant: "default".to_string() }
+    }
+
+    /// Same spec under an explicit name and tenant.
+    pub fn named(name: &str, method: Method, tenant: &str) -> Self {
+        Self { name: name.to_string(), method, tenant: tenant.to_string() }
+    }
+}
+
 /// One served model: a frozen (forward-only) SHL network.
 ///
 /// The model is immutable after construction, so the request hot path runs
@@ -64,6 +92,7 @@ impl DeviceEstimate {
 pub struct ModelEntry {
     name: String,
     method: Method,
+    tenant: String,
     dim: usize,
     classes: usize,
     param_count: usize,
@@ -97,6 +126,19 @@ impl ModelEntry {
     /// Scalar parameter count (forward-only: one f32 each, no grad/momentum).
     pub fn param_count(&self) -> usize {
         self.param_count
+    }
+
+    /// Owning tenant (what residency quotas group by).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The model's resident weight footprint in bytes — forward-only f32
+    /// weights, so `4 * param_count`. The one source of truth residency,
+    /// routing and the benches all share: butterfly's O(n log n) parameters
+    /// vs dense's ~n² shows up directly as tenant density per device.
+    pub fn weight_bytes(&self) -> u64 {
+        4 * self.param_count as u64
     }
 
     /// Runs one forward batch (one sample per row), lock-free: the frozen
@@ -191,17 +233,37 @@ impl ModelRegistry {
         methods: &[Method],
         shard_count: usize,
     ) -> Result<Self, PixelflyError> {
+        let specs: Vec<ModelSpec> = methods.iter().map(|&m| ModelSpec::of_method(m)).collect();
+        Self::build_fleet(dim, classes, seed, &specs, shard_count)
+    }
+
+    /// Builds a fleet of named, tenant-owned models. Each spec's weights
+    /// derive from `seed` and its registration index, so two fleets built
+    /// with the same arguments are weight-identical; names must be unique.
+    pub fn build_fleet(
+        dim: usize,
+        classes: usize,
+        seed: u64,
+        specs: &[ModelSpec],
+        shard_count: usize,
+    ) -> Result<Self, PixelflyError> {
         assert!(shard_count > 0, "registry needs at least one shard");
-        let mut flat = Vec::with_capacity(methods.len());
-        for (i, &method) in methods.iter().enumerate() {
+        let mut flat = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            assert!(
+                flat.iter().all(|e: &Arc<ModelEntry>| e.name() != spec.name),
+                "duplicate model name {:?} in fleet",
+                spec.name
+            );
             let mut rng = derived_rng(seed, i as u64);
-            let model = build_shl_inference(method, dim, classes, &mut rng)?;
+            let model = build_shl_inference(spec.method, dim, classes, &mut rng)?;
             flat.push(Arc::new(ModelEntry {
-                name: method.label().to_ascii_lowercase(),
-                method,
+                name: spec.name.clone(),
+                method: spec.method,
+                tenant: spec.tenant.clone(),
                 dim,
                 classes,
-                param_count: shl_param_count(method, dim, classes),
+                param_count: shl_param_count(spec.method, dim, classes),
                 model,
                 estimates: RwLock::new(HashMap::new()),
             }));

@@ -21,13 +21,16 @@
 //! a worker settles a batch — backpressure that eventually fills the
 //! admission queues and sheds load, exactly like the pre-pod batch queue did.
 //!
-//! Model weights are tracked per replica: replica 0 starts warm for every
-//! model (it is the device the pre-pod runtime priced everything on), and a
-//! cold replica pays a one-time simulated weight-load — the parameter bytes
-//! streamed over an IPU-Link (`PodSpec::inter_chip_bytes_per_sec`) plus one
-//! collective launch — charged to its clock on the first batch of that
-//! model it serves. Butterfly models replicate almost for free; dense
-//! models pay ~n²·4 bytes per new replica.
+//! Model weights are tracked per replica by the [`crate::residency`]
+//! manager, which owns each replica's SRAM as a budgeted cache over
+//! streaming memory: replica 0 starts warm (it is the device the pre-pod
+//! runtime priced everything on, first-fit under the budget), a replica's
+//! first-ever load of a model pays the IPU-Link transfer
+//! (`PodSpec::inter_chip_bytes_per_sec` plus one collective launch), and a
+//! reload after a budget/quota eviction pays the slower streaming page-in.
+//! Butterfly models replicate almost for free; dense models pay ~n²·4
+//! bytes per new replica. With no budget configured the manager degenerates
+//! to the original always-resident behaviour, bit-exactly.
 //!
 //! # Faults
 //!
@@ -48,7 +51,8 @@
 
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::metrics::ReplicaStats;
-use bfly_ipu::{weight_load_seconds, PodSpec};
+use crate::residency::{Charge, ModelProfile, ModelResidency, ResidencyConfig, ResidencyManager};
+use bfly_ipu::PodSpec;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -216,18 +220,12 @@ struct ReplicaState {
     committed_ns: u64,
     /// Simulated ns settled by workers; equals `committed_ns` when idle.
     retired_ns: u64,
-    /// Portion of `retired_ns`+`committed_ns` that was weight transfer.
-    weight_load_ns: u64,
     /// Batches routed but not yet settled (bounded by the pod's capacity).
     outstanding: usize,
     /// Batches settled (including batches adopted through `reroute`).
     batches: u64,
     /// Requests inside settled batches.
     requests: u64,
-    /// Cold weight loads this replica has paid.
-    cold_loads: u64,
-    /// `resident[m]` — model `m`'s weights are on this replica.
-    resident: Vec<bool>,
     /// Healthy and eligible for routing.
     up: bool,
     /// Bumped on every crash; a batch whose routing epoch no longer matches
@@ -249,11 +247,16 @@ pub(crate) struct RouteDecision {
     /// Chosen replica.
     pub replica: usize,
     /// Total simulated ns reserved on the replica's clock (compute plus
-    /// any one-time cold weight load) — what the worker settles after
-    /// executing the batch.
+    /// any weight transfer the residency manager charged) — what the
+    /// worker settles after executing the batch.
     pub cost_ns: u64,
-    /// Portion of `cost_ns` that was a cold weight load.
+    /// Portion of `cost_ns` that was weight transfer (IPU-Link cold load
+    /// or streaming page-in).
     pub weight_ns: u64,
+    /// Bytes the residency manager paged over the streaming link for this
+    /// batch (0 for hits and first-time cold loads) — refunded alongside
+    /// `weight_ns` when a crash strands the batch.
+    pub paged_bytes: u64,
     /// The replica's crash epoch at routing time.
     pub epoch: u64,
 }
@@ -277,9 +280,8 @@ pub(crate) struct PodDown;
 pub(crate) struct RerouteDecision {
     /// The survivor that adopted the batch.
     pub replica: usize,
-    /// Simulated ns charged (and immediately settled) on its clock.
-    /// Only read by tests today; production callers key off `replica`.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Simulated ns charged (and immediately settled) on its clock —
+    /// reported to the client as the retried batch's `sim_batch_us`.
     pub cost_ns: u64,
 }
 
@@ -290,7 +292,9 @@ pub(crate) struct RerouteDecision {
 /// observed out of step.
 struct PodState {
     replicas: Vec<ReplicaState>,
-    /// Per-model settled device ns (indexed like `resident`).
+    /// SRAM residency: what is warm where, and what a miss costs.
+    residency: ResidencyManager,
+    /// Per-model settled device ns (registry order).
     model_device_ns: Vec<u64>,
     /// Simulated pod time: cumulative presented compute ns across all
     /// batches offered for routing. Drives the fault plan.
@@ -307,12 +311,14 @@ pub(crate) struct PodStats {
     pub replicas: Vec<ReplicaStats>,
     pub makespan_us: f64,
     pub model_device_ns: Vec<u64>,
+    /// Per-model residency counters (hits/misses/paged bytes), summed
+    /// across replicas, read under the same lock as everything else.
+    pub model_residency: Vec<ModelResidency>,
 }
 
 /// The simulated pod: replica occupancy clocks, weight residency, fault
 /// replay, and the routing policy, shared by every batcher and worker.
 pub(crate) struct Pod {
-    spec: PodSpec,
     policy: Box<dyn RoutePolicy>,
     /// Per-replica bound on outstanding batches.
     capacity: usize,
@@ -331,30 +337,32 @@ fn us_to_ns(us: f64) -> u64 {
 }
 
 impl Pod {
-    /// Builds the pod. Replica 0 starts with every model resident (the
-    /// pre-pod runtime priced all batches on that one device, weights
-    /// already in SRAM); the other replicas are cold. Plan events that
-    /// target a replica outside the pod are ignored.
+    /// Builds the pod over a residency manager. Replica 0 is pre-warmed
+    /// with every model that fits the budget (with the default unlimited
+    /// config that is all of them — the pre-pod runtime priced all batches
+    /// on that one device, weights already in SRAM); the other replicas are
+    /// cold. Plan events that target a replica outside the pod are ignored.
     pub fn new(
         spec: PodSpec,
         policy: Box<dyn RoutePolicy>,
         capacity: usize,
-        models: usize,
+        profiles: Vec<ModelProfile>,
+        tenants: Vec<String>,
+        residency: &ResidencyConfig,
         plan: &FaultPlan,
     ) -> Self {
         assert!(spec.ipus >= 1, "pod needs at least one replica");
         assert!(capacity >= 1, "replica queue capacity must be positive");
         plan.validate();
+        let models = profiles.len();
+        let manager = ResidencyManager::new(residency, &spec, spec.ipus, profiles, tenants);
         let replicas = (0..spec.ipus)
-            .map(|i| ReplicaState {
+            .map(|_| ReplicaState {
                 committed_ns: 0,
                 retired_ns: 0,
-                weight_load_ns: 0,
                 outstanding: 0,
                 batches: 0,
                 requests: 0,
-                cold_loads: 0,
-                resident: vec![i == 0; models],
                 up: true,
                 epoch: 0,
                 slow_factor: 1.0,
@@ -367,13 +375,13 @@ impl Pod {
             plan.events().iter().filter(|e| e.kind.replica() < spec.ipus).copied().collect();
         let state = PodState {
             replicas,
+            residency: manager,
             model_device_ns: vec![0; models],
             clock_ns: 0,
             events,
             next_event: 0,
         };
         Self {
-            spec,
             policy,
             capacity,
             state: Mutex::new(state),
@@ -420,8 +428,8 @@ impl Pod {
                 // Device SRAM is gone: every model is cold again, and any
                 // degradation no longer applies to the fresh chip that
                 // replaces this one on recovery.
-                r.resident.iter_mut().for_each(|m| *m = false);
                 r.slow_factor = 1.0;
+                state.residency.wipe(replica);
                 true
             }
             FaultKind::Recover { replica } => {
@@ -457,20 +465,15 @@ impl Pod {
     /// to the least-busy healthy replica with queue space, and when every
     /// healthy replica is at capacity the call blocks until a worker
     /// settles a batch. The batch's simulated cost (IPU compute estimate,
-    /// scaled by the replica's degradation factor, plus — for a replica
-    /// serving this model for the first time — the one-time weight load) is
-    /// reserved on the chosen clock before the call returns, so concurrent
-    /// routers see it.
+    /// scaled by the replica's degradation factor, plus whatever weight
+    /// transfer the residency manager charges for a miss — IPU-Link cold
+    /// load or streaming page-in) is reserved on the chosen clock before
+    /// the call returns, so concurrent routers see it.
     ///
     /// Offering a batch advances the simulated clock by its presented
     /// compute cost (whether or not the batch lands), which is what drives
     /// the fault plan; returns [`PodDown`] when no replica is healthy.
-    pub fn route(
-        &self,
-        model: usize,
-        weight_bytes: u64,
-        compute_us: f64,
-    ) -> Result<RouteDecision, PodDown> {
+    pub fn route(&self, model: usize, compute_us: f64) -> Result<RouteDecision, PodDown> {
         let mut guard = self.state.lock();
         guard.clock_ns += us_to_ns(compute_us);
         loop {
@@ -506,20 +509,20 @@ impl Pod {
                     }
                 }
             }
-            let slow = guard.replicas[pick].slow_factor;
-            let replica = &mut guard.replicas[pick];
-            let weight_ns = if replica.resident[model] {
-                0
-            } else {
-                replica.resident[model] = true;
-                replica.cold_loads += 1;
-                us_to_ns(weight_load_seconds(&self.spec, weight_bytes) * 1e6)
-            };
-            let cost_ns = us_to_ns(compute_us * slow) + weight_ns;
+            let state = &mut *guard;
+            let slow = state.replicas[pick].slow_factor;
+            let charge = state.residency.touch(pick, model);
+            let cost_ns = us_to_ns(compute_us * slow) + charge.weight_ns;
+            let replica = &mut state.replicas[pick];
             replica.committed_ns += cost_ns;
-            replica.weight_load_ns += weight_ns;
             replica.outstanding += 1;
-            return Ok(RouteDecision { replica: pick, cost_ns, weight_ns, epoch: replica.epoch });
+            return Ok(RouteDecision {
+                replica: pick,
+                cost_ns,
+                weight_ns: charge.weight_ns,
+                paged_bytes: charge.paged_bytes,
+                epoch: replica.epoch,
+            });
         }
     }
 
@@ -529,20 +532,26 @@ impl Pod {
     /// in the same critical section — a concurrent snapshot can never see
     /// the two out of step. If the replica crashed since routing (even if
     /// it has already recovered), the reservation is refunded from the dead
-    /// clock — including any cold weight load, whose residency the crash
-    /// wiped — and [`Settle::Stranded`] tells the worker to re-route the
-    /// batch. Wakes any router waiting for queue space either way.
+    /// clock — including any in-flight weight transfer, whose time and
+    /// paged-byte charges the residency manager gives back — and
+    /// [`Settle::Stranded`] tells the worker to re-route the batch. Wakes
+    /// any router waiting for queue space either way.
     pub fn settle(&self, model: usize, decision: &RouteDecision, requests: usize) -> Settle {
         let outcome = {
             let mut guard = self.state.lock();
             if self.apply_due_events(&mut guard) {
                 self.freed.notify_all();
             }
+            let guard = &mut *guard;
             let r = &mut guard.replicas[decision.replica];
             r.outstanding -= 1;
             if r.epoch != decision.epoch {
                 r.committed_ns -= decision.cost_ns;
-                r.weight_load_ns -= decision.weight_ns;
+                guard.residency.refund(
+                    decision.replica,
+                    model,
+                    &Charge { weight_ns: decision.weight_ns, paged_bytes: decision.paged_bytes },
+                );
                 Settle::Stranded
             } else {
                 r.retired_ns += decision.cost_ns;
@@ -559,14 +568,14 @@ impl Pod {
     /// Re-homes a stranded batch onto the least-busy healthy replica,
     /// ignoring queue capacity (the forward pass already ran on the host —
     /// the survivor is charged the simulated re-execution and the cost
-    /// settles immediately). The adopting replica pays its own cold weight
-    /// load if it has never served the model. Returns `None` when no
-    /// replica is healthy — the batch's requests are answered with the pod
-    /// down error instead.
+    /// settles immediately). The adopting replica pays its own weight
+    /// transfer if the model is not resident there — a cold load on a chip
+    /// that has never served it, a streaming page-in after an eviction.
+    /// Returns `None` when no replica is healthy — the batch's requests are
+    /// answered with the pod down error instead.
     pub fn reroute(
         &self,
         model: usize,
-        weight_bytes: u64,
         compute_us: f64,
         requests: usize,
     ) -> Option<RerouteDecision> {
@@ -586,23 +595,17 @@ impl Pod {
             })
             .reduce(|best, o| if less_busy(&o, &best) { o } else { best })?
             .replica;
-        let slow = guard.replicas[pick].slow_factor;
-        let replica = &mut guard.replicas[pick];
-        let weight_ns = if replica.resident[model] {
-            0
-        } else {
-            replica.resident[model] = true;
-            replica.cold_loads += 1;
-            us_to_ns(weight_load_seconds(&self.spec, weight_bytes) * 1e6)
-        };
-        let cost_ns = us_to_ns(compute_us * slow) + weight_ns;
+        let state = &mut *guard;
+        let slow = state.replicas[pick].slow_factor;
+        let charge = state.residency.touch(pick, model);
+        let cost_ns = us_to_ns(compute_us * slow) + charge.weight_ns;
+        let replica = &mut state.replicas[pick];
         replica.committed_ns += cost_ns;
         replica.retired_ns += cost_ns;
-        replica.weight_load_ns += weight_ns;
         replica.batches += 1;
         replica.requests += requests as u64;
         replica.retried += 1;
-        guard.model_device_ns[model] += cost_ns;
+        state.model_device_ns[model] += cost_ns;
         Some(RerouteDecision { replica: pick, cost_ns })
     }
 
@@ -631,14 +634,22 @@ impl Pod {
             .enumerate()
             .map(|(i, r)| {
                 let device_us = r.retired_ns as f64 / 1e3;
+                let res = guard.residency.replica_residency(i);
                 ReplicaStats {
                     replica: i,
                     batches: r.batches,
                     requests: r.requests,
                     queue_depth: r.outstanding,
                     device_us,
-                    weight_load_us: r.weight_load_ns as f64 / 1e3,
-                    cold_loads: r.cold_loads,
+                    weight_load_us: res.load_ns as f64 / 1e3,
+                    cold_loads: res.cold_loads,
+                    residency_hits: res.hits,
+                    residency_misses: res.misses,
+                    evictions: res.evictions,
+                    paged_in_bytes: res.paged_in_bytes,
+                    paging_us: res.paging_ns as f64 / 1e3,
+                    resident_bytes: res.resident_bytes,
+                    resident_models: res.resident_models,
                     utilization: if makespan_us > 0.0 { device_us / makespan_us } else { 0.0 },
                     crashes: r.crashes,
                     recoveries: r.recoveries,
@@ -647,18 +658,56 @@ impl Pod {
                 }
             })
             .collect();
-        PodStats { replicas, makespan_us, model_device_ns: guard.model_device_ns.clone() }
+        let model_residency =
+            (0..guard.model_device_ns.len()).map(|m| guard.residency.model_residency(m)).collect();
+        PodStats {
+            replicas,
+            makespan_us,
+            model_device_ns: guard.model_device_ns.clone(),
+            model_residency,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bfly_ipu::weight_load_seconds;
     use std::sync::Arc;
     use std::time::Duration;
 
+    fn profiles(bytes: &[u64]) -> Vec<ModelProfile> {
+        bytes.iter().map(|&b| ModelProfile { weight_bytes: b, tenant: 0 }).collect()
+    }
+
+    fn pod_with(
+        replicas: usize,
+        policy: Routing,
+        capacity: usize,
+        bytes: &[u64],
+        residency: &ResidencyConfig,
+        plan: &FaultPlan,
+    ) -> Pod {
+        Pod::new(
+            PodSpec::with_ipus(replicas),
+            policy.build(),
+            capacity,
+            profiles(bytes),
+            vec!["default".to_string()],
+            residency,
+            plan,
+        )
+    }
+
     fn pod(replicas: usize, policy: Routing, capacity: usize, models: usize) -> Pod {
-        Pod::new(PodSpec::with_ipus(replicas), policy.build(), capacity, models, &FaultPlan::none())
+        pod_with(
+            replicas,
+            policy,
+            capacity,
+            &vec![0u64; models],
+            &ResidencyConfig::default(),
+            &FaultPlan::none(),
+        )
     }
 
     fn occupancy(busy: &[u64]) -> Vec<ReplicaOccupancy> {
@@ -707,14 +756,14 @@ mod tests {
         // `DeviceEstimate::routed_us()`, which is floored at MIN_ROUTED_US.
         let skewed = pod(3, Routing::JoinShortestQueue, 64, 1);
         for _ in 0..9 {
-            let d = skewed.route(0, 0, 0.0).unwrap();
+            let d = skewed.route(0, 0.0).unwrap();
             assert_eq!(d.replica, 0, "zero-cost batches never leave replica 0");
             skewed.settle(0, &d, 1);
         }
         let floored = pod(3, Routing::JoinShortestQueue, 64, 1);
         let mut seen = [0u64; 3];
         for _ in 0..9 {
-            let d = floored.route(0, 0, crate::registry::MIN_ROUTED_US).unwrap();
+            let d = floored.route(0, crate::registry::MIN_ROUTED_US).unwrap();
             seen[d.replica] += 1;
             floored.settle(0, &d, 1);
         }
@@ -727,7 +776,7 @@ mod tests {
     fn route_balances_and_settle_retires_the_clocks() {
         let p = pod(4, Routing::JoinShortestQueue, 64, 1);
         for _ in 0..16 {
-            let d = p.route(0, 0, 100.0).expect("healthy pod routes");
+            let d = p.route(0, 100.0).expect("healthy pod routes");
             assert_eq!(p.settle(0, &d, 2), Settle::Retired);
         }
         let stats = p.stats();
@@ -751,11 +800,18 @@ mod tests {
 
     #[test]
     fn replica_zero_is_warm_and_cold_replicas_pay_the_load_once() {
-        let p = pod(2, Routing::RoundRobin, 64, 2);
+        let p = pod_with(
+            2,
+            Routing::RoundRobin,
+            64,
+            &[4_000_000, 1_000],
+            &ResidencyConfig::default(),
+            &FaultPlan::none(),
+        );
         // Round-robin: batch 0 -> replica 0 (warm), batch 1 -> replica 1 (cold).
         let compute_ns = us_to_ns(10.0);
-        let d0 = p.route(0, 4_000_000, 10.0).unwrap();
-        let d1 = p.route(0, 4_000_000, 10.0).unwrap();
+        let d0 = p.route(0, 10.0).unwrap();
+        let d1 = p.route(0, 10.0).unwrap();
         assert_eq!((d0.replica, d1.replica), (0, 1));
         assert_eq!(d0.cost_ns, compute_ns, "replica 0 held the weights at startup");
         let load_ns = us_to_ns(weight_load_seconds(&PodSpec::with_ipus(2), 4_000_000) * 1e6);
@@ -765,15 +821,15 @@ mod tests {
         // Same model on the now-warm replica 1: no second load.
         p.settle(0, &d0, 1);
         p.settle(0, &d1, 1);
-        let d2 = p.route(0, 4_000_000, 10.0).unwrap();
-        let d3 = p.route(0, 4_000_000, 10.0).unwrap();
+        let d2 = p.route(0, 10.0).unwrap();
+        let d3 = p.route(0, 10.0).unwrap();
         assert_eq!(d2.cost_ns, compute_ns);
         assert_eq!(d3.cost_ns, compute_ns);
         // A different model is cold on replica 1 independently.
         p.settle(0, &d2, 1);
         p.settle(0, &d3, 1);
-        let d4 = p.route(1, 1_000, 10.0).unwrap();
-        let d5 = p.route(1, 1_000, 10.0).unwrap();
+        let d4 = p.route(1, 10.0).unwrap();
+        let d5 = p.route(1, 10.0).unwrap();
         assert_eq!(
             [d4, d5].iter().filter(|d| d.cost_ns > compute_ns).count(),
             1,
@@ -788,17 +844,17 @@ mod tests {
     #[test]
     fn full_pick_falls_back_to_a_replica_with_space() {
         let p = pod(2, Routing::RoundRobin, 1, 1);
-        let a = p.route(0, 0, 5.0).unwrap();
+        let a = p.route(0, 5.0).unwrap();
         assert_eq!(a.replica, 0);
         // Round-robin would pick 1, which has space.
-        let b = p.route(0, 0, 5.0).unwrap();
+        let b = p.route(0, 5.0).unwrap();
         assert_eq!(b.replica, 1);
         // Both full now: round-robin picks 0 again — no space anywhere, so
         // this would block; settling from another thread unblocks it.
         let p = Arc::new(p);
         let router = {
             let p = Arc::clone(&p);
-            std::thread::spawn(move || p.route(0, 0, 5.0).unwrap().replica)
+            std::thread::spawn(move || p.route(0, 5.0).unwrap().replica)
         };
         std::thread::sleep(Duration::from_millis(20));
         p.settle(0, &b, 1);
@@ -824,7 +880,7 @@ mod tests {
         let p = pod(3, Routing::RoundRobin, 64, 1);
         p.inject(FaultKind::Crash { replica: 1 });
         for _ in 0..12 {
-            let d = p.route(0, 0, 5.0).unwrap();
+            let d = p.route(0, 5.0).unwrap();
             assert_ne!(d.replica, 1, "round-robin skips the downed replica");
             p.settle(0, &d, 1);
         }
@@ -839,24 +895,31 @@ mod tests {
         let p = pod(2, Routing::PowerOfTwoChoices, 4, 1);
         p.inject(FaultKind::Crash { replica: 0 });
         p.inject(FaultKind::Crash { replica: 1 });
-        assert_eq!(p.route(0, 0, 5.0), Err(PodDown));
+        assert_eq!(p.route(0, 5.0), Err(PodDown));
         assert!(p.is_dead(), "no recovery pending anywhere");
         p.inject(FaultKind::Recover { replica: 1 });
         assert!(!p.is_dead());
-        let d = p.route(0, 0, 5.0).unwrap();
+        let d = p.route(0, 5.0).unwrap();
         assert_eq!(d.replica, 1);
         p.settle(0, &d, 1);
     }
 
     #[test]
     fn stranded_batches_are_refunded_and_rerouted() {
-        let p = pod(2, Routing::RoundRobin, 64, 1);
-        let d0 = p.route(0, 4_000_000, 10.0).unwrap();
+        let p = pod_with(
+            2,
+            Routing::RoundRobin,
+            64,
+            &[4_000_000],
+            &ResidencyConfig::default(),
+            &FaultPlan::none(),
+        );
+        let d0 = p.route(0, 10.0).unwrap();
         assert_eq!(d0.replica, 0);
         p.inject(FaultKind::Crash { replica: 0 });
         // The worker executes the batch, then discovers the crash.
         assert_eq!(p.settle(0, &d0, 3), Settle::Stranded);
-        let r = p.reroute(0, 4_000_000, 10.0, 3).expect("replica 1 survives");
+        let r = p.reroute(0, 10.0, 3).expect("replica 1 survives");
         assert_eq!(r.replica, 1);
         assert!(r.cost_ns > us_to_ns(10.0), "the survivor pays its own cold load");
         let stats = p.stats();
@@ -873,9 +936,16 @@ mod tests {
 
     #[test]
     fn recovery_resets_residency_so_cold_load_is_paid_again() {
-        let p = pod(2, Routing::RoundRobin, 64, 1);
-        let d0 = p.route(0, 4_000_000, 10.0).unwrap();
-        let d1 = p.route(0, 4_000_000, 10.0).unwrap();
+        let p = pod_with(
+            2,
+            Routing::RoundRobin,
+            64,
+            &[4_000_000],
+            &ResidencyConfig::default(),
+            &FaultPlan::none(),
+        );
+        let d0 = p.route(0, 10.0).unwrap();
+        let d1 = p.route(0, 10.0).unwrap();
         p.settle(0, &d0, 1);
         p.settle(0, &d1, 1);
         assert_eq!(p.stats().replicas[1].cold_loads, 1, "first visit was cold");
@@ -883,8 +953,8 @@ mod tests {
         p.inject(FaultKind::Recover { replica: 1 });
         // Warm-up batch on replica 0, then round-robin lands on replica 1,
         // which must re-pay the load it lost with its SRAM.
-        let d2 = p.route(0, 4_000_000, 10.0).unwrap();
-        let d3 = p.route(0, 4_000_000, 10.0).unwrap();
+        let d2 = p.route(0, 10.0).unwrap();
+        let d3 = p.route(0, 10.0).unwrap();
         assert_eq!((d2.replica, d3.replica), (0, 1));
         assert!(d3.weight_ns > 0, "recovered replica is cold again");
         p.settle(0, &d2, 1);
@@ -898,14 +968,14 @@ mod tests {
     fn slow_factor_scales_compute_and_resets_on_crash() {
         let p = pod(2, Routing::RoundRobin, 64, 1);
         p.inject(FaultKind::Slow { replica: 0, factor: 3.0 });
-        let d0 = p.route(0, 0, 10.0).unwrap();
+        let d0 = p.route(0, 10.0).unwrap();
         assert_eq!(d0.replica, 0);
         assert_eq!(d0.cost_ns, us_to_ns(30.0), "degraded replica is 3x slower");
         p.settle(0, &d0, 1);
         p.inject(FaultKind::Crash { replica: 0 });
         p.inject(FaultKind::Recover { replica: 0 });
-        let d1 = p.route(0, 0, 10.0).unwrap();
-        let d2 = p.route(0, 0, 10.0).unwrap();
+        let d1 = p.route(0, 10.0).unwrap();
+        let d2 = p.route(0, 10.0).unwrap();
         let on_zero = if d1.replica == 0 { d1 } else { d2 };
         // Compute portion only: the recovered chip also re-pays the cold
         // weight-load launch, which is deliberate and covered elsewhere.
@@ -921,14 +991,14 @@ mod tests {
     #[test]
     fn planned_crash_fires_when_the_simulated_clock_passes_it() {
         let plan = FaultPlan::none().crash_at(25.0, 1);
-        let p = Pod::new(PodSpec::with_ipus(2), Routing::RoundRobin.build(), 64, 1, &plan);
+        let p = pod_with(2, Routing::RoundRobin, 64, &[0], &ResidencyConfig::default(), &plan);
         // 10 µs presented: clock 10 000 ns < 25 000 ns, replica 1 still up.
-        let d0 = p.route(0, 0, 10.0).unwrap();
-        let d1 = p.route(0, 0, 10.0).unwrap();
+        let d0 = p.route(0, 10.0).unwrap();
+        let d1 = p.route(0, 10.0).unwrap();
         assert_eq!((d0.replica, d1.replica), (0, 1));
         // Third batch pushes the clock to 30 µs: the crash fires before
         // routing, so round-robin's pick is drawn from {0} only.
-        let d2 = p.route(0, 0, 10.0).unwrap();
+        let d2 = p.route(0, 10.0).unwrap();
         assert_eq!(d2.replica, 0);
         assert!(!p.stats().replicas[1].up);
         for d in [d0, d2] {
@@ -943,12 +1013,12 @@ mod tests {
         // third route is blocked: the blocked call must complete (on the
         // survivor) once the stranded batch refunds its slot.
         let p = Arc::new(pod(2, Routing::RoundRobin, 1, 1));
-        let a = p.route(0, 0, 5.0).unwrap();
-        let b = p.route(0, 0, 5.0).unwrap();
+        let a = p.route(0, 5.0).unwrap();
+        let b = p.route(0, 5.0).unwrap();
         assert_eq!((a.replica, b.replica), (0, 1));
         let router = {
             let p = Arc::clone(&p);
-            std::thread::spawn(move || p.route(0, 0, 5.0))
+            std::thread::spawn(move || p.route(0, 5.0))
         };
         std::thread::sleep(Duration::from_millis(20));
         p.inject(FaultKind::Crash { replica: 0 });
@@ -965,16 +1035,16 @@ mod tests {
     #[test]
     fn blocked_route_returns_pod_down_when_the_last_replica_dies() {
         let p = Arc::new(pod(1, Routing::RoundRobin, 1, 1));
-        let a = p.route(0, 0, 5.0).unwrap();
+        let a = p.route(0, 5.0).unwrap();
         let router = {
             let p = Arc::clone(&p);
-            std::thread::spawn(move || p.route(0, 0, 5.0))
+            std::thread::spawn(move || p.route(0, 5.0))
         };
         std::thread::sleep(Duration::from_millis(20));
         p.inject(FaultKind::Crash { replica: 0 });
         assert_eq!(router.join().expect("router thread"), Err(PodDown));
         assert_eq!(p.settle(0, &a, 1), Settle::Stranded);
-        assert!(p.reroute(0, 0, 5.0, 1).is_none(), "no survivor to adopt the batch");
+        assert!(p.reroute(0, 5.0, 1).is_none(), "no survivor to adopt the batch");
         assert!(p.is_dead());
     }
 
@@ -988,10 +1058,110 @@ mod tests {
         }
         // Routed but unsettled work still shows a zero makespan (it is
         // committed, not settled) — utilization stays finite.
-        let d = p.route(0, 0, 50.0).unwrap();
+        let d = p.route(0, 50.0).unwrap();
         let stats = p.stats();
         assert_eq!(stats.makespan_us, 0.0);
         assert!(stats.replicas.iter().all(|r| r.utilization == 0.0));
         p.settle(0, &d, 1);
+    }
+
+    #[test]
+    fn finite_budget_evicts_and_pages_instead_of_free_reloads() {
+        // Two 1 KB models under a 1 KB budget on one replica: only one can
+        // be resident, so alternating touches page through streaming memory.
+        let p = pod_with(
+            1,
+            Routing::RoundRobin,
+            64,
+            &[1_000, 1_000],
+            &ResidencyConfig::with_budget(1_000),
+            &FaultPlan::none(),
+        );
+        // Prewarm fit model 0 only; model 1's first touch is an IPU-Link
+        // cold load that evicts model 0.
+        let d1 = p.route(1, 10.0).unwrap();
+        assert!(d1.weight_ns > 0, "first-ever load pays the link transfer");
+        assert_eq!(d1.paged_bytes, 0, "a cold load is not a page-in");
+        p.settle(1, &d1, 1);
+        // Model 0 was loaded at prewarm, so its return is a streaming
+        // page-in, not a second cold load.
+        let d0 = p.route(0, 10.0).unwrap();
+        assert_eq!(d0.paged_bytes, 1_000, "reload after eviction pages from streaming memory");
+        assert!(d0.weight_ns > 0);
+        p.settle(0, &d0, 1);
+        let stats = p.stats();
+        let r = &stats.replicas[0];
+        assert_eq!(r.cold_loads, 1, "only model 1's first load was cold");
+        assert_eq!(r.evictions, 2, "each admission under pressure evicted the other model");
+        assert_eq!(r.paged_in_bytes, 1_000);
+        assert!(r.paging_us > 0.0);
+        assert_eq!(r.resident_bytes, 1_000, "exactly one model fits");
+        assert_eq!(r.resident_models, 1);
+        assert_eq!(stats.model_residency[0].paged_in_bytes, 1_000);
+        assert_eq!(stats.model_residency[1].paged_in_bytes, 0);
+    }
+
+    #[test]
+    fn crash_during_page_in_refunds_the_paging_ledger() {
+        // A crash strands a batch whose charge was a streaming page-in: the
+        // refund must give back both the simulated time and the paged
+        // bytes, leaving the byte ledger consistent.
+        let p = pod_with(
+            1,
+            Routing::RoundRobin,
+            64,
+            &[600, 600],
+            &ResidencyConfig::with_budget(600),
+            &FaultPlan::none(),
+        );
+        let d1 = p.route(1, 10.0).unwrap();
+        assert_eq!(p.settle(1, &d1, 1), Settle::Retired);
+        let link_us = p.stats().replicas[0].weight_load_us;
+        assert!(link_us > 0.0, "model 1's cold load retired normally");
+        // Model 0 pages back in (it was prewarmed, then evicted) — and the
+        // replica crashes before the batch settles.
+        let d0 = p.route(0, 10.0).unwrap();
+        assert_eq!(d0.paged_bytes, 600);
+        p.inject(FaultKind::Crash { replica: 0 });
+        assert_eq!(p.settle(0, &d0, 1), Settle::Stranded);
+        let stats = p.stats();
+        let r = &stats.replicas[0];
+        assert_eq!(r.paged_in_bytes, 0, "the stranded page-in was refunded");
+        assert_eq!(r.paging_us, 0.0);
+        assert!(
+            (r.weight_load_us - link_us).abs() < 1e-9,
+            "only the retired cold load remains on the weight ledger"
+        );
+        assert_eq!(stats.model_residency[0].paged_in_bytes, 0);
+        assert_eq!(r.resident_bytes, 0, "the crash wiped SRAM");
+        assert_eq!(r.resident_models, 0);
+    }
+
+    #[test]
+    fn unlimited_residency_matches_the_pre_residency_costs() {
+        // With the default (no budget) config nothing is ever evicted or
+        // paged: every miss is a one-time IPU-Link cold load, replica 0 is
+        // fully warm — the original pod behaviour.
+        let p = pod_with(
+            2,
+            Routing::RoundRobin,
+            64,
+            &[4_000_000, 1_000],
+            &ResidencyConfig::default(),
+            &FaultPlan::none(),
+        );
+        for model in 0..2 {
+            // Four round-robin routes land each model on both replicas.
+            for _ in 0..4 {
+                let d = p.route(model, 10.0).unwrap();
+                assert_eq!(d.paged_bytes, 0, "nothing pages without a budget");
+                p.settle(model, &d, 1);
+            }
+        }
+        let stats = p.stats();
+        assert_eq!(stats.replicas[0].cold_loads, 0);
+        assert_eq!(stats.replicas[1].cold_loads, 2, "one cold load per model, ever");
+        assert!(stats.replicas.iter().all(|r| r.evictions == 0 && r.paged_in_bytes == 0));
+        assert_eq!(stats.replicas[0].resident_models, 2);
     }
 }

@@ -54,6 +54,14 @@ pub struct Timing {
     pub ipu_batch_us: Option<f64>,
     /// Predicted GPU (A30) microseconds for the whole batch.
     pub gpu_batch_us: Option<f64>,
+    /// Simulated pod microseconds this request's batch actually reserved on
+    /// its replica's occupancy clock: the routed compute estimate (scaled by
+    /// any degradation) *plus* whatever weight transfer the residency
+    /// manager charged (IPU-Link cold load or streaming page-in). This is
+    /// the latency the simulated device would observe — the quantity whose
+    /// tail collapses when a working set outgrows the SRAM budget. `Some(0.0)`
+    /// for cache hits and coalesced followers; `None` for failures.
+    pub sim_batch_us: Option<f64>,
     /// Provenance: computed, cache hit, or coalesced. Cache hits and
     /// coalesced followers carry `Some(0.0)` device estimates so summing
     /// device time over responses stays honest (one forward, one
@@ -188,6 +196,7 @@ mod tests {
                 batch_size: 1,
                 ipu_batch_us: None,
                 gpu_batch_us: None,
+                sim_batch_us: Some(1.0),
                 source: ServedFrom::Compute,
                 replica: Some(0),
             },

@@ -42,12 +42,15 @@
 
 use crate::cache::{input_key, AdmitOutcome, ResponseCache, Waiter};
 use crate::config::ServeConfig;
-use crate::metrics::{CacheStats, ModelMetrics, RegistryShardStats, ServeSnapshot};
-use crate::registry::{DeviceEstimate, ModelRegistry};
+use crate::metrics::{
+    CacheStats, ModelMetrics, RegistryShardStats, ResidencySummary, ServeSnapshot,
+};
+use crate::registry::{DeviceEstimate, ModelRegistry, ModelSpec};
 use crate::replica::{Pod, RouteDecision, RoutePolicy, Settle};
 use crate::request::{
     InferRequest, InferResponse, ResponseHandle, ServedFrom, SubmitError, Timing,
 };
+use crate::residency::ModelProfile;
 use bfly_core::{Method, PixelflyError};
 use bfly_gpu::GpuDevice;
 use bfly_ipu::{IpuDevice, PodSpec};
@@ -129,9 +132,12 @@ pub struct Server {
 impl Server {
     /// Builds the sharded registry and starts batcher and worker threads,
     /// routing batches across the configured pod with `config.routing`.
+    /// Each method registers one model named after its label, owned by the
+    /// `"default"` tenant — use [`Server::start_fleet`] for multi-tenant
+    /// fleets with explicit names.
     pub fn start(config: ServeConfig, methods: &[Method]) -> Result<Self, PixelflyError> {
-        let policy = config.routing.build();
-        Self::start_with_policy(config, methods, policy)
+        let specs: Vec<ModelSpec> = methods.iter().map(|&m| ModelSpec::of_method(m)).collect();
+        Self::start_fleet(config, &specs)
     }
 
     /// [`Server::start`] with a caller-supplied routing policy (the
@@ -141,13 +147,31 @@ impl Server {
         methods: &[Method],
         policy: Box<dyn RoutePolicy>,
     ) -> Result<Self, PixelflyError> {
+        let specs: Vec<ModelSpec> = methods.iter().map(|&m| ModelSpec::of_method(m)).collect();
+        Self::start_fleet_with_policy(config, &specs, policy)
+    }
+
+    /// Builds a named, multi-tenant fleet: one model per [`ModelSpec`], each
+    /// with its own registry name and owning tenant (residency quotas group
+    /// resident bytes by tenant — see [`crate::ResidencyConfig`]).
+    pub fn start_fleet(config: ServeConfig, specs: &[ModelSpec]) -> Result<Self, PixelflyError> {
+        let policy = config.routing.build();
+        Self::start_fleet_with_policy(config, specs, policy)
+    }
+
+    /// [`Server::start_fleet`] with a caller-supplied routing policy.
+    pub fn start_fleet_with_policy(
+        config: ServeConfig,
+        specs: &[ModelSpec],
+        policy: Box<dyn RoutePolicy>,
+    ) -> Result<Self, PixelflyError> {
         config.validate();
-        assert!(!methods.is_empty(), "server needs at least one model");
-        let registry = ModelRegistry::build_sharded(
+        assert!(!specs.is_empty(), "server needs at least one model");
+        let registry = ModelRegistry::build_fleet(
             config.dim,
             config.classes,
             config.seed,
-            methods,
+            specs,
             config.registry_shards,
         )?;
         let metrics: Vec<Arc<ModelMetrics>> =
@@ -173,11 +197,32 @@ impl Server {
         let (batch_tx, batch_rx) = channel::bounded::<Batch>(2 * config.workers);
 
         let cache = config.cache.enabled.then(|| ResponseCache::new(&config.cache));
+        // Intern tenant names to dense ids and size every model's weight
+        // footprint for the residency manager (butterfly models are
+        // O(n log n) bytes, dense baselines ~n²·4 — the asymmetry the
+        // multi-tenant bench measures).
+        let mut tenants: Vec<String> = Vec::new();
+        let profiles: Vec<ModelProfile> = registry
+            .entries()
+            .iter()
+            .map(|entry| {
+                let tenant = match tenants.iter().position(|t| t == entry.tenant()) {
+                    Some(id) => id,
+                    None => {
+                        tenants.push(entry.tenant().to_string());
+                        tenants.len() - 1
+                    }
+                };
+                ModelProfile { weight_bytes: entry.weight_bytes(), tenant }
+            })
+            .collect();
         let pod = Pod::new(
             PodSpec::with_ipus(config.replicas),
             policy,
             config.replica_queue,
-            registry.len(),
+            profiles,
+            tenants,
+            &config.residency,
             &config.fault_plan,
         );
         let inner = Arc::new(Inner {
@@ -339,6 +384,7 @@ impl Server {
                     // explicit 0 so device-time sums stay honest.
                     ipu_batch_us: Some(0.0),
                     gpu_batch_us: Some(0.0),
+                    sim_batch_us: Some(0.0),
                     source: ServedFrom::CacheHit,
                     // A hit never touches the pod at all.
                     replica: None,
@@ -404,12 +450,16 @@ impl Server {
             .zip(&self.inner.metrics)
             .enumerate()
             .map(|(i, (entry, metrics))| {
+                let res = &pod_stats.model_residency[i];
                 metrics.snapshot(
                     entry.name(),
+                    entry.tenant(),
+                    entry.weight_bytes(),
                     elapsed_s,
                     model_depths[i],
                     entry.memoized_estimates(),
                     pod_stats.model_device_ns[i],
+                    (res.hits, res.misses, res.paged_in_bytes),
                 )
             })
             .collect();
@@ -417,6 +467,13 @@ impl Server {
             Some(cache) => cache.stats(),
             None => CacheStats::disabled(),
         };
+        let rc = &self.inner.config.residency;
+        let residency = ResidencySummary::from_replicas(
+            rc.sram_budget_bytes,
+            rc.policy.label(),
+            rc.tenant_quotas.iter().map(|q| (q.tenant.clone(), q.resident_bytes)).collect(),
+            &pod_stats.replicas,
+        );
         let total_device_us = models.iter().map(|m| m.device_us).sum();
         ServeSnapshot {
             elapsed_s,
@@ -426,6 +483,7 @@ impl Server {
             total_device_us,
             pod_makespan_us: pod_stats.makespan_us,
             cache,
+            residency,
         }
     }
 
@@ -463,7 +521,6 @@ fn batcher_loop(inner: &Inner, model: usize, rx: Receiver<InferRequest>, tx: Sen
     let max_batch = inner.config.max_batch;
     let max_wait = inner.config.max_wait;
     let entry = &inner.registry.entries()[model];
-    let weight_bytes = 4 * entry.param_count() as u64;
     loop {
         // Block for the batch's first request; a disconnected, empty queue
         // means shutdown and nothing left to drain.
@@ -505,7 +562,7 @@ fn batcher_loop(inner: &Inner, model: usize, rx: Receiver<InferRequest>, tx: Sen
             // replica is up: that returns PodDown instead of deadlocking).
             let estimate =
                 entry.device_estimate(live, &inner.ipu, &inner.gpu, inner.config.tensor_cores);
-            match inner.pod.route(model, weight_bytes, estimate.routed_us()) {
+            match inner.pod.route(model, estimate.routed_us()) {
                 Ok(decision) => Dispatch::Routed { decision, estimate },
                 Err(_) => Dispatch::PodDown,
             }
@@ -541,6 +598,9 @@ fn fail_request(inner: &Inner, metrics: &ModelMetrics, request: InferRequest, so
         batch_size: 1,
         ipu_batch_us: Some(0.0),
         gpu_batch_us: Some(0.0),
+        // A failure never reserved simulated pod time (a stranded batch's
+        // reservation was refunded), so there is no sim latency to report.
+        sim_batch_us: None,
         source,
         replica: None,
     };
@@ -622,15 +682,12 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
     // since routing already refunded the reserved cost from the dead clock;
     // settle reports the batch stranded and the retry re-prices it on the
     // least-busy survivor.
-    let replica = match inner.pod.settle(batch.model, &decision, live) {
-        Settle::Retired => Some(decision.replica),
-        Settle::Stranded => {
-            let weight_bytes = 4 * entry.param_count() as u64;
-            inner
-                .pod
-                .reroute(batch.model, weight_bytes, estimate.routed_us(), live)
-                .map(|r| r.replica)
-        }
+    let routed = match inner.pod.settle(batch.model, &decision, live) {
+        Settle::Retired => Some((decision.replica, decision.cost_ns)),
+        Settle::Stranded => inner
+            .pod
+            .reroute(batch.model, estimate.routed_us(), live)
+            .map(|r| (r.replica, r.cost_ns)),
     };
 
     let mut row = 0usize;
@@ -641,7 +698,7 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
         }
         let i = row;
         row += 1;
-        let Some(replica) = replica else {
+        let Some((replica, sim_ns)) = routed else {
             // Stranded and no survivor to retry on: the forward's result
             // has no simulated device to be attributed to.
             fail_request(inner, metrics, request, ServedFrom::PodDown);
@@ -654,6 +711,10 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
             batch_size: live,
             ipu_batch_us: estimate.ipu_us,
             gpu_batch_us: estimate.gpu_us,
+            // What the batch reserved on the replica clock: routed compute
+            // (degradation-scaled) plus any weight transfer the residency
+            // manager charged (cold load or streaming page-in).
+            sim_batch_us: Some(sim_ns as f64 / 1e3),
             source: ServedFrom::Compute,
             replica: Some(replica),
         };
@@ -688,6 +749,7 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
                 // riding along costs 0 device-µs.
                 ipu_batch_us: Some(0.0),
                 gpu_batch_us: Some(0.0),
+                sim_batch_us: Some(0.0),
                 source: ServedFrom::Coalesced,
                 replica: Some(replica),
             };

@@ -7,7 +7,10 @@
 //! the fault-free runtime bit-exactly.
 
 use bfly_core::Method;
-use bfly_serve::{CacheConfig, FaultPlan, Routing, ServeConfig, ServedFrom, Server, SubmitError};
+use bfly_serve::{
+    CacheConfig, FaultPlan, ModelRegistry, ResidencyConfig, Routing, ServeConfig, ServedFrom,
+    Server, SubmitError,
+};
 use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -51,6 +54,16 @@ fn unique_input(client: u64, seq: u64) -> Vec<f32> {
 /// short horizon guarantees some events actually fire.
 fn plan_for(seed: u64, replicas: usize, faults: usize) -> FaultPlan {
     FaultPlan::seeded(seed, replicas, 6.0, faults)
+}
+
+/// A per-replica SRAM budget exactly as big as the *largest* registered
+/// model (the dense baseline): either model fits alone, both never fit
+/// together, so alternating traffic keeps evicting and paging.
+fn thrashing_budget() -> u64 {
+    let probe =
+        ModelRegistry::build_sharded(DIM, 10, 23, &[Method::Butterfly, Method::Baseline], 4)
+            .expect("probe registry");
+    probe.entries().iter().map(|e| e.weight_bytes()).max().expect("non-empty")
 }
 
 proptest! {
@@ -290,6 +303,119 @@ proptest! {
         prop_assert_eq!(snapshot.models[0].deadline_exceeded, total);
         prop_assert_eq!(snapshot.models[0].device_us, 0.0);
         prop_assert_eq!(snapshot.replicas.iter().map(|r| r.batches).sum::<u64>(), 0);
+    }
+
+    /// The default (unset) residency budget *is* the pre-residency runtime:
+    /// identical outputs to a server with an explicit unlimited config,
+    /// replica 0 fully pre-warmed at no cost, and not a single eviction or
+    /// streamed byte anywhere in the pod.
+    #[test]
+    fn unset_residency_budget_reproduces_the_pre_residency_runtime(
+        replicas in 1usize..5,
+        policy in 0usize..3,
+        per_client in 3u64..8,
+    ) {
+        let routing = routing_from(policy);
+        let unset = Server::start(
+            chaos_config(replicas, routing, false, FaultPlan::none()),
+            &[Method::Butterfly],
+        ).unwrap();
+        let explicit_config = ServeConfig {
+            residency: ResidencyConfig::unlimited(),
+            ..chaos_config(replicas, routing, false, FaultPlan::none())
+        };
+        let explicit = Server::start(explicit_config, &[Method::Butterfly]).unwrap();
+        for s in 0..per_client {
+            let a = unset
+                .submit("butterfly", 0, s, unique_input(0, s))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            let b = explicit
+                .submit("butterfly", 0, s, unique_input(0, s))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            prop_assert_eq!(a.timing.source, ServedFrom::Compute);
+            prop_assert_eq!(b.timing.source, ServedFrom::Compute);
+            prop_assert_eq!(a.output, b.output, "residency defaults must not perturb outputs");
+        }
+        for snapshot in [unset.shutdown(), explicit.shutdown()] {
+            prop_assert!(snapshot.residency.sram_budget_bytes.is_none());
+            prop_assert_eq!(snapshot.residency.evictions, 0);
+            prop_assert_eq!(snapshot.residency.paged_in_bytes, 0);
+            prop_assert_eq!(snapshot.residency.paging_us, 0.0);
+            let r0 = &snapshot.replicas[0];
+            prop_assert_eq!(r0.cold_loads, 0, "replica 0 starts fully warm");
+            prop_assert_eq!(r0.weight_load_us, 0.0);
+            prop_assert_eq!(r0.resident_models, 1);
+            for r in &snapshot.replicas {
+                prop_assert_eq!(r.evictions, 0);
+                prop_assert_eq!(r.paged_in_bytes, 0);
+                prop_assert!(r.cold_loads <= 1, "at most one cold load per model, ever");
+            }
+        }
+    }
+
+    /// A finite SRAM budget under seeded crash schedules: a crash that
+    /// strands a batch mid-transfer must refund the in-flight weight charge
+    /// — time *and* bytes — so the per-replica and per-model device-time
+    /// ledgers agree, and the paged-byte ledgers balance, whatever the
+    /// interleaving of crashes, evictions and page-ins.
+    #[test]
+    fn crash_refunds_keep_the_paging_ledgers_balanced(
+        replicas in 1usize..4,
+        policy in 0usize..3,
+        fault_seed in 0u64..40,
+        faults in 1usize..5,
+        per_client in 4u64..10,
+    ) {
+        let plan = plan_for(fault_seed, replicas, faults);
+        let config = ServeConfig {
+            residency: ResidencyConfig::with_budget(thrashing_budget()),
+            // One request per batch: every submission touches the residency
+            // manager, maximising eviction/page-in churn against the faults.
+            max_batch: 1,
+            ..chaos_config(replicas, routing_from(policy), false, plan)
+        };
+        let server = Server::start(config, &[Method::Butterfly, Method::Baseline]).unwrap();
+        let mut handles = Vec::new();
+        for c in 0..3u64 {
+            for s in 0..per_client {
+                let model = if (c + s) % 2 == 0 { "butterfly" } else { "baseline" };
+                match server.submit(model, c, s, unique_input(c, s)) {
+                    Ok(handle) => handles.push(handle),
+                    Err(SubmitError::PodDown) => {}
+                    Err(e) => panic!("unexpected submit error {e}"),
+                }
+            }
+        }
+        let admitted = handles.len() as u64;
+        for handle in handles {
+            handle.wait().expect("admitted requests always resolve");
+        }
+        let snapshot = server.shutdown();
+        let replica_sum: f64 = snapshot.replicas.iter().map(|r| r.device_us).sum();
+        let model_sum: f64 = snapshot.models.iter().map(|m| m.device_us).sum();
+        prop_assert!(
+            (replica_sum - model_sum).abs() < 1e-6,
+            "device ledgers must agree after paging refunds: replicas {} vs models {}",
+            replica_sum,
+            model_sum
+        );
+        let model_paged: u64 = snapshot.models.iter().map(|m| m.paged_in_bytes).sum();
+        let replica_paged: u64 = snapshot.replicas.iter().map(|r| r.paged_in_bytes).sum();
+        prop_assert_eq!(
+            model_paged, replica_paged,
+            "paged-byte ledgers must balance after crash refunds"
+        );
+        prop_assert_eq!(snapshot.residency.paged_in_bytes, replica_paged);
+        let model_hits: u64 = snapshot.models.iter().map(|m| m.residency_hits).sum();
+        let model_misses: u64 = snapshot.models.iter().map(|m| m.residency_misses).sum();
+        prop_assert_eq!(snapshot.residency.hits, model_hits);
+        prop_assert_eq!(snapshot.residency.misses, model_misses);
+        let completed: u64 = snapshot.models.iter().map(|m| m.completed).sum();
+        prop_assert_eq!(completed, admitted, "every admitted request resolves exactly once");
     }
 
     /// Crash-heavy plans where every crash recovers: the pod never goes

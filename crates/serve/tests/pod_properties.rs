@@ -5,7 +5,10 @@
 //! replica) must agree.
 
 use bfly_core::Method;
-use bfly_serve::{CacheConfig, Routing, ServeConfig, ServedFrom, Server};
+use bfly_serve::{
+    CacheConfig, ModelRegistry, ResidencyConfig, ResidencyPolicy, Routing, ServeConfig, ServedFrom,
+    Server,
+};
 use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -158,5 +161,78 @@ proptest! {
             prop_assert_eq!(hit.timing.ipu_batch_us, Some(0.0));
         }
         server.shutdown();
+    }
+
+    /// A finite SRAM budget changes *when* weights move, never *what* is
+    /// computed: every response is bit-identical to the unbounded server's,
+    /// the device ledgers still agree, and per replica every routed batch
+    /// is accounted as exactly one residency hit or miss — under either
+    /// eviction policy.
+    #[test]
+    fn finite_budgets_never_change_computed_outputs(
+        replicas in 1usize..4,
+        policy in 0usize..3,
+        evict in 0usize..2,
+        per_client in 3u64..8,
+    ) {
+        let routing = routing_from(policy);
+        let probe = ModelRegistry::build_sharded(
+            DIM, 10, 23, &[Method::Butterfly, Method::Baseline], 4).unwrap();
+        // The largest model alone fits; both together never do — so the
+        // bounded pod keeps evicting and paging while computing the very
+        // same forwards.
+        let budget = probe.entries().iter().map(|e| e.weight_bytes()).max().unwrap();
+        let residency = ResidencyConfig {
+            policy: if evict == 0 { ResidencyPolicy::Lru } else { ResidencyPolicy::CostAware },
+            ..ResidencyConfig::with_budget(budget)
+        };
+        let bounded_config = ServeConfig {
+            residency,
+            max_batch: 1,
+            ..pod_config(replicas, routing, false)
+        };
+        let unbounded_config =
+            ServeConfig { max_batch: 1, ..pod_config(replicas, routing, false) };
+        let methods = [Method::Butterfly, Method::Baseline];
+        let bounded = Server::start(bounded_config, &methods).unwrap();
+        let unbounded = Server::start(unbounded_config, &methods).unwrap();
+        for s in 0..per_client {
+            let model = if s % 2 == 0 { "butterfly" } else { "baseline" };
+            let a = bounded
+                .submit(model, 0, s, unique_input(0, s))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            let b = unbounded
+                .submit(model, 0, s, unique_input(0, s))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            prop_assert_eq!(a.timing.source, ServedFrom::Compute);
+            prop_assert_eq!(
+                a.output, b.output,
+                "an SRAM budget must never change what is computed"
+            );
+        }
+        let snapshot = bounded.shutdown();
+        unbounded.shutdown();
+        let replica_sum: f64 = snapshot.replicas.iter().map(|r| r.device_us).sum();
+        prop_assert!(
+            (replica_sum - snapshot.total_device_us).abs() < 1e-6,
+            "bounded-residency ledgers must agree: replicas {} vs global {}",
+            replica_sum,
+            snapshot.total_device_us
+        );
+        for r in &snapshot.replicas {
+            prop_assert_eq!(
+                r.residency_hits + r.residency_misses, r.batches,
+                "every routed batch is exactly one residency touch"
+            );
+            prop_assert!(
+                r.resident_bytes <= budget,
+                "resident set {} exceeds the {} budget", r.resident_bytes, budget
+            );
+        }
+        prop_assert_eq!(snapshot.residency.sram_budget_bytes, Some(budget));
     }
 }
