@@ -16,7 +16,9 @@
 //! The serve section runs the same offered load through a
 //! `Mutex<Sequential>` (the pre-PR serialised hot path) and through the
 //! shared `&Sequential` inference path with one scratch arena per thread,
-//! and reports requests/second for each.
+//! and reports requests/second for each — for a butterfly model and for a
+//! paper-default pixelfly model (whose inference forward is now the fused
+//! allocation-free block-sparse kernel).
 //!
 //! Results print as tables and are written to `BENCH_kernels.json` at the
 //! workspace root. `BFLY_BENCH_SMOKE=1` runs a seconds-long smoke version
@@ -59,6 +61,7 @@ struct KernelPoint {
 
 #[derive(Serialize)]
 struct ServeComparison {
+    method: String,
     dim: usize,
     classes: usize,
     threads: usize,
@@ -75,7 +78,7 @@ struct ServeComparison {
 #[derive(Serialize)]
 struct BenchOutput {
     kernels: Vec<KernelPoint>,
-    serve: ServeComparison,
+    serve: Vec<ServeComparison>,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -248,18 +251,21 @@ fn run_lock_free(model: &Arc<Sequential>, x: &Matrix, threads: usize, reqs: usiz
 /// single-row requests, once through a mutex (the pre-PR serialised path)
 /// and once lock-free. The two variants run in alternating rounds (same
 /// drift argument as [`time_pair_us`]); the models are seed-identical.
-fn bench_serve(dim: usize, threads: usize, requests_per_thread: usize) -> ServeComparison {
+fn bench_serve(
+    method: Method,
+    dim: usize,
+    threads: usize,
+    requests_per_thread: usize,
+) -> ServeComparison {
     let classes = 10;
     let seed = 0x5EE5;
     let mut rng = seeded_rng(seed);
     let locked = Arc::new(Mutex::new(
-        build_shl_inference(Method::Butterfly, dim, classes, &mut rng)
-            .expect("butterfly fits any dim"),
+        build_shl_inference(method, dim, classes, &mut rng).expect("method fits the bench dim"),
     ));
     let mut rng = seeded_rng(seed);
     let free = Arc::new(
-        build_shl_inference(Method::Butterfly, dim, classes, &mut rng)
-            .expect("butterfly fits any dim"),
+        build_shl_inference(method, dim, classes, &mut rng).expect("method fits the bench dim"),
     );
     let x = Matrix::random_uniform(1, dim, 1.0, &mut rng);
 
@@ -279,6 +285,7 @@ fn bench_serve(dim: usize, threads: usize, requests_per_thread: usize) -> ServeC
     let locked_rps = total / locked_secs;
     let lock_free_rps = total / lock_free_secs;
     ServeComparison {
+        method: method.label().to_string(),
         dim,
         classes,
         threads,
@@ -354,18 +361,27 @@ fn main() {
         )
     );
 
-    let serve = bench_serve(256, serve_threads, serve_requests);
-    println!(
-        "serve ({} threads x {} reqs, dim {}, {} host cores): mutex {:.0} rps, \
-         lock-free {:.0} rps ({:.2}x)",
-        serve.threads,
-        serve.requests_per_thread,
-        serve.dim,
-        serve.host_cores,
-        serve.locked_rps,
-        serve.lock_free_rps,
-        serve.speedup,
-    );
+    // Butterfly plus pixelfly (paper-default config, valid at dim 256):
+    // the serve hot path must be lock-free for both now that pixelfly's
+    // inference forward is fused and allocation-free.
+    let serve_methods =
+        [Method::Butterfly, Method::Pixelfly(bfly_core::PixelflyConfig::paper_default())];
+    let serve: Vec<ServeComparison> =
+        serve_methods.iter().map(|&m| bench_serve(m, 256, serve_threads, serve_requests)).collect();
+    for s in &serve {
+        println!(
+            "serve {} ({} threads x {} reqs, dim {}, {} host cores): mutex {:.0} rps, \
+             lock-free {:.0} rps ({:.2}x)",
+            s.method,
+            s.threads,
+            s.requests_per_thread,
+            s.dim,
+            s.host_cores,
+            s.locked_rps,
+            s.lock_free_rps,
+            s.speedup,
+        );
+    }
 
     if smoke {
         println!("\nsmoke mode: skipping BENCH_kernels.json");

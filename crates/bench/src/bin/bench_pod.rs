@@ -12,7 +12,9 @@
 //! dense baseline models are swept side by side: a butterfly model's
 //! weights replicate across the pod's IPU-Links almost for free, while the
 //! dense baseline pays ~n²·4 bytes per cold replica — the paper's
-//! compression argument restated as deployment elasticity.
+//! compression argument restated as deployment elasticity. Pixelfly (fused
+//! block-sparse + low-rank) rides the same sweep now that its serve path
+//! is allocation-free.
 //!
 //! Environment knobs: BFLY_POD_DIM (default 256), BFLY_POD_CLIENTS (default
 //! 16), BFLY_POD_PER_CLIENT (default 250), BFLY_POD_WORKERS (default 2),
@@ -22,7 +24,7 @@
 //! `--smoke` (or BFLY_BENCH_SMOKE=1) runs a tiny sweep for CI and skips the
 //! JSON write so checked-in numbers always come from a full run.
 
-use bfly_core::Method;
+use bfly_core::{Method, PixelflyConfig};
 use bfly_serve::{
     closed_loop_models_with_pool, CacheConfig, LoadReport, ReplicaStats, Routing, ServeConfig,
     Server,
@@ -183,7 +185,9 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    for &method in &[Method::Butterfly, Method::Baseline] {
+    let methods =
+        [Method::Butterfly, Method::Baseline, Method::Pixelfly(PixelflyConfig::paper_default())];
+    for &method in &methods {
         let mut base_throughput = 0.0f64;
         for &replicas in &pod_sizes {
             let (_, mut stats) = run_once(&workload, method, replicas);

@@ -5,6 +5,7 @@
 //! (paper §2.3.2). A [`BlockSparseMatrix`] stores an explicit list of block
 //! coordinates plus a dense payload per block.
 
+use crate::kernels::block::BlockCsr;
 use bfly_tensor::matmul::matmul;
 use bfly_tensor::{Csr, Matrix};
 use rand::Rng;
@@ -70,6 +71,27 @@ impl BlockSparseMatrix {
         m
     }
 
+    /// Builds a block-sparse matrix by sampling `dense` at the given block
+    /// coordinates (everything outside the pattern is dropped). This is the
+    /// constructor tests and benches use instead of hand-building `data`
+    /// vectors in coordinate order.
+    ///
+    /// # Panics
+    /// Panics on the same invariant violations as [`zeros`](Self::zeros).
+    pub fn from_dense(dense: &Matrix, block: usize, blocks: Vec<(u32, u32)>) -> Self {
+        let mut m = Self::zeros(dense.rows(), dense.cols(), block, blocks);
+        let b = block;
+        for idx in 0..m.blocks.len() {
+            let (bi, bj) = (m.blocks[idx].0 as usize, m.blocks[idx].1 as usize);
+            for r in 0..b {
+                for c in 0..b {
+                    m.data[idx * b * b + r * b + c] = dense[(bi * b + r, bj * b + c)];
+                }
+            }
+        }
+        m
+    }
+
     /// Logical shape.
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
@@ -101,6 +123,33 @@ impl BlockSparseMatrix {
     /// The sorted block-coordinate list.
     pub fn block_coords(&self) -> &[(u32, u32)] {
         &self.blocks
+    }
+
+    /// The dense payload of stored block `idx` (row-major `block x block`,
+    /// indices in [`block_coords`](Self::block_coords) order).
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.nnz_blocks()`.
+    pub fn block_payload(&self, idx: usize) -> &[f32] {
+        assert!(idx < self.blocks.len(), "block index {idx} out of range");
+        let bb = self.block * self.block;
+        &self.data[idx * bb..(idx + 1) * bb]
+    }
+
+    /// Mutable variant of [`block_payload`](Self::block_payload).
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.nnz_blocks()`.
+    pub fn block_payload_mut(&mut self, idx: usize) -> &mut [f32] {
+        assert!(idx < self.blocks.len(), "block index {idx} out of range");
+        let bb = self.block * self.block;
+        &mut self.data[idx * bb..(idx + 1) * bb]
+    }
+
+    /// CSR-of-blocks view of the coordinate list for the fused kernels
+    /// (per-block-row prefix offsets; payload order is unchanged).
+    pub fn csr(&self) -> BlockCsr {
+        BlockCsr::from_coords(self.rows, self.cols, self.block, &self.blocks)
     }
 
     /// Flat payload access (for the optimizer).
@@ -309,6 +358,35 @@ mod tests {
         let w = sample(&mut rng);
         let csr = w.to_csr();
         assert_eq!(csr.to_dense(), w.to_dense());
+    }
+
+    #[test]
+    fn from_dense_samples_the_pattern() {
+        let mut rng = seeded_rng(36);
+        let dense = Matrix::random_uniform(16, 16, 1.0, &mut rng);
+        let pattern = vec![(0, 0), (1, 3), (2, 2)];
+        let w = BlockSparseMatrix::from_dense(&dense, 4, pattern.clone());
+        assert_eq!(w.block_coords(), pattern.as_slice());
+        for (idx, &(bi, bj)) in pattern.iter().enumerate() {
+            let payload = w.block_payload(idx);
+            for r in 0..4 {
+                for c in 0..4 {
+                    let expect = dense[(bi as usize * 4 + r, bj as usize * 4 + c)];
+                    assert_eq!(payload[r * 4 + c], expect);
+                }
+            }
+        }
+        // Outside the pattern everything is zero.
+        assert_eq!(w.to_dense()[(0, 4)], 0.0);
+    }
+
+    #[test]
+    fn block_payload_roundtrips_with_mut() {
+        let mut rng = seeded_rng(37);
+        let mut w = sample(&mut rng);
+        w.block_payload_mut(3)[5] = 42.0;
+        assert_eq!(w.block_payload(3)[5], 42.0);
+        assert_eq!(w.block_payload(3).len(), 16);
     }
 
     #[test]

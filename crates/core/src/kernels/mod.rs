@@ -26,6 +26,13 @@ use crate::ortho::OrthoFactor;
 use bfly_tensor::{Matrix, Permutation, Scratch};
 use rayon::prelude::*;
 
+pub mod block;
+
+pub use block::{
+    fused_block_backward, fused_block_forward, fused_block_forward_train, BlockCsr, BlockGrads,
+    LowRankRef,
+};
+
 /// Rows per unit of parallel work. Small enough to spread a modest batch
 /// over cores, large enough that one scratch row per block amortises.
 const ROW_BLOCK: usize = 32;

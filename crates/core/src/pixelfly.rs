@@ -13,8 +13,12 @@
 //! low-rank size.
 
 use crate::block_sparse::BlockSparseMatrix;
+use crate::kernels::block::{
+    fused_block_backward, fused_block_forward, fused_block_forward_train, BlockCsr, BlockGrads,
+    LowRankRef,
+};
 use bfly_nn::{Layer, Param};
-use bfly_tensor::matmul::{matmul, matmul_a_bt_slice, matmul_at_b};
+use bfly_tensor::matmul::matmul;
 use bfly_tensor::{LinOp, Matrix, Scratch};
 use rand::Rng;
 use std::fmt;
@@ -123,6 +127,9 @@ pub struct PixelflyLayer {
     dim: usize,
     config: PixelflyConfig,
     sparse: BlockSparseMatrix,
+    /// CSR-of-blocks view of the (static) sparsity pattern, built once at
+    /// construction — the fused kernels' hot-path layout.
+    csr: BlockCsr,
     sparse_param: Param,
     /// Low-rank factors; `u` is `dim x rank`, `v` is `rank x dim`.
     u: Param,
@@ -130,6 +137,9 @@ pub struct PixelflyLayer {
     bias: Param,
     cached_input: Option<Matrix>,
     cached_vx: Option<Matrix>,
+    /// Scratch for the owned (`&mut self`) forward/backward paths; the
+    /// `&self` inference path uses the caller's.
+    scratch: Scratch,
 }
 
 impl fmt::Debug for PixelflyLayer {
@@ -174,6 +184,7 @@ impl PixelflyLayer {
         }
         let blocks = flat_butterfly_mask(grid, config.butterfly_size);
         let sparse = BlockSparseMatrix::random(dim, dim, b, blocks, rng);
+        let csr = sparse.csr();
         let sparse_param = Param::new("pixelfly.blocks", sparse.data().to_vec());
         let r = config.rank;
         let lr_scale = if r > 0 { 1.0 / ((dim * r) as f32).sqrt() } else { 0.0 };
@@ -183,12 +194,14 @@ impl PixelflyLayer {
             dim,
             config,
             sparse,
+            csr,
             sparse_param,
             u: Param::new("pixelfly.u", u),
             v: Param::new("pixelfly.v", v),
             bias: Param::new("pixelfly.bias", vec![0.0; dim]),
             cached_input: None,
             cached_vx: None,
+            scratch: Scratch::new(),
         })
     }
 
@@ -222,24 +235,28 @@ impl PixelflyLayer {
         self.sparse.data_mut().copy_from_slice(&self.sparse_param.value);
     }
 
-    /// The shared inference arithmetic: block-sparse + low-rank + bias.
-    /// Reads `u` / `v` / `bias` straight from parameter storage and assumes
-    /// `sparse` is already in sync (true at construction and after any
-    /// `forward`).
-    fn affine(&self, input: &Matrix) -> Matrix {
-        // Block-sparse term: Y = X Ws^T (Ws is out x in).
-        let mut y = self.sparse.matmul_batch(input);
-        // Low-rank term: Y += (X V^T) U^T.
-        if self.config.rank > 0 {
-            let vx = matmul_a_bt_slice(input, &self.v.value, self.config.rank);
-            y.axpy(1.0, &matmul_a_bt_slice(&vx, &self.u.value, self.dim));
-        }
-        for r in 0..y.rows() {
-            for (o, b) in y.row_mut(r).iter_mut().zip(&self.bias.value) {
-                *o += b;
-            }
-        }
-        y
+    /// Borrowed low-rank factors for the fused kernels (`None` at rank 0).
+    fn lowrank(&self) -> Option<LowRankRef<'_>> {
+        (self.config.rank > 0).then(|| LowRankRef {
+            u: &self.u.value,
+            v: &self.v.value,
+            rank: self.config.rank,
+        })
+    }
+
+    /// The shared inference arithmetic: one fused block-sparse + low-rank +
+    /// bias pass. Reads `u` / `v` / `bias` straight from parameter storage
+    /// and assumes `sparse` is already in sync (true at construction and
+    /// after any `forward`).
+    fn affine(&self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        fused_block_forward(
+            &self.csr,
+            self.sparse.data(),
+            self.lowrank(),
+            Some(&self.bias.value),
+            input,
+            scratch,
+        )
     }
 }
 
@@ -247,27 +264,29 @@ impl Layer for PixelflyLayer {
     fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
         assert_eq!(input.cols(), self.dim, "PixelflyLayer input dim mismatch");
         self.sync_sparse();
+        let mut scratch = std::mem::take(&mut self.scratch);
         if !train {
-            return self.affine(input);
+            let y = self.affine(input, &mut scratch);
+            self.scratch = scratch;
+            return y;
         }
-        let mut y = self.sparse.matmul_batch(input);
-        if self.config.rank > 0 {
-            let vx = matmul_a_bt_slice(input, &self.v.value, self.config.rank);
-            y.axpy(1.0, &matmul_a_bt_slice(&vx, &self.u.value, self.dim));
-            self.cached_vx = Some(vx);
-        }
-        for r in 0..y.rows() {
-            for (o, b) in y.row_mut(r).iter_mut().zip(&self.bias.value) {
-                *o += b;
-            }
-        }
+        let (y, vx) = fused_block_forward_train(
+            &self.csr,
+            self.sparse.data(),
+            self.lowrank(),
+            Some(&self.bias.value),
+            input,
+            &mut scratch,
+        );
+        self.scratch = scratch;
+        self.cached_vx = vx;
         self.cached_input = Some(input.clone());
         y
     }
 
-    fn forward_inference(&self, input: &Matrix, _scratch: &mut Scratch) -> Matrix {
+    fn forward_inference(&self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
         assert_eq!(input.cols(), self.dim, "PixelflyLayer input dim mismatch");
-        self.affine(input)
+        self.affine(input, scratch)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -285,23 +304,32 @@ impl Layer for PixelflyLayer {
         }
         self.bias.accumulate_grad(&db);
 
-        // Block-sparse term.
+        // Fused block-sparse + low-rank backward: payload, U and V
+        // gradients plus dX in one call.
         let mut gblocks = vec![0.0f32; self.sparse_param.len()];
-        let mut grad_in = self.sparse.backward_batch(&input, grad_output, &mut gblocks);
+        let rank = self.config.rank;
+        let (mut gu, mut gv) = if rank > 0 {
+            (vec![0.0f32; self.u.len()], vec![0.0f32; self.v.len()])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let vx = self.cached_vx.take();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let grad_in = fused_block_backward(
+            &self.csr,
+            self.sparse.data(),
+            self.lowrank(),
+            &input,
+            vx.as_ref(),
+            grad_output,
+            BlockGrads { payload: &mut gblocks, u: &mut gu, v: &mut gv },
+            &mut scratch,
+        );
+        self.scratch = scratch;
         self.sparse_param.accumulate_grad(&gblocks);
-
-        // Low-rank term: y_lr = (x V^T) U^T.
-        if self.config.rank > 0 {
-            let vx = self.cached_vx.take().expect("missing low-rank cache");
-            let u = Matrix::from_vec(self.dim, self.config.rank, self.u.value.clone());
-            let v = Matrix::from_vec(self.config.rank, self.dim, self.v.value.clone());
-            // dU = dY^T (X V^T) ; d(XV^T) = dY U ; dV = d(XV^T)^T X ; dX += d(XV^T) V
-            let du = matmul_at_b(grad_output, &vx);
-            self.u.accumulate_grad(du.as_slice());
-            let dvx = matmul(grad_output, &u);
-            let dv = matmul_at_b(&dvx, &input);
-            self.v.accumulate_grad(dv.as_slice());
-            grad_in.axpy(1.0, &matmul(&dvx, &v));
+        if rank > 0 {
+            self.u.accumulate_grad(&gu);
+            self.v.accumulate_grad(&gv);
         }
         grad_in
     }

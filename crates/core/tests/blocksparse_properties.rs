@@ -1,0 +1,123 @@
+//! Bit-exactness invariants of the fused block-sparse kernels: whatever the
+//! block size (every lane specialization and the generic fallback), sparsity
+//! pattern and (ragged) batch, the fused forward must reproduce the naive
+//! matmul-per-block reference **bit for bit**, and the training variant must
+//! be bit-identical to the inference variant.
+
+use bfly_core::{fused_block_forward, fused_block_forward_train, BlockSparseMatrix, LowRankRef};
+use bfly_tensor::{seeded_rng, Matrix, Scratch};
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use rand::Rng;
+
+/// Deterministic random pattern: the block-grid diagonal (so every block row
+/// is non-empty sometimes but not always) plus ~`keep_pct`% of off-diagonal
+/// blocks; `diag` toggles the diagonal to also exercise empty block rows.
+fn pattern(grid_r: usize, grid_c: usize, keep_pct: u64, diag: bool, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = seeded_rng(seed);
+    let mut coords = Vec::new();
+    for i in 0..grid_r as u32 {
+        for j in 0..grid_c as u32 {
+            let on_diag = u64::from(i) == u64::from(j) && diag;
+            if on_diag || rng.gen_range(0u64..100) < keep_pct {
+                coords.push((i, j));
+            }
+        }
+    }
+    coords
+}
+
+fn check_bit_identity(
+    block: usize,
+    grid_r: usize,
+    grid_c: usize,
+    keep_pct: u64,
+    diag: bool,
+    batch: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let coords = pattern(grid_r, grid_c, keep_pct, diag, seed);
+    let mut rng = seeded_rng(seed ^ 0x5eed);
+    let w = BlockSparseMatrix::random(grid_r * block, grid_c * block, block, coords, &mut rng);
+    let x = Matrix::random_uniform(batch, grid_c * block, 1.0, &mut rng);
+    let naive = w.matmul_batch(&x);
+    let mut scratch = Scratch::new();
+    let fused = fused_block_forward(&w.csr(), w.data(), None, None, &x, &mut scratch);
+    // Run twice through the same scratch: pooled-buffer reuse must not
+    // change results.
+    let fused_again = fused_block_forward(&w.csr(), w.data(), None, None, &x, &mut scratch);
+    if naive.as_slice() != fused.as_slice() {
+        return Err(format!("fused != naive at block {block}, batch {batch}"));
+    }
+    if fused.as_slice() != fused_again.as_slice() {
+        return Err(format!("fused not reproducible at block {block}, batch {batch}"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every lane-specialized block size: fused ≡ naive bit for bit across
+    /// random patterns (including empty block rows) and ragged batches.
+    #[test]
+    fn specialized_kernels_bit_identical_to_naive(
+        bexp in 0usize..4,       // 4, 8, 16, 32
+        grid_r in 1usize..6,
+        grid_c in 1usize..6,
+        keep_pct in 0u64..100,
+        diag in 0u64..2,
+        batch in 0usize..70,
+        seed in 0u64..1_000_000,
+    ) {
+        let block = 4usize << bexp;
+        let r = check_bit_identity(block, grid_r, grid_c, keep_pct, diag == 1, batch, seed);
+        prop_assert!(r.is_ok(), "{}", r.err().unwrap_or_default());
+    }
+
+    /// Generic-fallback block sizes (no lane specialization, row-major
+    /// payload path): same bit-identity contract.
+    #[test]
+    fn generic_fallback_bit_identical_to_naive(
+        bsel in 0usize..4,       // 2, 3, 6, 64
+        grid_r in 1usize..5,
+        grid_c in 1usize..5,
+        keep_pct in 0u64..100,
+        batch in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let block = [2usize, 3, 6, 64][bsel];
+        let r = check_bit_identity(block, grid_r, grid_c, keep_pct, true, batch, seed);
+        prop_assert!(r.is_ok(), "{}", r.err().unwrap_or_default());
+    }
+
+    /// The training forward (which additionally records `Vx`) is
+    /// bit-identical to the inference forward with the full fused term
+    /// (sparse + low-rank + bias) enabled.
+    #[test]
+    fn train_forward_bit_identical_to_inference(
+        bexp in 0usize..3,       // 4, 8, 16
+        grid in 1usize..5,
+        rank in 1usize..9,
+        batch in 1usize..50,
+        seed in 0u64..1_000_000,
+    ) {
+        let block = 4usize << bexp;
+        let dim = grid * block;
+        let coords = pattern(grid, grid, 30, true, seed);
+        let mut rng = seeded_rng(seed ^ 0xabcd);
+        let w = BlockSparseMatrix::random(dim, dim, block, coords, &mut rng);
+        let u: Vec<f32> = (0..dim * rank).map(|_| rng.gen_range(-0.5..=0.5f32)).collect();
+        let v: Vec<f32> = (0..rank * dim).map(|_| rng.gen_range(-0.5..=0.5f32)).collect();
+        let bias: Vec<f32> = (0..dim).map(|i| (i as f32).cos()).collect();
+        let lr = LowRankRef { u: &u, v: &v, rank };
+        let x = Matrix::random_uniform(batch, dim, 1.0, &mut rng);
+        let mut scratch = Scratch::new();
+        let infer =
+            fused_block_forward(&w.csr(), w.data(), Some(lr), Some(&bias), &x, &mut scratch);
+        let (train, vx) =
+            fused_block_forward_train(&w.csr(), w.data(), Some(lr), Some(&bias), &x, &mut scratch);
+        prop_assert_eq!(infer.as_slice(), train.as_slice());
+        let vx = vx.expect("rank > 0 training forward must return Vx");
+        prop_assert_eq!((vx.rows(), vx.cols()), (batch, rank));
+    }
+}

@@ -78,8 +78,8 @@ pub use loadgen::{
     input_pool, open_loop, open_loop_with_pool, LoadReport, ZipfSampler, DEFAULT_INPUT_POOL,
 };
 pub use metrics::{
-    CacheStats, Histogram, ModelMetrics, ModelStats, RegistryShardStats, ReplicaStats,
-    ResidencySummary, ServeSnapshot,
+    CacheStats, Histogram, MethodDeviceStats, ModelMetrics, ModelStats, RegistryShardStats,
+    ReplicaStats, ResidencySummary, ServeSnapshot,
 };
 pub use registry::{
     DeviceEstimate, ModelEntry, ModelLocation, ModelRegistry, ModelSpec, DEFAULT_REGISTRY_SHARDS,

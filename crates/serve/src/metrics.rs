@@ -160,6 +160,7 @@ impl ModelMetrics {
         &self,
         name: &str,
         tenant: &str,
+        method: &str,
         weight_bytes: u64,
         elapsed_s: f64,
         queue_depth: usize,
@@ -180,6 +181,7 @@ impl ModelMetrics {
         ModelStats {
             model: name.to_string(),
             tenant: tenant.to_string(),
+            method: method.to_string(),
             weight_bytes,
             admitted,
             shed,
@@ -225,6 +227,9 @@ pub struct ModelStats {
     pub model: String,
     /// Owning tenant (what residency quotas group by).
     pub tenant: String,
+    /// Compression method label (the Table 4 name, e.g. `"Butterfly"`,
+    /// `"Pixelfly"`) — what [`MethodDeviceStats`] groups device time by.
+    pub method: String,
     /// Resident weight footprint, bytes (butterfly O(n log n) vs dense
     /// ~n²·4 — the paper's compression gap as a serving quantity).
     pub weight_bytes: u64,
@@ -435,6 +440,63 @@ impl ResidencySummary {
     }
 }
 
+/// Per-method rollup of simulated device time: how many device-µs each
+/// compression method (butterfly / dense baseline / pixelfly / ...) retired
+/// across all of its registered models. Answers "where does pod time go by
+/// *method*?" directly from the snapshot, without re-aggregating models.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodDeviceStats {
+    /// Method label (`Method::label()`, e.g. `"Butterfly"`, `"Pixelfly"`).
+    pub method: String,
+    /// Registered models using this method.
+    pub models: usize,
+    /// Responses delivered across those models.
+    pub completed: u64,
+    /// Micro-batches dispatched across those models.
+    pub batches: u64,
+    /// Simulated device µs retired (compute + cold weight loads).
+    pub device_us: f64,
+    /// This method's share of the pod's total device time, in [0, 1]
+    /// (0 when nothing has been computed yet).
+    pub device_share: f64,
+}
+
+impl MethodDeviceStats {
+    /// Groups the per-model stats by method label, preserving first-seen
+    /// (registration) order. The per-method `device_us` values sum to the
+    /// same total as the per-model and per-replica tallies.
+    pub fn rollup(models: &[ModelStats]) -> Vec<MethodDeviceStats> {
+        let total: f64 = models.iter().map(|m| m.device_us).sum();
+        let mut out: Vec<MethodDeviceStats> = Vec::new();
+        for m in models {
+            let slot = match out.iter_mut().find(|s| s.method == m.method) {
+                Some(slot) => slot,
+                None => {
+                    out.push(MethodDeviceStats {
+                        method: m.method.clone(),
+                        models: 0,
+                        completed: 0,
+                        batches: 0,
+                        device_us: 0.0,
+                        device_share: 0.0,
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            slot.models += 1;
+            slot.completed += m.completed;
+            slot.batches += m.batches;
+            slot.device_us += m.device_us;
+        }
+        if total > 0.0 {
+            for s in &mut out {
+                s.device_share = s.device_us / total;
+            }
+        }
+        out
+    }
+}
+
 /// Per-registry-shard aggregate view.
 #[derive(Debug, Clone, Serialize)]
 pub struct RegistryShardStats {
@@ -453,6 +515,9 @@ pub struct ServeSnapshot {
     pub elapsed_s: f64,
     /// Per-model statistics, in registration order.
     pub models: Vec<ModelStats>,
+    /// Per-method device-time breakdown (grouped from `models` by the
+    /// compression method label, registration order preserved).
+    pub methods: Vec<MethodDeviceStats>,
     /// Per-registry-shard queue depths and membership.
     pub shards: Vec<RegistryShardStats>,
     /// Per-replica occupancy, residency and utilization of the simulated pod.
@@ -609,9 +674,22 @@ mod tests {
             up: true,
         }];
         let residency = ResidencySummary::from_replicas(Some(1 << 20), "lru", vec![], &replicas);
+        let models = vec![m.snapshot(
+            "butterfly",
+            "default",
+            "Butterfly",
+            4_096,
+            1.0,
+            3,
+            2,
+            12_500,
+            (1, 0, 0),
+        )];
+        let methods = MethodDeviceStats::rollup(&models);
         let snap = ServeSnapshot {
             elapsed_s: 1.0,
-            models: vec![m.snapshot("butterfly", "default", 4_096, 1.0, 3, 2, 12_500, (1, 0, 0))],
+            models,
+            methods,
             shards: vec![RegistryShardStats { shard: 0, models: 1, queue_depth: 3 }],
             replicas,
             total_device_us: 12.5,
@@ -638,7 +716,11 @@ mod tests {
         assert!(json.contains("\"crashes\": 0"), "{json}");
         assert!(json.contains("\"up\": true"), "{json}");
         assert!(json.contains("\"deadline_exceeded\": 0"), "{json}");
+        assert!(json.contains("\"method\": \"Butterfly\""), "{json}");
+        assert!(json.contains("\"device_share\": 1.0"), "{json}");
         assert_eq!(snap.models[0].device_us, 12.5, "ns tally exports as µs");
+        assert_eq!(snap.methods.len(), 1);
+        assert_eq!(snap.methods[0].device_us, 12.5, "method rollup carries the model tally");
     }
 
     #[test]
@@ -658,7 +740,7 @@ mod tests {
         m.record_response(&base);
         m.record_response(&Timing { source: ServedFrom::PodDown, ..base });
         m.record_response(&Timing { source: ServedFrom::Compute, total_us: 30, ..base });
-        let s = m.snapshot("x", "t", 0, 1.0, 0, 0, 0, (0, 0, 0));
+        let s = m.snapshot("x", "t", "Butterfly", 0, 1.0, 0, 0, 0, (0, 0, 0));
         assert_eq!(s.completed, 3);
         assert_eq!(s.deadline_exceeded, 1);
         assert_eq!(s.pod_down, 1);
@@ -671,7 +753,7 @@ mod tests {
         let m = ModelMetrics::default();
         m.admitted.fetch_add(3, Ordering::Relaxed);
         m.shed.fetch_add(1, Ordering::Relaxed);
-        let s = m.snapshot("x", "t", 0, 1.0, 0, 0, 0, (0, 0, 0));
+        let s = m.snapshot("x", "t", "Butterfly", 0, 1.0, 0, 0, 0, (0, 0, 0));
         assert!((s.shed_rate - 0.25).abs() < 1e-12);
     }
 
@@ -681,7 +763,7 @@ mod tests {
         m.cache_hits.fetch_add(6, Ordering::Relaxed);
         m.cache_coalesced.fetch_add(2, Ordering::Relaxed);
         m.cache_misses.fetch_add(4, Ordering::Relaxed);
-        let s = m.snapshot("x", "t", 0, 1.0, 0, 0, 0, (0, 0, 0));
+        let s = m.snapshot("x", "t", "Butterfly", 0, 1.0, 0, 0, 0, (0, 0, 0));
         assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
         assert_eq!(s.cache_hits, 6);
         assert_eq!(s.cache_coalesced, 2);

@@ -454,6 +454,7 @@ impl Server {
                 metrics.snapshot(
                     entry.name(),
                     entry.tenant(),
+                    entry.method().label(),
                     entry.weight_bytes(),
                     elapsed_s,
                     model_depths[i],
@@ -475,9 +476,11 @@ impl Server {
             &pod_stats.replicas,
         );
         let total_device_us = models.iter().map(|m| m.device_us).sum();
+        let methods = crate::metrics::MethodDeviceStats::rollup(&models);
         ServeSnapshot {
             elapsed_s,
             models,
+            methods,
             shards,
             replicas: pod_stats.replicas,
             total_device_us,

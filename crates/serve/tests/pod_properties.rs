@@ -4,11 +4,12 @@
 //! responses, and the two device-time accountings (per model and per
 //! replica) must agree.
 
-use bfly_core::Method;
+use bfly_core::{shl_param_count, Method, PixelflyConfig};
 use bfly_serve::{
     CacheConfig, ModelRegistry, ResidencyConfig, ResidencyPolicy, Routing, ServeConfig, ServedFrom,
     Server,
 };
+use bfly_tensor::{Matrix, Scratch};
 use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -234,5 +235,73 @@ proptest! {
             );
         }
         prop_assert_eq!(snapshot.residency.sram_budget_bytes, Some(budget));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A registered pixelfly model is a first-class serving citizen: every
+    /// computed response is bit-identical to a direct lock-free forward
+    /// through an identically-seeded registry entry (which exercises the
+    /// fused block-sparse kernel on the serve hot path), cache hits are
+    /// bit-identical to the computed originals, and the entry's advertised
+    /// weight footprint matches the analytic parameter count.
+    #[test]
+    fn pixelfly_round_trips_through_the_serve_path(
+        replicas in 1usize..4,
+        policy in 0usize..3,
+        bexp in 3usize..5,   // block_size 8 or 16
+        fexp in 1usize..3,   // butterfly_size 2 or 4
+        rank in 0usize..9,   // 0 exercises the sparse-only fused path
+        keys in 2u64..6,
+    ) {
+        let dim = 64usize;
+        let config =
+            PixelflyConfig { block_size: 1 << bexp, butterfly_size: 1 << fexp, rank };
+        let method = Method::Pixelfly(config);
+        let serve_config =
+            ServeConfig { dim, ..pod_config(replicas, routing_from(policy), true) };
+        let input = |client: u64, seq: u64| -> Vec<f32> {
+            let tag = (client * 1_000 + seq) as f32;
+            (0..dim).map(|i| (tag + i as f32).sin()).collect()
+        };
+
+        // Identically-seeded reference registry: the serve path must agree
+        // with its entry bit for bit, and so must the analytic footprint.
+        let probe = ModelRegistry::build(dim, 10, serve_config.seed, &[method]).unwrap();
+        let entry = &probe.entries()[0];
+        prop_assert_eq!(entry.param_count(), shl_param_count(method, dim, 10));
+        prop_assert_eq!(entry.weight_bytes(), 4 * shl_param_count(method, dim, 10) as u64);
+
+        let server = Server::start(serve_config, &[method]).unwrap();
+        let mut scratch = Scratch::new();
+        let mut computed = Vec::new();
+        for k in 0..keys {
+            let r = server
+                .submit("pixelfly", 0, k, input(7, k))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            prop_assert_eq!(r.timing.source, ServedFrom::Compute);
+            let x = Matrix::from_vec(1, dim, input(7, k));
+            let direct = entry.forward(&x, &mut scratch);
+            prop_assert_eq!(
+                r.output.as_slice(),
+                direct.as_slice(),
+                "served pixelfly output must be bit-identical to a direct forward"
+            );
+            computed.push(r);
+        }
+        for (k, first) in computed.iter().enumerate() {
+            let hit = server
+                .submit("pixelfly", 1, k as u64, input(7, k as u64))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            prop_assert_eq!(hit.timing.source, ServedFrom::CacheHit);
+            prop_assert_eq!(&hit.output, &first.output, "hit must be bit-identical");
+        }
+        server.shutdown();
     }
 }
