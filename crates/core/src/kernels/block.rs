@@ -571,15 +571,27 @@ pub fn fused_block_backward(
     let mut grad_in = Matrix::zeros(batch, in_dim);
     let mut dvx = scratch.take(batch * rank);
     if batch > 0 {
-        let dvx_chunk = (ROW_BLOCK * rank).max(1);
-        grad_in
-            .as_mut_slice()
-            .par_chunks_mut(ROW_BLOCK * in_dim)
-            .zip(grad_out.as_slice().par_chunks(ROW_BLOCK * out_dim))
-            .zip(dvx.par_chunks_mut(dvx_chunk))
-            .for_each(|((gxblock, gblock), dvxblock)| {
-                backward_rows(csr, payload, lowrank, gblock, dvxblock, gxblock);
-            });
+        if rank == 0 {
+            // No dVx to produce: a zero-length dvx would truncate a
+            // three-way zip to nothing, so drive the rows without it.
+            grad_in
+                .as_mut_slice()
+                .par_chunks_mut(ROW_BLOCK * in_dim)
+                .zip(grad_out.as_slice().par_chunks(ROW_BLOCK * out_dim))
+                .for_each(|(gxblock, gblock)| {
+                    backward_rows(csr, payload, lowrank, gblock, &mut [], gxblock);
+                });
+        } else {
+            let dvx_chunk = ROW_BLOCK * rank;
+            grad_in
+                .as_mut_slice()
+                .par_chunks_mut(ROW_BLOCK * in_dim)
+                .zip(grad_out.as_slice().par_chunks(ROW_BLOCK * out_dim))
+                .zip(dvx.par_chunks_mut(dvx_chunk))
+                .for_each(|((gxblock, gblock), dvxblock)| {
+                    backward_rows(csr, payload, lowrank, gblock, dvxblock, gxblock);
+                });
+        }
     }
 
     // Pass 2 — per stored block: dW[r][c] += Σ_s dY[s][r] * X[s][c],
@@ -863,6 +875,36 @@ mod tests {
         for (a, e) in gv.iter().zip(dv_ref.as_slice()) {
             assert!((a - e).abs() < 1e-4, "{a} vs {e}");
         }
+    }
+
+    #[test]
+    fn backward_without_lowrank_matches_naive() {
+        // Regression: at rank 0 the dVx scratch is zero-length and must not
+        // truncate the row sweep (which would silently zero grad_in).
+        let mut rng = seeded_rng(83);
+        let w = sample(8, 4, 4, 0.5, 84);
+        let (out_dim, in_dim) = w.shape();
+        let x = Matrix::random_uniform(7, in_dim, 1.0, &mut rng);
+        let g = Matrix::random_uniform(7, out_dim, 1.0, &mut rng);
+        let mut scratch = Scratch::new();
+
+        let mut gp = vec![0.0f32; w.data().len()];
+        let gx = fused_block_backward(
+            &w.csr(),
+            w.data(),
+            None,
+            &x,
+            None,
+            &g,
+            BlockGrads { payload: &mut gp, u: &mut [], v: &mut [] },
+            &mut scratch,
+        );
+
+        let mut gp_ref = vec![0.0f32; w.data().len()];
+        let gx_ref = w.backward_batch(&x, &g, &mut gp_ref);
+        assert!(gx_ref.as_slice().iter().any(|v| *v != 0.0), "degenerate reference");
+        assert_eq!(gx.as_slice(), gx_ref.as_slice());
+        assert_eq!(gp.as_slice(), gp_ref.as_slice());
     }
 
     #[test]

@@ -491,6 +491,11 @@ mod tests {
         assert_eq!(layer.params().len(), 2); // blocks + bias
         let x = Matrix::random_uniform(2, 16, 1.0, &mut rng);
         let y = layer.forward(&x, true);
-        let _ = layer.backward(&y);
+        // Rank-0 training must still propagate gradients: dX = dY W.
+        let gx = layer.backward(&y.clone());
+        let expect_gx = matmul(&y, &layer.effective_weight());
+        assert!(expect_gx.as_slice().iter().any(|v| *v != 0.0), "degenerate reference");
+        assert!(gx.relative_error(&expect_gx) < 1e-4);
+        bfly_nn::check_gradients(&mut layer, &x, 1e-3, 3e-2);
     }
 }

@@ -4,7 +4,10 @@
 //! matmul-per-block reference **bit for bit**, and the training variant must
 //! be bit-identical to the inference variant.
 
-use bfly_core::{fused_block_forward, fused_block_forward_train, BlockSparseMatrix, LowRankRef};
+use bfly_core::{
+    fused_block_backward, fused_block_forward, fused_block_forward_train, BlockGrads,
+    BlockSparseMatrix, LowRankRef,
+};
 use bfly_tensor::{seeded_rng, Matrix, Scratch};
 use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
 use rand::Rng;
@@ -119,5 +122,44 @@ proptest! {
         prop_assert_eq!(infer.as_slice(), train.as_slice());
         let vx = vx.expect("rank > 0 training forward must return Vx");
         prop_assert_eq!((vx.rows(), vx.cols()), (batch, rank));
+    }
+
+    /// The fused backward with `lowrank: None` (the rank-0 training path)
+    /// must reproduce the naive `backward_batch` reference — payload
+    /// gradient and dX alike — bit for bit. Regression test: a zero-length
+    /// dVx scratch must not truncate the row sweep and zero out dX.
+    #[test]
+    fn rank0_backward_bit_identical_to_naive(
+        bexp in 0usize..4,       // 4, 8, 16, 32
+        grid_r in 1usize..5,
+        grid_c in 1usize..5,
+        keep_pct in 0u64..100,
+        diag in 0u64..2,
+        batch in 1usize..50,
+        seed in 0u64..1_000_000,
+    ) {
+        let block = 4usize << bexp;
+        let coords = pattern(grid_r, grid_c, keep_pct, diag == 1, seed);
+        let mut rng = seeded_rng(seed ^ 0xbac);
+        let w =
+            BlockSparseMatrix::random(grid_r * block, grid_c * block, block, coords, &mut rng);
+        let x = Matrix::random_uniform(batch, grid_c * block, 1.0, &mut rng);
+        let g = Matrix::random_uniform(batch, grid_r * block, 1.0, &mut rng);
+        let mut scratch = Scratch::new();
+        let mut gp = vec![0.0f32; w.data().len()];
+        let gx = fused_block_backward(
+            &w.csr(),
+            w.data(),
+            None,
+            &x,
+            None,
+            &g,
+            BlockGrads { payload: &mut gp, u: &mut [], v: &mut [] },
+            &mut scratch,
+        );
+        let mut gp_ref = vec![0.0f32; w.data().len()];
+        let gx_ref = w.backward_batch(&x, &g, &mut gp_ref);
+        prop_assert_eq!(gx.as_slice(), gx_ref.as_slice());
+        prop_assert_eq!(gp.as_slice(), gp_ref.as_slice());
     }
 }
