@@ -22,6 +22,7 @@
 //! forward for guaranteed bit-exactness.
 
 use crate::config::CacheConfig;
+use crate::payload::Payload;
 use crate::request::{InferResponse, SubmitError};
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
@@ -67,6 +68,18 @@ pub fn input_key(model: usize, input: &[f32]) -> u64 {
     mix(h, input.len() as u64)
 }
 
+/// The same content key as [`input_key`], computed from a shared
+/// [`Payload`] without materialising a float slice. For identical bits the
+/// two functions produce identical keys, so switching the submit path to
+/// shared payloads changes no cache addressing.
+pub fn payload_key(model: usize, input: &Payload) -> u64 {
+    let mut h = mix(HASH_SEED, model as u64);
+    for bits in input.iter_bits() {
+        h = mix(h, bits as u64);
+    }
+    mix(h, input.len() as u64)
+}
+
 /// Proof of leadership: handed to the request that is admitted to compute a
 /// key, presented back on completion so only the registering leader removes
 /// the pending entry (a later generation for the same key is a different
@@ -100,7 +113,9 @@ pub(crate) enum AdmitOutcome {
 
 struct Pending {
     generation: u64,
-    input: Vec<f32>,
+    /// Shared with the leader's [`crate::request::InferRequest`] — a
+    /// refcount bump, not a copy.
+    input: Payload,
     waiters: Vec<Waiter>,
 }
 
@@ -109,7 +124,10 @@ const NIL: usize = usize::MAX;
 
 struct Slot {
     key: u64,
-    input: Vec<f32>,
+    /// Compacted on insert (see [`Payload::compact`]) so a memoized entry
+    /// never pins a wire segment; sharing with the completed request is
+    /// still a refcount bump in the common owned case.
+    input: Payload,
     output: Vec<f32>,
     inserted: Instant,
     prev: usize,
@@ -171,7 +189,13 @@ impl Lru {
 
     /// Input-verified lookup; a hit moves the entry to the front. Returns
     /// `(output, expired)`: `expired` flags a TTL eviction performed here.
-    fn get(&mut self, key: u64, input: &[f32], ttl: Option<Duration>, now: Instant) -> Lookup<'_> {
+    fn get(
+        &mut self,
+        key: u64,
+        input: &Payload,
+        ttl: Option<Duration>,
+        now: Instant,
+    ) -> Lookup<'_> {
         let Some(&i) = self.map.get(&key) else {
             return Lookup::Absent;
         };
@@ -183,7 +207,7 @@ impl Lru {
                 return Lookup::Expired;
             }
         }
-        if self.slots[i].input != input {
+        if !self.slots[i].input.bit_eq(input) {
             // 64-bit collision: different content behind the same key.
             return Lookup::Absent;
         }
@@ -194,7 +218,7 @@ impl Lru {
 
     /// Inserts (or refreshes) an entry, returning how many entries were
     /// evicted to make room.
-    fn insert(&mut self, key: u64, input: Vec<f32>, output: Vec<f32>, now: Instant) -> u64 {
+    fn insert(&mut self, key: u64, input: Payload, output: Vec<f32>, now: Instant) -> u64 {
         if self.capacity == 0 {
             return 0;
         }
@@ -337,7 +361,7 @@ impl ResponseCache {
     pub fn admit(
         &self,
         key: u64,
-        input: &[f32],
+        input: &Payload,
         waiter: impl FnOnce() -> Waiter,
         send: impl FnOnce(CacheTag) -> Result<(), SubmitError>,
     ) -> AdmitOutcome {
@@ -354,7 +378,7 @@ impl ResponseCache {
             Lookup::Absent => {}
         }
         if let Some(pending) = shard.pending.get_mut(&key) {
-            if pending.input == input {
+            if pending.input.bit_eq(input) {
                 pending.waiters.push(waiter());
                 self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
                 return AdmitOutcome::Coalesced;
@@ -369,7 +393,7 @@ impl ResponseCache {
                 self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 shard.pending.entry(key).or_insert_with(|| Pending {
                     generation: tag.generation,
-                    input: input.to_vec(),
+                    input: input.clone(),
                     waiters: Vec::new(),
                 });
                 AdmitOutcome::Admitted
@@ -387,13 +411,14 @@ impl ResponseCache {
     pub fn complete(
         &self,
         tag: CacheTag,
-        input: Vec<f32>,
+        input: Payload,
         output: &[f32],
         mut assign_index: impl FnMut() -> u64,
     ) -> Vec<(Waiter, u64)> {
         let mut shard = self.shards[self.shard_index(tag.key)].lock();
         if self.memoize {
-            let evicted = shard.lru.insert(tag.key, input, output.to_vec(), Instant::now());
+            let evicted =
+                shard.lru.insert(tag.key, input.compact(), output.to_vec(), Instant::now());
             self.counters.insertions.fetch_add(1, Ordering::Relaxed);
             self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
@@ -441,6 +466,8 @@ mod tests {
     fn hash_is_deterministic_and_input_sensitive() {
         let a = input_key(0, &[1.0, 2.0, 3.0]);
         assert_eq!(a, input_key(0, &[1.0, 2.0, 3.0]));
+        let p: Payload = vec![1.0f32, 2.0, 3.0].into();
+        assert_eq!(a, payload_key(0, &p), "payload_key matches input_key bit-for-bit");
         assert_ne!(a, input_key(1, &[1.0, 2.0, 3.0]), "model index is part of the key");
         let one_ulp_off = f32::from_bits(3.0f32.to_bits() + 1);
         assert_ne!(a, input_key(0, &[1.0, 2.0, one_ulp_off]), "input bits are part of the key");
@@ -452,8 +479,8 @@ mod tests {
     #[test]
     fn miss_then_hit_roundtrip() {
         let cache = ResponseCache::new(&config(8, 2, None));
-        let input = vec![0.5f32; 16];
-        let key = input_key(0, &input);
+        let input: Payload = vec![0.5f32; 16].into();
+        let key = payload_key(0, &input);
         let mut tag = None;
         match cache.admit(key, &input, waiter, |t| {
             tag = Some(t);
@@ -476,8 +503,8 @@ mod tests {
     #[test]
     fn concurrent_same_key_coalesces_and_wakes_in_attach_order() {
         let cache = ResponseCache::new(&config(8, 1, None));
-        let input = vec![1.5f32; 4];
-        let key = input_key(3, &input);
+        let input: Payload = vec![1.5f32; 4].into();
+        let key = payload_key(3, &input);
         let mut tag = None;
         assert!(matches!(
             cache.admit(key, &input, waiter, |t| {
@@ -516,8 +543,8 @@ mod tests {
     #[test]
     fn rejected_send_registers_nothing() {
         let cache = ResponseCache::new(&config(8, 1, None));
-        let input = vec![2.0f32; 4];
-        let key = input_key(0, &input);
+        let input: Payload = vec![2.0f32; 4].into();
+        let key = payload_key(0, &input);
         let outcome = cache.admit(key, &input, waiter, |_| Err(SubmitError::Overloaded));
         assert!(matches!(outcome, AdmitOutcome::NotAdmitted(SubmitError::Overloaded)));
         assert_eq!(cache.in_flight(), 0, "failed admission must not strand a pending entry");
@@ -527,8 +554,8 @@ mod tests {
     #[test]
     fn colliding_key_with_different_input_never_serves_wrong_bytes() {
         let cache = ResponseCache::new(&config(8, 1, None));
-        let a = vec![1.0f32; 4];
-        let b = vec![2.0f32; 4];
+        let a: Payload = vec![1.0f32; 4].into();
+        let b: Payload = vec![2.0f32; 4].into();
         let key = 42u64; // force a "collision" by reusing the key directly
         let mut tag = None;
         assert!(matches!(
@@ -563,8 +590,8 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used_first() {
         let cache = ResponseCache::new(&config(2, 1, None));
-        let inputs: Vec<Vec<f32>> = (0..3).map(|i| vec![i as f32; 2]).collect();
-        let keys: Vec<u64> = inputs.iter().map(|x| input_key(0, x)).collect();
+        let inputs: Vec<Payload> = (0..3).map(|i| Payload::from(vec![i as f32; 2])).collect();
+        let keys: Vec<u64> = inputs.iter().map(|x| payload_key(0, x)).collect();
         for (key, input) in keys.iter().zip(&inputs).take(2) {
             let mut tag = None;
             cache.admit(*key, input, waiter, |t| {
@@ -599,8 +626,8 @@ mod tests {
     #[test]
     fn ttl_expires_entries() {
         let cache = ResponseCache::new(&config(8, 1, Some(Duration::from_millis(5))));
-        let input = vec![3.0f32; 4];
-        let key = input_key(0, &input);
+        let input: Payload = vec![3.0f32; 4].into();
+        let key = payload_key(0, &input);
         let mut tag = None;
         cache.admit(key, &input, waiter, |t| {
             tag = Some(t);
@@ -619,8 +646,8 @@ mod tests {
     #[test]
     fn fail_wakes_waiters_without_memoizing() {
         let cache = ResponseCache::new(&config(8, 1, None));
-        let input = vec![5.0f32; 4];
-        let key = input_key(0, &input);
+        let input: Payload = vec![5.0f32; 4].into();
+        let key = payload_key(0, &input);
         let mut tag = None;
         assert!(matches!(
             cache.admit(key, &input, waiter, |t| {
@@ -649,8 +676,8 @@ mod tests {
     #[test]
     fn zero_capacity_keeps_dedup_but_memoizes_nothing() {
         let cache = ResponseCache::new(&config(0, 2, None));
-        let input = vec![4.0f32; 4];
-        let key = input_key(0, &input);
+        let input: Payload = vec![4.0f32; 4].into();
+        let key = payload_key(0, &input);
         let mut tag = None;
         assert!(matches!(
             cache.admit(key, &input, waiter, |t| {

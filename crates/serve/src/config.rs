@@ -45,6 +45,135 @@ impl CacheConfig {
     }
 }
 
+/// A per-tenant token-bucket rate limit of the ingress front door.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained admission rate, requests per second. `0.0` means the
+    /// bucket never refills: exactly `burst` requests are ever admitted
+    /// (useful for deterministic tests).
+    pub rate_per_s: f64,
+    /// Bucket depth: how many requests may arrive back-to-back before the
+    /// tenant is throttled. Must be at least 1.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `rate_per_s` sustained with a burst of `burst`.
+    pub fn per_second(rate_per_s: f64, burst: f64) -> Self {
+        Self { rate_per_s, burst }
+    }
+}
+
+/// Per-tenant QoS of the ingress front door: weighted-fair scheduling
+/// across the interactive/batch deadline classes plus token-bucket rate
+/// limits (see `crate::ingress::qos`).
+#[derive(Debug, Clone)]
+pub struct QosConfig {
+    /// Deficit-round-robin quantum of the interactive class: how many
+    /// interactive requests dispatch per scheduling round when both classes
+    /// are backlogged. With `batch_weight` this sets the service ratio
+    /// (default 8:1 interactive:batch).
+    pub interactive_weight: u32,
+    /// Deficit-round-robin quantum of the batch class.
+    pub batch_weight: u32,
+    /// Capacity of each class queue; a full queue throttles (the request is
+    /// answered [`crate::ServedFrom::Throttled`], never silently dropped).
+    pub class_queue_capacity: usize,
+    /// Token-bucket limit applied to tenants without an explicit entry in
+    /// `tenant_rates`. `None` leaves them unlimited.
+    pub default_rate: Option<RateLimit>,
+    /// Per-tenant token-bucket overrides, `(tenant, limit)` pairs.
+    pub tenant_rates: Vec<(String, RateLimit)>,
+    /// Deadline attached to interactive frames that carry none of their
+    /// own. `None` never expires.
+    pub interactive_deadline: Option<Duration>,
+    /// Deadline attached to batch frames that carry none of their own.
+    pub batch_deadline: Option<Duration>,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        Self {
+            interactive_weight: 8,
+            batch_weight: 1,
+            class_queue_capacity: 4096,
+            default_rate: None,
+            tenant_rates: Vec::new(),
+            interactive_deadline: None,
+            batch_deadline: None,
+        }
+    }
+}
+
+impl QosConfig {
+    /// Panics unless the configuration is usable.
+    pub fn validate(&self) {
+        assert!(self.interactive_weight > 0, "interactive_weight must be positive");
+        assert!(self.batch_weight > 0, "batch_weight must be positive");
+        assert!(self.class_queue_capacity > 0, "class_queue_capacity must be positive");
+        let check = |limit: &RateLimit| {
+            assert!(
+                limit.rate_per_s.is_finite() && limit.rate_per_s >= 0.0,
+                "rate_per_s must be finite and non-negative"
+            );
+            assert!(limit.burst.is_finite() && limit.burst >= 1.0, "burst must be at least 1");
+        };
+        if let Some(limit) = &self.default_rate {
+            check(limit);
+        }
+        for (_, limit) in &self.tenant_rates {
+            check(limit);
+        }
+    }
+}
+
+/// Tunables of the framed-ingress front door (`crate::ingress`). Disabled
+/// by default: the in-process `submit` path is then the only entrance and
+/// the runtime is bit-identical to the pre-ingress server.
+#[derive(Debug, Clone)]
+pub struct IngressConfig {
+    /// Master switch. The server never starts ingress threads itself —
+    /// `IngressServer::start` does, and asserts this flag so a disabled
+    /// config cannot be attached by accident.
+    pub enabled: bool,
+    /// Largest accepted frame body, bytes; a frame declaring more is
+    /// rejected as oversized before any buffering beyond the header.
+    pub max_frame_bytes: usize,
+    /// Read granularity of byte-stream transports (TCP): each read pulls up
+    /// to this many bytes into one shared segment that decoded payloads
+    /// reference zero-copy.
+    pub read_chunk_bytes: usize,
+    /// Per-tenant rate limits and class scheduling weights.
+    pub qos: QosConfig,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            max_frame_bytes: 1 << 20,
+            read_chunk_bytes: 64 << 10,
+            qos: QosConfig::default(),
+        }
+    }
+}
+
+impl IngressConfig {
+    /// The default configuration with the master switch on.
+    pub fn enabled() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+
+    /// Panics unless the configuration is usable.
+    pub fn validate(&self) {
+        // The fixed frame prelude plus the request body's fixed fields must
+        // fit, or no frame can ever decode.
+        assert!(self.max_frame_bytes >= 64, "max_frame_bytes must be at least 64");
+        assert!(self.read_chunk_bytes > 0, "read_chunk_bytes must be positive");
+        self.qos.validate();
+    }
+}
+
 /// Tunables of a [`crate::Server`].
 ///
 /// The defaults serve the paper's SHL benchmark shape (1024-dimensional
@@ -105,6 +234,10 @@ pub struct ServeConfig {
     /// every registered model resident forever — the pre-residency runtime
     /// bit-exactly.
     pub residency: ResidencyConfig,
+    /// Framed-ingress front door: wire codec limits and per-tenant QoS.
+    /// Disabled by default — the pre-ingress runtime bit-exactly; attach
+    /// one with `IngressServer::start`.
+    pub ingress: IngressConfig,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +259,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             fault_plan: FaultPlan::none(),
             residency: ResidencyConfig::default(),
+            ingress: IngressConfig::default(),
         }
     }
 }
@@ -144,6 +278,7 @@ impl ServeConfig {
         self.cache.validate();
         self.fault_plan.validate();
         self.residency.validate();
+        self.ingress.validate();
     }
 }
 
@@ -228,6 +363,46 @@ mod tests {
     fn invalid_fault_plan_rejected() {
         ServeConfig { fault_plan: FaultPlan::none().slow_from(1.0, 0, -1.0), ..Default::default() }
             .validate();
+    }
+
+    #[test]
+    fn ingress_defaults_to_disabled_and_validates() {
+        let c = ServeConfig::default();
+        assert!(!c.ingress.enabled, "framed ingress must be opt-in");
+        c.validate();
+        let qos = QosConfig {
+            default_rate: Some(RateLimit::per_second(100.0, 16.0)),
+            tenant_rates: vec![("batchco".to_string(), RateLimit::per_second(10.0, 4.0))],
+            ..QosConfig::default()
+        };
+        let ingress = IngressConfig { qos, ..IngressConfig::enabled() };
+        assert!(ingress.enabled);
+        ServeConfig { ingress, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "interactive_weight")]
+    fn zero_interactive_weight_rejected() {
+        let qos = QosConfig { interactive_weight: 0, ..QosConfig::default() };
+        ServeConfig {
+            ingress: IngressConfig { qos, ..IngressConfig::default() },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn sub_one_burst_rejected() {
+        let qos = QosConfig {
+            default_rate: Some(RateLimit::per_second(1.0, 0.5)),
+            ..QosConfig::default()
+        };
+        ServeConfig {
+            ingress: IngressConfig { qos, ..IngressConfig::default() },
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

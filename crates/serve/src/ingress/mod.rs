@@ -1,0 +1,37 @@
+//! Framed binary ingress: the server's front door.
+//!
+//! In-process callers reach the runtime through [`crate::Server::submit`];
+//! everything else arrives here as a length-prefixed binary stream:
+//!
+//! - [`codec`] — the wire format and a zero-copy frame decoder built on an
+//!   `Arc`-segment rope: decoded request payloads *reference* the read
+//!   buffer instead of copying out of it, so one allocation per read chunk
+//!   serves every request inside it.
+//! - [`transport`] — the byte-stream abstraction the decoder feeds from:
+//!   in-memory duplex pipes (tests and benches) and `std::net::TcpStream`
+//!   behind the same traits.
+//! - [`qos`] — per-tenant token buckets and deficit-round-robin scheduling
+//!   across the interactive/batch classes, between decode and admission.
+//! - [`demux`] — the accept loop: one reader and one writer thread per
+//!   connection, one scheduler thread draining the QoS queues into
+//!   [`crate::Server`]'s admission lanes.
+//! - [`client`] — a minimal blocking client speaking the same codec, used
+//!   by the property tests, the ingress bench, and as a reference
+//!   implementation of the protocol.
+
+pub mod client;
+pub mod codec;
+pub mod demux;
+pub mod qos;
+pub mod transport;
+
+pub use client::IngressClient;
+pub use codec::{
+    encode_request, encode_response, Frame, FrameDecoder, FrameError, QosClass, RequestFrame,
+    ResponseFrame, WireStatus, MAGIC, VERSION,
+};
+pub use demux::IngressServer;
+pub use transport::{
+    duplex_pair, pipe_listener, AcceptEvent, Connection, FrameRead, FrameWrite, IngressListener,
+    PipeConnector, PipeListener, ReadEvent, TcpIngressListener,
+};

@@ -62,25 +62,29 @@
 pub mod cache;
 pub mod config;
 pub mod fault;
+pub mod ingress;
 pub mod loadgen;
 pub mod metrics;
+pub mod payload;
 pub mod registry;
 pub mod replica;
 pub mod request;
 pub mod residency;
 pub mod server;
 
-pub use cache::{hash_bytes, input_key};
-pub use config::{CacheConfig, ServeConfig};
+pub use cache::{hash_bytes, input_key, payload_key};
+pub use config::{CacheConfig, IngressConfig, QosConfig, RateLimit, ServeConfig};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use loadgen::{
     closed_loop, closed_loop_models, closed_loop_models_with_pool, closed_loop_with_pool,
     input_pool, open_loop, open_loop_with_pool, LoadReport, ZipfSampler, DEFAULT_INPUT_POOL,
 };
 pub use metrics::{
-    CacheStats, Histogram, MethodDeviceStats, ModelMetrics, ModelStats, RegistryShardStats,
-    ReplicaStats, ResidencySummary, ServeSnapshot,
+    CacheStats, Histogram, IngressMetrics, IngressStats, MethodDeviceStats, ModelMetrics,
+    ModelStats, RegistryShardStats, ReplicaStats, ResidencySummary, ServeSnapshot,
+    TenantIngressStats,
 };
+pub use payload::Payload;
 pub use registry::{
     DeviceEstimate, ModelEntry, ModelLocation, ModelRegistry, ModelSpec, DEFAULT_REGISTRY_SHARDS,
 };

@@ -1,6 +1,7 @@
 //! Load generators: seeded open-loop (Poisson arrivals) and closed-loop
 //! (fixed concurrency) drivers, with client-side latency accounting.
 
+use crate::payload::Payload;
 use crate::request::{ResponseHandle, ServedFrom, SubmitError};
 use crate::server::Server;
 use rand::{Rng, SeedableRng};
@@ -140,6 +141,11 @@ impl ZipfSampler {
 struct Outcomes {
     deadline_exceeded: u64,
     pod_down: u64,
+    /// Ingress-only failure verdicts ([`ServedFrom::Throttled`] /
+    /// [`ServedFrom::Rejected`]): the in-process generators never receive
+    /// them, but a driver replaying responses from the framed front door
+    /// must not let their ~0 µs answers fake a fast tail.
+    refused: u64,
     latencies: Vec<u64>,
     batch_sizes: Vec<usize>,
     /// Simulated per-batch µs of successful responses ([`Timing::sim_batch_us`]).
@@ -151,6 +157,7 @@ impl Outcomes {
         match response.timing.source {
             ServedFrom::DeadlineExceeded => self.deadline_exceeded += 1,
             ServedFrom::PodDown => self.pod_down += 1,
+            ServedFrom::Throttled | ServedFrom::Rejected => self.refused += 1,
             _ => {
                 self.latencies.push(response.timing.total_us);
                 self.batch_sizes.push(response.timing.batch_size);
@@ -162,7 +169,7 @@ impl Outcomes {
     }
 
     fn completed(&self) -> u64 {
-        self.deadline_exceeded + self.pod_down + self.latencies.len() as u64
+        self.deadline_exceeded + self.pod_down + self.refused + self.latencies.len() as u64
     }
 }
 
@@ -176,8 +183,14 @@ fn report_from(
     submit_window_s: f64,
 ) -> LoadReport {
     let completed = outcomes.completed();
-    let Outcomes { deadline_exceeded, pod_down, mut latencies, batch_sizes, mut sim_latencies } =
-        outcomes;
+    let Outcomes {
+        deadline_exceeded,
+        pod_down,
+        refused: _,
+        mut latencies,
+        batch_sizes,
+        mut sim_latencies,
+    } = outcomes;
     let pod_down = pod_down + refused_pod_down;
     latencies.sort_unstable();
     sim_latencies.sort_unstable_by(f64::total_cmp);
@@ -223,9 +236,15 @@ fn report_from(
 /// Shared by every load generator so two runs with the same seed and pool
 /// size offer byte-identical inputs — which is what makes cache-on vs
 /// cache-off comparisons at equal offered load meaningful.
-pub fn input_pool(dim: usize, pool_size: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f32>> {
+///
+/// Entries are shared [`Payload`]s: every submission of a pool row is a
+/// reference-count bump on the one allocation made here, so the generators
+/// measure the server's admission path, not their own memcpys.
+pub fn input_pool(dim: usize, pool_size: usize, rng: &mut ChaCha8Rng) -> Vec<Payload> {
     assert!(pool_size > 0, "input pool must be non-empty");
-    (0..pool_size).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    (0..pool_size)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect::<Vec<f32>>().into())
+        .collect()
 }
 
 /// Open-loop generator: submits `total` requests with seeded Poisson
@@ -402,6 +421,7 @@ pub fn closed_loop_models_with_pool(
         refused_pod_down += refused;
         outcomes.deadline_exceeded += o.deadline_exceeded;
         outcomes.pod_down += o.pod_down;
+        outcomes.refused += o.refused;
         outcomes.latencies.extend(o.latencies);
         outcomes.batch_sizes.extend(o.batch_sizes);
         outcomes.sim_latencies.extend(o.sim_latencies);

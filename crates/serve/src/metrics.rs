@@ -5,6 +5,7 @@
 use crate::request::{ServedFrom, Timing};
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Upper bound on retained samples per histogram; beyond it the recorder
@@ -143,6 +144,11 @@ impl ModelMetrics {
             ServedFrom::PodDown => {
                 self.pod_down.fetch_add(1, Ordering::Relaxed);
             }
+            // Ingress-side refusals never reach a model's metrics (they are
+            // synthesized before admission and tallied per tenant by
+            // [`IngressMetrics`]); if one ever did, it must stay out of the
+            // latency histograms like any other failure.
+            ServedFrom::Throttled | ServedFrom::Rejected => {}
             _ => {
                 self.latency_us.record(timing.total_us);
                 self.queue_us.record(timing.queue_us);
@@ -383,6 +389,135 @@ impl CacheStats {
     }
 }
 
+/// Live counters of the framed-ingress front door (`crate::ingress`): wire
+/// traffic per connection plus per-tenant QoS accounting. Registered into
+/// the server by `IngressServer::start` so `ServeSnapshot::to_json` exports
+/// it next to the serving metrics.
+#[derive(Default)]
+pub struct IngressMetrics {
+    /// Connections accepted over the transport.
+    pub connections: AtomicU64,
+    /// Request frames decoded successfully.
+    pub frames: AtomicU64,
+    /// Frames (or streams) rejected by the codec: bad magic/version/kind,
+    /// oversized or inconsistent lengths, checksum mismatch, truncation.
+    pub decode_errors: AtomicU64,
+    /// Requests the weighted-fair scheduler dispatched from the interactive
+    /// class queue.
+    pub interactive_dispatched: AtomicU64,
+    /// Requests dispatched from the batch class queue.
+    pub batch_dispatched: AtomicU64,
+    tenants: Mutex<BTreeMap<String, TenantCounters>>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct TenantCounters {
+    admitted: u64,
+    throttled: u64,
+    deferred: u64,
+}
+
+impl IngressMetrics {
+    fn with_tenant(&self, tenant: &str, f: impl FnOnce(&mut TenantCounters)) {
+        let mut map = self.tenants.lock();
+        match map.get_mut(tenant) {
+            Some(t) => f(t),
+            None => f(map.entry(tenant.to_string()).or_default()),
+        }
+    }
+
+    /// The tenant's request was submitted into the serving runtime.
+    pub fn record_admitted(&self, tenant: &str) {
+        self.with_tenant(tenant, |t| t.admitted += 1);
+    }
+
+    /// The tenant's request was refused by its token bucket (or a full
+    /// class queue) and answered [`ServedFrom::Throttled`] — counted, never
+    /// silently dropped.
+    pub fn record_throttled(&self, tenant: &str) {
+        self.with_tenant(tenant, |t| t.throttled += 1);
+    }
+
+    /// The tenant's request waited behind other queued work (or was pushed
+    /// back by server backpressure) before dispatch.
+    pub fn record_deferred(&self, tenant: &str) {
+        self.with_tenant(tenant, |t| t.deferred += 1);
+    }
+
+    /// Serializable snapshot of every counter.
+    pub fn stats(&self) -> IngressStats {
+        IngressStats {
+            enabled: true,
+            connections: self.connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            interactive_dispatched: self.interactive_dispatched.load(Ordering::Relaxed),
+            batch_dispatched: self.batch_dispatched.load(Ordering::Relaxed),
+            tenants: self
+                .tenants
+                .lock()
+                .iter()
+                .map(|(tenant, t)| TenantIngressStats {
+                    tenant: tenant.clone(),
+                    admitted: t.admitted,
+                    throttled: t.throttled,
+                    deferred: t.deferred,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-tenant QoS accounting of the ingress front door.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantIngressStats {
+    /// Tenant name from the wire frames.
+    pub tenant: String,
+    /// Requests submitted into the serving runtime.
+    pub admitted: u64,
+    /// Requests refused by the token bucket or a full class queue, each
+    /// answered `Throttled` on its connection.
+    pub throttled: u64,
+    /// Requests that waited behind queued work or were pushed back by
+    /// server backpressure before dispatching.
+    pub deferred: u64,
+}
+
+/// Serializable ingress statistics (all zero / empty when no framed-ingress
+/// front door is attached — the default).
+#[derive(Debug, Clone, Serialize)]
+pub struct IngressStats {
+    /// Whether an ingress front door was attached to this server.
+    pub enabled: bool,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request frames decoded.
+    pub frames: u64,
+    /// Codec rejections (bad magic/version/length/checksum/truncation).
+    pub decode_errors: u64,
+    /// Dispatches from the interactive class queue.
+    pub interactive_dispatched: u64,
+    /// Dispatches from the batch class queue.
+    pub batch_dispatched: u64,
+    /// Per-tenant admitted/throttled/deferred counters, tenant-sorted.
+    pub tenants: Vec<TenantIngressStats>,
+}
+
+impl IngressStats {
+    /// The empty snapshot reported when no ingress is attached.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            connections: 0,
+            frames: 0,
+            decode_errors: 0,
+            interactive_dispatched: 0,
+            batch_dispatched: 0,
+            tenants: Vec::new(),
+        }
+    }
+}
+
 /// Pod-wide residency summary: the configured budget/policy plus the
 /// per-replica counters summed (point-in-time resident set included).
 #[derive(Debug, Clone, Serialize)]
@@ -530,6 +665,9 @@ pub struct ServeSnapshot {
     pub pod_makespan_us: f64,
     /// Response-cache statistics (counters all zero when disabled).
     pub cache: CacheStats,
+    /// Framed-ingress front door statistics (zero/empty unless an
+    /// [`crate::ingress::IngressServer`] is attached).
+    pub ingress: IngressStats,
     /// Pod-wide weight-residency summary (budget, policy, hit/eviction/
     /// paging totals).
     pub residency: ResidencySummary,
@@ -695,6 +833,7 @@ mod tests {
             total_device_us: 12.5,
             pod_makespan_us: 12.5,
             cache: CacheStats::disabled(),
+            ingress: IngressStats::disabled(),
             residency,
         };
         let json = snap.to_json();
@@ -716,6 +855,8 @@ mod tests {
         assert!(json.contains("\"crashes\": 0"), "{json}");
         assert!(json.contains("\"up\": true"), "{json}");
         assert!(json.contains("\"deadline_exceeded\": 0"), "{json}");
+        assert!(json.contains("\"ingress\""), "{json}");
+        assert!(!snap.ingress.enabled, "no ingress attached in this snapshot");
         assert!(json.contains("\"method\": \"Butterfly\""), "{json}");
         assert!(json.contains("\"device_share\": 1.0"), "{json}");
         assert_eq!(snap.models[0].device_us, 12.5, "ns tally exports as µs");
@@ -746,6 +887,30 @@ mod tests {
         assert_eq!(s.pod_down, 1);
         assert_eq!(m.latency_us.count(), 1, "only the computed response is timed");
         assert_eq!(s.latency_p99_us, 30);
+    }
+
+    #[test]
+    fn ingress_metrics_tally_per_tenant() {
+        let m = IngressMetrics::default();
+        m.connections.fetch_add(2, Ordering::Relaxed);
+        m.frames.fetch_add(5, Ordering::Relaxed);
+        m.record_admitted("acme");
+        m.record_admitted("acme");
+        m.record_throttled("acme");
+        m.record_deferred("zeta");
+        let s = m.stats();
+        assert!(s.enabled);
+        assert_eq!(s.connections, 2);
+        assert_eq!(s.frames, 5);
+        assert_eq!(s.tenants.len(), 2);
+        assert_eq!(s.tenants[0].tenant, "acme", "tenant-sorted export");
+        assert_eq!(s.tenants[0].admitted, 2);
+        assert_eq!(s.tenants[0].throttled, 1);
+        assert_eq!(s.tenants[1].tenant, "zeta");
+        assert_eq!(s.tenants[1].deferred, 1);
+        let disabled = IngressStats::disabled();
+        assert!(!disabled.enabled);
+        assert!(disabled.tenants.is_empty());
     }
 
     #[test]

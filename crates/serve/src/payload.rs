@@ -1,0 +1,321 @@
+//! Shared request payloads: one allocation from ingress to memoization.
+//!
+//! Before this module existed every hop of the submit path owned its own
+//! `Vec<f32>`: the load generator cloned a pooled input per submission, the
+//! server cloned it again into the admission queue, and the response cache
+//! copied it twice more (pending-insert and memoize). [`Payload`] replaces
+//! all of that with a reference-counted view: cloning is a refcount bump,
+//! and a frame decoded off the wire can be served, hashed, coalesced, shed,
+//! retried and memoized without its bytes ever being copied.
+//!
+//! Two representations share the one public type:
+//!
+//! - **Owned floats** — an `Arc<[f32]>`, produced by [`Payload::from`] a
+//!   `Vec<f32>` (the in-process submit path) or by [`Payload::compact`].
+//! - **Byte view** — an `(Arc<[u8]>, offset, len)` window of little-endian
+//!   `f32` values inside a wire segment, produced zero-copy by the ingress
+//!   codec when a frame's payload lands contiguously in one read segment.
+//!
+//! Equality and hashing are defined over the `f32` *bit patterns*, exactly
+//! like the response cache's content key has always been: a frozen model is
+//! a pure function of its input bits, so two payloads with identical bits
+//! are interchangeable — including NaNs, which compare equal to themselves
+//! here (bitwise) even though they do not under IEEE `==`. Outputs remain
+//! byte-identical either way because the key and the verify both see bits.
+
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    /// Owned, aligned floats.
+    F32(Arc<[f32]>),
+    /// A window of little-endian f32s inside a shared wire segment.
+    /// Invariant: `start + 4 * floats <= seg.len()`.
+    Bytes { seg: Arc<[u8]>, start: usize, floats: usize },
+}
+
+/// A reference-counted inference input; see the module docs.
+///
+/// `Clone` is a refcount bump regardless of representation.
+#[derive(Clone)]
+pub struct Payload {
+    repr: Repr,
+}
+
+impl Payload {
+    /// An empty payload (used by failure answers; allocates nothing of note).
+    pub fn empty() -> Self {
+        Payload { repr: Repr::F32(Arc::from(Vec::new())) }
+    }
+
+    /// Wraps a window of `floats` little-endian `f32` values starting at
+    /// byte `start` of `seg`, without copying. Panics if the window falls
+    /// outside the segment — the ingress codec validates frame lengths
+    /// before constructing views, so this fires only on caller bugs.
+    pub fn from_le_bytes_shared(seg: Arc<[u8]>, start: usize, floats: usize) -> Self {
+        let end = start.checked_add(floats.checked_mul(4).expect("payload size overflow"));
+        let end = end.expect("payload window overflow");
+        assert!(
+            end <= seg.len(),
+            "payload window {start}..{end} outside segment of {} bytes",
+            seg.len()
+        );
+        Payload { repr: Repr::Bytes { seg, start, floats } }
+    }
+
+    /// Number of `f32` values.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::F32(v) => v.len(),
+            Repr::Bytes { floats, .. } => *floats,
+        }
+    }
+
+    /// True when the payload holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th value. Panics out of range.
+    pub fn get(&self, i: usize) -> f32 {
+        match &self.repr {
+            Repr::F32(v) => v[i],
+            Repr::Bytes { seg, start, floats } => {
+                assert!(i < *floats, "payload index {i} out of {floats}");
+                let at = start + 4 * i;
+                f32::from_le_bytes([seg[at], seg[at + 1], seg[at + 2], seg[at + 3]])
+            }
+        }
+    }
+
+    /// The owned-float slice, when this payload is in owned representation.
+    pub fn as_f32_slice(&self) -> Option<&[f32]> {
+        match &self.repr {
+            Repr::F32(v) => Some(v),
+            Repr::Bytes { .. } => None,
+        }
+    }
+
+    /// True when this payload is a zero-copy view into a wire segment.
+    pub fn is_byte_view(&self) -> bool {
+        matches!(self.repr, Repr::Bytes { .. })
+    }
+
+    /// Iterates the values' IEEE-754 bit patterns — the basis of hashing,
+    /// equality and cache verification.
+    pub fn iter_bits(&self) -> PayloadBits<'_> {
+        match &self.repr {
+            Repr::F32(v) => PayloadBits::F32(v.iter()),
+            Repr::Bytes { seg, start, floats } => {
+                PayloadBits::Bytes(seg[*start..*start + 4 * *floats].chunks_exact(4))
+            }
+        }
+    }
+
+    /// Appends the values to `out` (decoding from bytes if needed).
+    pub fn extend_into(&self, out: &mut Vec<f32>) {
+        match &self.repr {
+            Repr::F32(v) => out.extend_from_slice(v),
+            Repr::Bytes { seg, start, floats } => {
+                out.reserve(*floats);
+                for chunk in seg[*start..*start + 4 * *floats].chunks_exact(4) {
+                    out.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+                }
+            }
+        }
+    }
+
+    /// Copies out to an owned `Vec<f32>`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len());
+        self.extend_into(&mut out);
+        out
+    }
+
+    /// Bitwise equality: same length and same bit pattern per value.
+    pub fn bit_eq(&self, other: &Payload) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::F32(a), Repr::F32(b)) => {
+                a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => self.iter_bits().zip(other.iter_bits()).all(|(x, y)| x == y),
+        }
+    }
+
+    /// A payload safe to retain long-term: byte views are copied out to
+    /// owned floats so a memoized cache entry never pins a whole wire
+    /// segment (a 64 KiB read buffer) alive for the sake of one row; owned
+    /// payloads are returned as-is (refcount bump).
+    pub fn compact(&self) -> Payload {
+        match &self.repr {
+            Repr::F32(_) => self.clone(),
+            Repr::Bytes { .. } => Payload { repr: Repr::F32(Arc::from(self.to_vec())) },
+        }
+    }
+}
+
+/// Iterator over a payload's f32 bit patterns.
+pub enum PayloadBits<'a> {
+    #[doc(hidden)]
+    F32(std::slice::Iter<'a, f32>),
+    #[doc(hidden)]
+    Bytes(std::slice::ChunksExact<'a, u8>),
+}
+
+impl Iterator for PayloadBits<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            PayloadBits::F32(it) => it.next().map(|v| v.to_bits()),
+            PayloadBits::Bytes(it) => {
+                it.next().map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            PayloadBits::F32(it) => it.size_hint(),
+            PayloadBits::Bytes(it) => it.size_hint(),
+        }
+    }
+}
+
+impl From<Vec<f32>> for Payload {
+    fn from(v: Vec<f32>) -> Self {
+        Payload { repr: Repr::F32(Arc::from(v)) }
+    }
+}
+
+impl From<Arc<[f32]>> for Payload {
+    fn from(v: Arc<[f32]>) -> Self {
+        Payload { repr: Repr::F32(v) }
+    }
+}
+
+impl From<&[f32]> for Payload {
+    fn from(v: &[f32]) -> Self {
+        Payload { repr: Repr::F32(Arc::from(v)) }
+    }
+}
+
+impl PartialEq for Payload {
+    /// Bitwise equality (see [`Payload::bit_eq`]).
+    fn eq(&self, other: &Self) -> bool {
+        self.bit_eq(other)
+    }
+}
+
+impl Eq for Payload {}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.repr {
+            Repr::F32(v) => write!(f, "Payload::F32(len={})", v.len()),
+            Repr::Bytes { start, floats, .. } => {
+                write!(f, "Payload::Bytes(start={start}, len={floats})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le_bytes(values: &[f32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn owned_and_view_agree() {
+        let values = vec![1.0f32, -2.5, 0.0, f32::MIN_POSITIVE, 3.25e7];
+        let owned = Payload::from(values.clone());
+        let bytes: Arc<[u8]> = Arc::from(le_bytes(&values));
+        let view = Payload::from_le_bytes_shared(bytes, 0, values.len());
+        assert!(view.is_byte_view());
+        assert!(!owned.is_byte_view());
+        assert_eq!(owned.len(), view.len());
+        assert!(owned.bit_eq(&view));
+        assert_eq!(owned, view);
+        assert_eq!(view.to_vec(), values);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(view.get(i).to_bits(), v.to_bits());
+        }
+        assert_eq!(owned.iter_bits().collect::<Vec<_>>(), view.iter_bits().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn view_offset_windows() {
+        let values = vec![9.0f32, 8.0, 7.0, 6.0];
+        let mut raw = vec![0xAA, 0xBB, 0xCC]; // leading garbage
+        raw.extend(le_bytes(&values));
+        let seg: Arc<[u8]> = Arc::from(raw);
+        let view = Payload::from_le_bytes_shared(seg, 3, 4);
+        assert_eq!(view.to_vec(), values);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside segment")]
+    fn view_out_of_bounds_panics() {
+        let seg: Arc<[u8]> = Arc::from(vec![0u8; 7]);
+        Payload::from_le_bytes_shared(seg, 0, 2);
+    }
+
+    #[test]
+    fn nan_is_bit_equal_to_itself() {
+        let nan = f32::from_bits(0x7FC0_0001);
+        let a = Payload::from(vec![nan]);
+        let b = Payload::from(vec![nan]);
+        assert!(nan != nan); // IEEE
+        assert!(a.bit_eq(&b)); // bitwise
+        let neg_zero = Payload::from(vec![-0.0f32]);
+        let pos_zero = Payload::from(vec![0.0f32]);
+        assert!(!neg_zero.bit_eq(&pos_zero)); // distinct bits
+    }
+
+    #[test]
+    fn compact_copies_views_and_shares_owned() {
+        let values = vec![1.0f32, 2.0];
+        let seg: Arc<[u8]> = Arc::from(le_bytes(&values));
+        let view = Payload::from_le_bytes_shared(Arc::clone(&seg), 0, 2);
+        let compacted = view.compact();
+        assert!(!compacted.is_byte_view());
+        assert!(compacted.bit_eq(&view));
+        // Compacting released the only payload-side reference path that
+        // could pin the segment beyond the caller's own handle.
+        assert_eq!(Arc::strong_count(&seg), 2); // ours + view's
+
+        let owned = Payload::from(values);
+        let again = owned.compact();
+        assert!(again.as_f32_slice().is_some());
+        assert!(again.bit_eq(&owned));
+    }
+
+    #[test]
+    fn extend_into_appends() {
+        let mut out = vec![0.5f32];
+        Payload::from(vec![1.0f32, 2.0]).extend_into(&mut out);
+        assert_eq!(out, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let seg: Arc<[u8]> = Arc::from(le_bytes(&[1.0f32; 16]));
+        let view = Payload::from_le_bytes_shared(Arc::clone(&seg), 0, 16);
+        let clones: Vec<Payload> = (0..8).map(|_| view.clone()).collect();
+        assert_eq!(Arc::strong_count(&seg), 2 + clones.len()); // ours + view + clones
+    }
+
+    #[test]
+    fn empty_payload() {
+        let p = Payload::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.to_vec(), Vec::<f32>::new());
+    }
+}

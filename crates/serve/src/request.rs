@@ -1,6 +1,7 @@
 //! Request and response types of the serving API.
 
 use crate::cache::CacheTag;
+use crate::payload::Payload;
 use crossbeam::channel::{self, Receiver, Sender};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -27,13 +28,32 @@ pub enum ServedFrom {
     /// forward pass never ran, `output` is empty, and 0 device-µs is
     /// attributed.
     PodDown,
+    /// The ingress QoS layer refused the request before admission — the
+    /// tenant's token bucket was empty or its class queue full. The forward
+    /// pass never ran, `output` is empty, and 0 device-µs is attributed.
+    /// Only the framed-ingress front door produces this; in-process
+    /// `submit` never does.
+    Throttled,
+    /// The ingress front door could not admit the request for a
+    /// non-rate-limit reason (unknown model, wrong input length, server
+    /// shutting down). `output` is empty and 0 device-µs is attributed.
+    /// Only the framed-ingress front door produces this; in-process
+    /// `submit` reports the same conditions as [`crate::SubmitError`]s.
+    Rejected,
 }
 
 impl ServedFrom {
     /// True for the failure outcomes ([`ServedFrom::DeadlineExceeded`],
-    /// [`ServedFrom::PodDown`]) that carry no computed output.
+    /// [`ServedFrom::PodDown`], [`ServedFrom::Throttled`],
+    /// [`ServedFrom::Rejected`]) that carry no computed output.
     pub fn is_failure(&self) -> bool {
-        matches!(self, ServedFrom::DeadlineExceeded | ServedFrom::PodDown)
+        matches!(
+            self,
+            ServedFrom::DeadlineExceeded
+                | ServedFrom::PodDown
+                | ServedFrom::Throttled
+                | ServedFrom::Rejected
+        )
     }
 }
 
@@ -93,7 +113,9 @@ pub struct InferResponse {
 pub(crate) struct InferRequest {
     pub client: u64,
     pub seq: u64,
-    pub input: Vec<f32>,
+    /// Shared, reference-counted input: the same allocation the caller (or
+    /// the ingress codec) produced, never deep-copied on the admission path.
+    pub input: Payload,
     pub submitted: Instant,
     /// The request must start executing before this instant or be answered
     /// [`ServedFrom::DeadlineExceeded`]; `None` never expires. Checked at
@@ -225,6 +247,8 @@ mod tests {
     fn failure_sources_are_flagged() {
         assert!(ServedFrom::DeadlineExceeded.is_failure());
         assert!(ServedFrom::PodDown.is_failure());
+        assert!(ServedFrom::Throttled.is_failure());
+        assert!(ServedFrom::Rejected.is_failure());
         assert!(!ServedFrom::Compute.is_failure());
         assert!(!ServedFrom::CacheHit.is_failure());
         assert!(!ServedFrom::Coalesced.is_failure());

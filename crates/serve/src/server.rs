@@ -40,11 +40,13 @@
 //! still flows through the worker in batch order, so per-client FIFO holds
 //! through crashes, deadlines, and retries alike.
 
-use crate::cache::{input_key, AdmitOutcome, ResponseCache, Waiter};
+use crate::cache::{payload_key, AdmitOutcome, ResponseCache, Waiter};
 use crate::config::ServeConfig;
 use crate::metrics::{
-    CacheStats, ModelMetrics, RegistryShardStats, ResidencySummary, ServeSnapshot,
+    CacheStats, IngressMetrics, IngressStats, ModelMetrics, RegistryShardStats, ResidencySummary,
+    ServeSnapshot,
 };
+use crate::payload::Payload;
 use crate::registry::{DeviceEstimate, ModelRegistry, ModelSpec};
 use crate::replica::{Pod, RouteDecision, RoutePolicy, Settle};
 use crate::request::{
@@ -112,6 +114,11 @@ struct Inner {
     /// The simulated multi-IPU pod: replica occupancy clocks, weight
     /// residency, and the routing policy.
     pod: Pod,
+    /// Counters of the framed-ingress front door, registered by
+    /// [`crate::ingress::IngressServer::start`]; `None` until (unless) an
+    /// ingress is attached, in which case the snapshot reports ingress as
+    /// disabled.
+    ingress: RwLock<Option<Arc<IngressMetrics>>>,
     completion_counter: AtomicU64,
     ipu: IpuDevice,
     gpu: GpuDevice,
@@ -232,6 +239,7 @@ impl Server {
             lanes,
             cache,
             pod,
+            ingress: RwLock::new(None),
             completion_counter: AtomicU64::new(0),
             ipu: IpuDevice::gc200(),
             gpu: GpuDevice::a30(),
@@ -276,6 +284,13 @@ impl Server {
         self.inner.registry.entries().iter().map(|e| e.name().to_string()).collect()
     }
 
+    /// Registers the framed-ingress front door's counter block so it shows
+    /// up in [`Server::snapshot`]. Called by
+    /// [`crate::ingress::IngressServer::start`]; idempotent per ingress.
+    pub(crate) fn register_ingress_metrics(&self, metrics: Arc<IngressMetrics>) {
+        *self.inner.ingress.write() = Some(metrics);
+    }
+
     /// Submits one inference request under the configured
     /// [`ServeConfig::default_deadline`] (none by default).
     ///
@@ -293,7 +308,7 @@ impl Server {
         model: &str,
         client: u64,
         seq: u64,
-        input: Vec<f32>,
+        input: impl Into<Payload>,
     ) -> Result<ResponseHandle, SubmitError> {
         self.submit_with_deadline(model, client, seq, input, self.inner.config.default_deadline)
     }
@@ -309,9 +324,28 @@ impl Server {
         model: &str,
         client: u64,
         seq: u64,
-        input: Vec<f32>,
+        input: impl Into<Payload>,
         deadline: Option<Duration>,
     ) -> Result<ResponseHandle, SubmitError> {
+        let (reply, handle) = ResponseHandle::channel();
+        self.submit_to(model, client, seq, input.into(), deadline, reply)?;
+        Ok(handle)
+    }
+
+    /// The whole submit path against a caller-owned reply channel — what
+    /// the framed-ingress demux uses so one connection's responses funnel
+    /// into one writer instead of a handle per request. Exactly
+    /// [`Server::submit_with_deadline`] otherwise: the payload is shared
+    /// (refcount bumps) through cache admission, coalescing and shedding.
+    pub(crate) fn submit_to(
+        &self,
+        model: &str,
+        client: u64,
+        seq: u64,
+        input: Payload,
+        deadline: Option<Duration>,
+        reply: Sender<InferResponse>,
+    ) -> Result<(), SubmitError> {
         let loc = self.inner.registry.locate(model).ok_or(SubmitError::UnknownModel)?;
         let entry = &self.inner.registry.entries()[loc.index];
         let expected = entry.dim();
@@ -331,7 +365,6 @@ impl Server {
         let sender = &senders[loc.within];
         let submitted = Instant::now();
         let deadline = deadline.map(|d| submitted + d);
-        let (reply, handle) = ResponseHandle::channel();
 
         let Some(cache) = &self.inner.cache else {
             // Cache off: the pre-cache admission path, verbatim.
@@ -340,7 +373,7 @@ impl Server {
             return match sender.try_send(request) {
                 Ok(()) => {
                     metrics.admitted.fetch_add(1, Ordering::Relaxed);
-                    Ok(handle)
+                    Ok(())
                 }
                 Err(TrySendError::Full(_)) => {
                     metrics.shed.fetch_add(1, Ordering::Relaxed);
@@ -350,7 +383,7 @@ impl Server {
             };
         };
 
-        let key = input_key(loc.index, &input);
+        let key = payload_key(loc.index, &input);
         let outcome = cache.admit(
             key,
             &input,
@@ -399,16 +432,16 @@ impl Server {
                     timing,
                 };
                 let _ = reply.send(response);
-                Ok(handle)
+                Ok(())
             }
             AdmitOutcome::Coalesced => {
                 metrics.cache_coalesced.fetch_add(1, Ordering::Relaxed);
-                Ok(handle)
+                Ok(())
             }
             AdmitOutcome::Admitted => {
                 metrics.admitted.fetch_add(1, Ordering::Relaxed);
                 metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-                Ok(handle)
+                Ok(())
             }
             AdmitOutcome::NotAdmitted(e) => {
                 if e == SubmitError::Overloaded {
@@ -468,6 +501,10 @@ impl Server {
             Some(cache) => cache.stats(),
             None => CacheStats::disabled(),
         };
+        let ingress = match self.inner.ingress.read().as_ref() {
+            Some(metrics) => metrics.stats(),
+            None => IngressStats::disabled(),
+        };
         let rc = &self.inner.config.residency;
         let residency = ResidencySummary::from_replicas(
             rc.sram_budget_bytes,
@@ -486,6 +523,7 @@ impl Server {
             total_device_us,
             pod_makespan_us: pod_stats.makespan_us,
             cache,
+            ingress,
             residency,
         }
     }
@@ -671,7 +709,7 @@ fn execute_batch(inner: &Inner, batch: Batch, scratch: &mut Scratch) {
     let mut data = Vec::with_capacity(live * dim);
     for (request, &expired) in batch.requests.iter().zip(&batch.expired) {
         if !expired {
-            data.extend_from_slice(&request.input);
+            request.input.extend_into(&mut data);
         }
     }
     let x = Matrix::from_vec(live, dim, data);

@@ -215,6 +215,9 @@ proptest! {
                 ServedFrom::Coalesced => "coalesced",
                 ServedFrom::DeadlineExceeded => "deadline",
                 ServedFrom::PodDown => "pod_down",
+                // Only the framed-ingress front door produces these; the
+                // in-process submit path never can.
+                ServedFrom::Throttled | ServedFrom::Rejected => "ingress_refusal",
             };
             if r.timing.source.is_failure() {
                 prop_assert!(r.output.is_empty());
