@@ -22,6 +22,8 @@
 //! (default 1.0, multiplies iteration counts).
 
 use bfly_bench::format_table;
+use bfly_bench::json::write_bench_json;
+use bfly_bench::{env_f64, host_cores, smoke_run};
 use bfly_core::{
     flat_butterfly_mask, fused_block_forward, BlockSparseMatrix, LowRankRef, PixelflyConfig,
 };
@@ -61,16 +63,9 @@ struct PixelflyPoint {
 
 #[derive(Serialize)]
 struct BenchOutput {
+    host_cores: usize,
     sweep: Vec<SweepPoint>,
     pixelfly: PixelflyPoint,
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Mean microseconds per call for a (naive, fused) pair, measured in strict
@@ -246,7 +241,7 @@ fn pixelfly_point(n: usize, batch: usize, iters_scale: f64) -> PixelflyPoint {
 }
 
 fn main() {
-    let smoke = env_usize("BFLY_BENCH_SMOKE", 0) == 1 || std::env::args().any(|a| a == "--smoke");
+    let smoke = smoke_run();
     let iters_scale = if smoke { 0.002 } else { env_f64("BFLY_BENCH_ITERS_SCALE", 1.0) };
 
     println!(
@@ -305,12 +300,7 @@ fn main() {
         pixelfly.speedup,
     );
 
-    if smoke {
-        println!("\nsmoke mode: skipping BENCH_blocksparse.json");
-        return;
-    }
-    let output = BenchOutput { sweep, pixelfly };
-    let body = serde_json::to_string_pretty(&output).expect("serializable");
-    std::fs::write("BENCH_blocksparse.json", body).expect("write BENCH_blocksparse.json");
-    println!("\nwrote BENCH_blocksparse.json");
+    let output = BenchOutput { host_cores: host_cores(), sweep, pixelfly };
+    println!();
+    write_bench_json("blocksparse", &output, smoke);
 }

@@ -20,6 +20,8 @@
 //! `--smoke` (or BFLY_BENCH_SMOKE=1) runs a tiny sweep for CI and skips the
 //! JSON write so checked-in numbers always come from a full run.
 
+use bfly_bench::json::write_bench_json;
+use bfly_bench::{env_f64, env_usize, host_cores, smoke_run};
 use bfly_core::Method;
 use bfly_serve::{open_loop_with_pool, CacheConfig, LoadReport, ServeConfig, Server};
 use serde::Serialize;
@@ -64,6 +66,7 @@ struct SweepPoint {
 
 #[derive(Serialize)]
 struct BenchOutput {
+    host_cores: usize,
     dim: usize,
     classes: usize,
     workers: usize,
@@ -73,14 +76,6 @@ struct BenchOutput {
     cache_capacity: usize,
     cache_shards: usize,
     results: Vec<SweepPoint>,
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -138,8 +133,7 @@ fn run_once(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("BFLY_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = smoke_run();
     let dim = env_usize("BFLY_CACHE_DIM", 256);
     let requests = env_usize("BFLY_CACHE_REQUESTS", if smoke { 300 } else { 4000 }) as u64;
     let rate = env_f64("BFLY_CACHE_RATE", 1e6);
@@ -203,11 +197,8 @@ fn main() {
         });
     }
 
-    if smoke {
-        println!("\nsmoke run: BENCH_cache.json left untouched");
-        return;
-    }
     let output = BenchOutput {
+        host_cores: host_cores(),
         dim,
         classes: 10,
         workers,
@@ -218,7 +209,6 @@ fn main() {
         cache_shards: cache_config.shards,
         results,
     };
-    let body = serde_json::to_string_pretty(&output).expect("serializable");
-    std::fs::write("BENCH_cache.json", body).expect("write BENCH_cache.json");
-    println!("\nwrote BENCH_cache.json");
+    println!();
+    write_bench_json("cache", &output, smoke);
 }

@@ -23,6 +23,8 @@
 //! `--smoke` (or BFLY_BENCH_SMOKE=1) runs a tiny sweep for CI and skips the
 //! JSON write so checked-in numbers always come from a full run.
 
+use bfly_bench::json::write_bench_json;
+use bfly_bench::{env_u64, env_usize, host_cores, smoke_run};
 use bfly_core::Method;
 use bfly_serve::{
     closed_loop_models_with_pool, CacheConfig, FaultPlan, LoadReport, ReplicaStats, Routing,
@@ -79,14 +81,6 @@ struct BenchOutput {
     calibration_horizon_us: Vec<(String, f64)>,
     fault_counts: Vec<usize>,
     results: Vec<RunStats>,
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 struct Workload {
@@ -161,8 +155,7 @@ fn run_once(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("BFLY_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = smoke_run();
     let workload = Workload {
         dim: env_usize("BFLY_CHAOS_DIM", 256),
         workers: env_usize("BFLY_CHAOS_WORKERS", 2),
@@ -177,7 +170,7 @@ fn main() {
             .unwrap_or_default(),
         fault_seed: env_u64("BFLY_CHAOS_SEED", 7),
     };
-    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let host_cores = host_cores();
     let fault_counts: Vec<usize> = if smoke { vec![0, 2] } else { vec![0, 2, 4, 8] };
 
     println!(
@@ -258,10 +251,6 @@ fn main() {
         println!();
     }
 
-    if smoke {
-        println!("smoke run: BENCH_chaos.json left untouched");
-        return;
-    }
     let output = BenchOutput {
         dim: workload.dim,
         classes: 10,
@@ -278,9 +267,7 @@ fn main() {
         fault_counts,
         results,
     };
-    let body = serde_json::to_string_pretty(&output).expect("serializable");
-    std::fs::write("BENCH_chaos.json", body).expect("write BENCH_chaos.json");
-    println!("wrote BENCH_chaos.json");
+    write_bench_json("chaos", &output, smoke);
 }
 
 impl RunStats {

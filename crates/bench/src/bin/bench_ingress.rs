@@ -31,6 +31,8 @@
 //! `--smoke` (or BFLY_BENCH_SMOKE=1) runs a tiny version for CI and skips
 //! the JSON write so checked-in numbers always come from a full run.
 
+use bfly_bench::json::write_bench_json;
+use bfly_bench::{env_usize, host_cores, smoke_run};
 use bfly_core::Method;
 use bfly_serve::ingress::transport::pipe_listener;
 use bfly_serve::ingress::{
@@ -42,10 +44,6 @@ use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 fn quantile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
@@ -399,6 +397,7 @@ fn qos_arm(workers: usize, interactive_requests: u64) -> QosArm {
 
 #[derive(Serialize)]
 struct BenchOutput {
+    host_cores: usize,
     dim: usize,
     workers: usize,
     submit: SubmitArm,
@@ -407,8 +406,7 @@ struct BenchOutput {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("BFLY_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = smoke_run();
     let dim = env_usize("BFLY_INGRESS_DIM", 4096);
     let workers = env_usize("BFLY_INGRESS_WORKERS", 2);
     let submits = env_usize("BFLY_INGRESS_SUBMITS", if smoke { 5_000 } else { 200_000 }) as u64;
@@ -453,12 +451,7 @@ fn main() {
         qos.batch_deferred
     );
 
-    if smoke {
-        println!("\nsmoke run: BENCH_ingress.json left untouched");
-        return;
-    }
-    let output = BenchOutput { dim, workers, submit, wire, qos };
-    let body = serde_json::to_string_pretty(&output).expect("serializable");
-    std::fs::write("BENCH_ingress.json", body).expect("write BENCH_ingress.json");
-    println!("\nwrote BENCH_ingress.json");
+    let output = BenchOutput { host_cores: host_cores(), dim, workers, submit, wire, qos };
+    println!();
+    write_bench_json("ingress", &output, smoke);
 }

@@ -30,7 +30,9 @@
 //! (default 4), BFLY_BENCH_SERVE_REQUESTS (per thread, default 2000).
 
 use bfly_bench::format_table;
+use bfly_bench::json::write_bench_json;
 use bfly_bench::legacy::{legacy_apply_batch, legacy_backward, legacy_forward, LegacyButterfly};
+use bfly_bench::{env_f64, env_usize, host_cores, smoke_run};
 use bfly_core::{
     build_shl_inference, fused_backward, fused_forward, fused_forward_train, Butterfly, Method,
 };
@@ -77,16 +79,9 @@ struct ServeComparison {
 
 #[derive(Serialize)]
 struct BenchOutput {
+    host_cores: usize,
     kernels: Vec<KernelPoint>,
     serve: Vec<ServeComparison>,
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Mean microseconds per call for a (legacy, fused) pair, measured in
@@ -290,7 +285,7 @@ fn bench_serve(
         classes,
         threads,
         requests_per_thread,
-        host_cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        host_cores: host_cores(),
         locked_rps,
         lock_free_rps,
         speedup: speedup(1.0 / locked_rps, 1.0 / lock_free_rps),
@@ -298,7 +293,7 @@ fn bench_serve(
 }
 
 fn main() {
-    let smoke = env_usize("BFLY_BENCH_SMOKE", 0) == 1;
+    let smoke = smoke_run();
     let iters_scale = if smoke { 0.001 } else { env_f64("BFLY_BENCH_ITERS_SCALE", 1.0) };
     let (sizes, batches): (&[usize], &[usize]) =
         if smoke { (&[64, 256], &[1, 8]) } else { (&[256, 1024, 4096], &[1, 8, 32, 128]) };
@@ -383,12 +378,7 @@ fn main() {
         );
     }
 
-    if smoke {
-        println!("\nsmoke mode: skipping BENCH_kernels.json");
-        return;
-    }
-    let output = BenchOutput { kernels: points, serve };
-    let body = serde_json::to_string_pretty(&output).expect("serializable");
-    std::fs::write("BENCH_kernels.json", body).expect("write BENCH_kernels.json");
-    println!("\nwrote BENCH_kernels.json");
+    let output = BenchOutput { host_cores: host_cores(), kernels: points, serve };
+    println!();
+    write_bench_json("kernels", &output, smoke);
 }

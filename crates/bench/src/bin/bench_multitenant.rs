@@ -25,6 +25,8 @@
 //! `--smoke` (or BFLY_BENCH_SMOKE=1) runs a tiny sweep for CI and skips the
 //! JSON write so checked-in numbers always come from a full run.
 
+use bfly_bench::json::write_bench_json;
+use bfly_bench::{env_f64, env_u64, env_usize, host_cores, smoke_run};
 use bfly_core::Method;
 use bfly_serve::{
     closed_loop_models_with_pool, CacheConfig, ModelSpec, ResidencyConfig, ResidencyPolicy,
@@ -68,6 +70,7 @@ struct RunStats {
 
 #[derive(Serialize)]
 struct BenchOutput {
+    host_cores: usize,
     dim: usize,
     classes: usize,
     sram_budget_bytes: u64,
@@ -79,18 +82,6 @@ struct BenchOutput {
     trace_len: usize,
     fleet_sizes: Vec<usize>,
     results: Vec<RunStats>,
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 struct Workload {
@@ -178,8 +169,7 @@ fn run_once(w: &Workload, method: Method, models: usize) -> RunStats {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("BFLY_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = smoke_run();
     let workload = Workload {
         dim: env_usize("BFLY_MT_DIM", 256),
         budget: env_u64("BFLY_MT_BUDGET_KB", 1024) * 1024,
@@ -242,11 +232,8 @@ fn main() {
         }
     }
 
-    if smoke {
-        println!("\nsmoke run: BENCH_multitenant.json left untouched");
-        return;
-    }
     let output = BenchOutput {
+        host_cores: host_cores(),
         dim: workload.dim,
         classes: 10,
         sram_budget_bytes: workload.budget,
@@ -259,7 +246,6 @@ fn main() {
         fleet_sizes,
         results,
     };
-    let body = serde_json::to_string_pretty(&output).expect("serializable");
-    std::fs::write("BENCH_multitenant.json", body).expect("write BENCH_multitenant.json");
-    println!("\nwrote BENCH_multitenant.json");
+    println!();
+    write_bench_json("multitenant", &output, smoke);
 }

@@ -24,6 +24,8 @@
 //! `--smoke` (or BFLY_BENCH_SMOKE=1) runs a tiny sweep for CI and skips the
 //! JSON write so checked-in numbers always come from a full run.
 
+use bfly_bench::json::write_bench_json;
+use bfly_bench::{env_u64, env_usize, host_cores, smoke_run};
 use bfly_core::{Method, PixelflyConfig};
 use bfly_serve::{
     closed_loop_models_with_pool, CacheConfig, LoadReport, ReplicaStats, Routing, ServeConfig,
@@ -71,14 +73,6 @@ struct BenchOutput {
     routing: String,
     pod_sizes: Vec<usize>,
     results: Vec<RunStats>,
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 struct Workload {
@@ -142,8 +136,7 @@ fn run_once(w: &Workload, method: Method, replicas: usize) -> (LoadReport, RunSt
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("BFLY_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = smoke_run();
     let workload = Workload {
         dim: env_usize("BFLY_POD_DIM", 256),
         workers: env_usize("BFLY_POD_WORKERS", 2),
@@ -156,7 +149,7 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or_default(),
     };
-    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let host_cores = host_cores();
     let pod_sizes: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] };
 
     println!(
@@ -217,10 +210,7 @@ fn main() {
         }
     }
 
-    if smoke {
-        println!("\nsmoke run: BENCH_pod.json left untouched");
-        return;
-    }
+    println!();
     let output = BenchOutput {
         dim: workload.dim,
         classes: 10,
@@ -234,7 +224,5 @@ fn main() {
         pod_sizes,
         results,
     };
-    let body = serde_json::to_string_pretty(&output).expect("serializable");
-    std::fs::write("BENCH_pod.json", body).expect("write BENCH_pod.json");
-    println!("\nwrote BENCH_pod.json");
+    write_bench_json("pod", &output, smoke);
 }

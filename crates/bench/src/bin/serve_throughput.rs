@@ -20,6 +20,8 @@
 //! (default 4000), BFLY_SERVE_RATE (offered requests/s, default 1e6 ~
 //! burst), BFLY_SERVE_BATCH (default 32), BFLY_SERVE_WORKERS (default 2).
 
+use bfly_bench::json::write_bench_json;
+use bfly_bench::{env_f64, env_usize, host_cores};
 use bfly_core::{Method, PixelflyConfig};
 use bfly_serve::{open_loop, CacheConfig, LoadReport, ServeConfig, Server};
 use serde::Serialize;
@@ -66,19 +68,12 @@ struct MethodResult {
 
 #[derive(Serialize)]
 struct BenchOutput {
+    host_cores: usize,
     dim: usize,
     classes: usize,
     workers: usize,
     offered_rate_rps: f64,
     results: Vec<MethodResult>,
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 fn run_once(
@@ -156,8 +151,14 @@ fn main() {
         });
     }
 
-    let output = BenchOutput { dim, classes: 10, workers, offered_rate_rps: rate, results };
-    let body = serde_json::to_string_pretty(&output).expect("serializable");
-    std::fs::write("BENCH_serve.json", body).expect("write BENCH_serve.json");
-    println!("\nwrote BENCH_serve.json");
+    let output = BenchOutput {
+        host_cores: host_cores(),
+        dim,
+        classes: 10,
+        workers,
+        offered_rate_rps: rate,
+        results,
+    };
+    println!();
+    write_bench_json("serve", &output, false);
 }

@@ -49,6 +49,22 @@ pub fn maybe_write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> 
     }
 }
 
+/// Writes a committed benchmark result — `BENCH_<name>.json` in the
+/// current directory (the repo root under `cargo run`) — unless this is a
+/// smoke run, in which case the checked-in file is left untouched and a
+/// note says so. Full-run serialization or I/O failure is fatal: a bench
+/// run whose numbers cannot be recorded did not happen.
+pub fn write_bench_json<T: Serialize>(name: &str, value: &T, smoke: bool) {
+    let file = format!("BENCH_{name}.json");
+    if smoke {
+        println!("smoke run: {file} left untouched");
+        return;
+    }
+    let body = serde_json::to_string_pretty(value).expect("bench output must serialize");
+    std::fs::write(&file, body).unwrap_or_else(|e| panic!("cannot write {file}: {e}"));
+    println!("wrote {file}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +81,12 @@ mod tests {
         std::env::remove_var("BFLY_JSON");
         assert!(!json_enabled());
         assert!(maybe_write_json("unit-test", &Row { n: 1, value: 2.0 }).is_none());
+    }
+
+    #[test]
+    fn smoke_runs_never_touch_committed_results() {
+        write_bench_json("unit-test-smoke", &Row { n: 1, value: 2.0 }, true);
+        assert!(!std::path::Path::new("BENCH_unit-test-smoke.json").exists());
     }
 
     #[test]

@@ -14,6 +14,38 @@ pub mod tiers;
 
 use std::fmt::Write as _;
 
+/// True when the binary was invoked with `--smoke` (or `BFLY_BENCH_SMOKE=1`
+/// is set): CI-sized sweeps that must never overwrite the checked-in
+/// `BENCH_*.json` numbers, which always come from full runs.
+pub fn smoke_run() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("BFLY_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Reads a `u64` environment knob, falling back to `default` when the
+/// variable is unset or unparsable.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Reads a `usize` environment knob, falling back to `default` when the
+/// variable is unset or unparsable.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Reads an `f64` environment knob, falling back to `default` when the
+/// variable is unset or unparsable.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Host cores available to the process — stamped into every committed
+/// bench JSON so results carry their provenance.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
 /// Formats a plain-text table with a header row and aligned columns.
 pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cols = headers.len();
@@ -118,5 +150,29 @@ mod tests {
         let (m, s) = mean_std(&[1.0, 3.0]);
         assert_eq!(m, 2.0);
         assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn env_knobs_fall_back_and_parse() {
+        // Unique variable names so parallel tests cannot interfere.
+        assert_eq!(env_u64("BFLY_TEST_KNOB_U64_UNSET", 7), 7);
+        std::env::set_var("BFLY_TEST_KNOB_U64", "42");
+        assert_eq!(env_u64("BFLY_TEST_KNOB_U64", 7), 42);
+        std::env::set_var("BFLY_TEST_KNOB_U64", "not a number");
+        assert_eq!(env_u64("BFLY_TEST_KNOB_U64", 7), 7);
+        std::env::remove_var("BFLY_TEST_KNOB_U64");
+
+        std::env::set_var("BFLY_TEST_KNOB_USIZE", "5");
+        assert_eq!(env_usize("BFLY_TEST_KNOB_USIZE", 1), 5);
+        std::env::remove_var("BFLY_TEST_KNOB_USIZE");
+
+        std::env::set_var("BFLY_TEST_KNOB_F64", "2.5");
+        assert_eq!(env_f64("BFLY_TEST_KNOB_F64", 1.0), 2.5);
+        std::env::remove_var("BFLY_TEST_KNOB_F64");
+    }
+
+    #[test]
+    fn host_cores_is_at_least_one() {
+        assert!(host_cores() >= 1);
     }
 }

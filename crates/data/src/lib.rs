@@ -19,4 +19,4 @@ pub use batch::{batches, shuffled_batches, Batch};
 pub use dataset::{split, Dataset, Split};
 pub use images::{generate_images, ImageSpec};
 pub use synth::{generate, SynthSpec};
-pub use workload::{skew_sweep, square_sweep, MatmulProblem};
+pub use workload::{skew_sweep, square_sweep, MatmulProblem, RateSegment, TrafficTrace};

@@ -1,0 +1,208 @@
+//! Elastic autoscaling: a control loop over the windowed metrics deltas.
+//!
+//! When [`crate::AutoscaleConfig`] is enabled the server builds its pod
+//! with `max_replicas` simulated devices but enrolls only
+//! `ServeConfig::replicas` of them, and spawns one controller thread that
+//! every `interval`:
+//!
+//! 1. takes a metrics snapshot and diffs it against the previous sample
+//!    ([`crate::ServeSnapshot::delta_since`]) — counters over the window,
+//!    gauges from the newer snapshot;
+//! 2. condenses the delta into [`ScaleSignals`]: backlog (admission +
+//!    replica queues) per enrolled replica, and the windowed deadline-miss
+//!    rate;
+//! 3. asks the [`ScalePolicy`] for a decision — grow when the backlog or
+//!    miss rate crosses its scale-up threshold, drain when the backlog sits
+//!    below the scale-down threshold with a clean miss rate, hold
+//!    otherwise. Every action arms a cooldown of `cooldown_windows`
+//!    samples, and the up/down thresholds are separated by construction
+//!    (validated as a hysteresis band), so the controller cannot flap on a
+//!    noisy signal;
+//! 4. applies the decision through `Pod::grow` / `Pod::drain` — the same
+//!    transitions deterministic tests drive via `FaultKind::Grow` /
+//!    `FaultKind::Drain` — and logs it to the [`AutoscaleReport`].
+//!
+//! Scale-up is recovery of a cold replica: the grown standby pays the
+//! priced weight load on first touch (unless the warm pool pre-paid it),
+//! so `ReplicaStats::weight_load_us` *is* the time-to-healthy — the
+//! quantity the autoscale bench compares across factorizations. Scale-down
+//! is the crash path minus the crash: stranded batches refund and re-route,
+//! nothing is lost, and no crash is counted.
+//!
+//! The policy itself is a pure function of its signals (plus the cooldown
+//! counter), so the decision logic is unit-tested without a server.
+
+use crate::config::AutoscaleConfig;
+use serde::Serialize;
+
+/// What the controller measured over one sampling window.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleSignals {
+    /// Requests waiting in admission queues plus batches routed but not
+    /// yet settled, per enrolled replica — the backlog signal.
+    pub backlog_per_replica: f64,
+    /// Deadline misses over completions in the window.
+    pub miss_rate: f64,
+    /// Enrolled replicas at sampling time.
+    pub enrolled: usize,
+}
+
+/// One decision of the control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ScaleDecision {
+    /// Enroll a standby (elastic scale-up).
+    Grow,
+    /// Gracefully drain the most recent replica (elastic scale-down).
+    Drain,
+    /// No action this window.
+    Hold,
+}
+
+/// The hysteresis'd threshold policy: pure decision logic over
+/// [`ScaleSignals`], shared by the live controller thread and the unit
+/// tests.
+#[derive(Debug)]
+pub struct ScalePolicy {
+    config: AutoscaleConfig,
+    /// Windows left before another action may fire.
+    cooldown: u32,
+}
+
+impl ScalePolicy {
+    /// A fresh policy (no cooldown armed).
+    pub fn new(config: AutoscaleConfig) -> Self {
+        Self { config, cooldown: 0 }
+    }
+
+    /// Decides this window's action. Arms the cooldown when the decision
+    /// is not [`ScaleDecision::Hold`].
+    pub fn decide(&mut self, signals: ScaleSignals) -> ScaleDecision {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return ScaleDecision::Hold;
+        }
+        let c = &self.config;
+        let decision = if signals.enrolled < c.max_replicas
+            && (signals.backlog_per_replica > c.scale_up_queue_depth
+                || signals.miss_rate > c.scale_up_miss_rate)
+        {
+            ScaleDecision::Grow
+        } else if signals.enrolled > c.min_replicas
+            && signals.backlog_per_replica < c.scale_down_queue_depth
+            && signals.miss_rate <= c.scale_up_miss_rate
+        {
+            ScaleDecision::Drain
+        } else {
+            ScaleDecision::Hold
+        };
+        if decision != ScaleDecision::Hold {
+            self.cooldown = c.cooldown_windows;
+        }
+        decision
+    }
+}
+
+/// One applied scale action, as recorded in the [`AutoscaleReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct AutoscaleEvent {
+    /// Server uptime (seconds, wall clock) when the action was applied.
+    pub at_s: f64,
+    /// What fired (never `Hold` — holds are not recorded).
+    pub decision: ScaleDecision,
+    /// The replica that was grown or drained.
+    pub replica: usize,
+    /// Enrolled replicas after the action.
+    pub enrolled_after: usize,
+    /// The backlog signal that triggered the action.
+    pub backlog_per_replica: f64,
+    /// The windowed deadline-miss rate that triggered the action.
+    pub miss_rate: f64,
+}
+
+/// The controller's action log, exportable as JSON next to the metrics
+/// snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct AutoscaleReport {
+    /// Whether the autoscaler was enabled at all.
+    pub enabled: bool,
+    /// Sampling windows the controller evaluated.
+    pub samples: u64,
+    /// Every applied action, in firing order.
+    pub events: Vec<AutoscaleEvent>,
+}
+
+impl AutoscaleReport {
+    /// The report of a server running without an autoscaler.
+    pub fn disabled() -> Self {
+        Self { enabled: false, samples: 0, events: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signals(backlog: f64, miss: f64, enrolled: usize) -> ScaleSignals {
+        ScaleSignals { backlog_per_replica: backlog, miss_rate: miss, enrolled }
+    }
+
+    fn policy(min: usize, max: usize, cooldown: u32) -> ScalePolicy {
+        ScalePolicy::new(AutoscaleConfig {
+            cooldown_windows: cooldown,
+            ..AutoscaleConfig::bounded(min, max)
+        })
+    }
+
+    #[test]
+    fn backlog_above_threshold_grows_until_the_ceiling() {
+        let mut p = policy(1, 3, 0);
+        assert_eq!(p.decide(signals(5.0, 0.0, 1)), ScaleDecision::Grow);
+        assert_eq!(p.decide(signals(5.0, 0.0, 2)), ScaleDecision::Grow);
+        assert_eq!(p.decide(signals(5.0, 0.0, 3)), ScaleDecision::Hold, "at max_replicas");
+    }
+
+    #[test]
+    fn miss_rate_alone_triggers_growth() {
+        let mut p = policy(1, 2, 0);
+        assert_eq!(p.decide(signals(0.0, 0.5, 1)), ScaleDecision::Grow);
+    }
+
+    #[test]
+    fn idle_pod_drains_to_the_floor_but_not_past_it() {
+        let mut p = policy(1, 4, 0);
+        assert_eq!(p.decide(signals(0.0, 0.0, 3)), ScaleDecision::Drain);
+        assert_eq!(p.decide(signals(0.0, 0.0, 2)), ScaleDecision::Drain);
+        assert_eq!(p.decide(signals(0.0, 0.0, 1)), ScaleDecision::Hold, "at min_replicas");
+    }
+
+    #[test]
+    fn missing_deadlines_blocks_scale_down() {
+        let mut p = policy(1, 4, 0);
+        assert_eq!(p.decide(signals(0.0, 0.5, 3)), ScaleDecision::Grow, "misses mean grow");
+    }
+
+    #[test]
+    fn hysteresis_band_holds_between_the_thresholds() {
+        let mut p = policy(1, 4, 0);
+        // Default band is (0.25, 2.0): a backlog of 1.0 is neither high
+        // enough to grow nor low enough to drain.
+        assert_eq!(p.decide(signals(1.0, 0.0, 2)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_actions() {
+        let mut p = policy(1, 4, 2);
+        assert_eq!(p.decide(signals(9.0, 0.0, 1)), ScaleDecision::Grow);
+        assert_eq!(p.decide(signals(9.0, 0.0, 2)), ScaleDecision::Hold, "cooldown window 1");
+        assert_eq!(p.decide(signals(9.0, 0.0, 2)), ScaleDecision::Hold, "cooldown window 2");
+        assert_eq!(p.decide(signals(9.0, 0.0, 2)), ScaleDecision::Grow, "cooldown expired");
+    }
+
+    #[test]
+    fn disabled_report_is_empty() {
+        let r = AutoscaleReport::disabled();
+        assert!(!r.enabled && r.events.is_empty() && r.samples == 0);
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(json.contains("\"enabled\":false"));
+    }
+}

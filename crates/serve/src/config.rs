@@ -174,6 +174,99 @@ impl IngressConfig {
     }
 }
 
+/// Tunables of the elastic autoscaler (`crate::autoscale`). Disabled by
+/// default: the pod is then built with every replica enrolled and the
+/// runtime is bit-identical to the fixed-pod server.
+///
+/// When enabled, the pod is built with `max_replicas` devices of which
+/// `ServeConfig::replicas` are initially enrolled; the controller thread
+/// samples windowed deltas of the metrics snapshot every `interval` and
+/// grows the pod (enrolling a standby, cold unless pre-warmed) when replica
+/// queues back up or deadline misses spike, or drains it (gracefully, with
+/// stranded batches refunded and re-routed) when occupancy falls.
+#[derive(Debug, Clone)]
+pub struct AutoscaleConfig {
+    /// Master switch. Off: no controller thread, no standbys — the
+    /// fixed-pod runtime bit-exactly.
+    pub enabled: bool,
+    /// Largest pod size the controller may grow to; the pod is built with
+    /// this many devices (standbys beyond the initial enrollment are idle
+    /// until grown). Must be at least `ServeConfig::replicas`.
+    pub max_replicas: usize,
+    /// Smallest enrolled set the controller may drain to (at least 1).
+    pub min_replicas: usize,
+    /// Standby replicas whose weight loads are pre-paid at startup (the
+    /// warm pool): growth into a warm standby has zero cold-load cost.
+    /// Clamped to the available standbys.
+    pub warm_pool: usize,
+    /// Controller sampling period (wall clock).
+    pub interval: Duration,
+    /// Scale up when mean routed-but-unsettled batches per enrolled
+    /// replica exceeds this over the last window.
+    pub scale_up_queue_depth: f64,
+    /// Scale up when the windowed deadline-miss rate (misses over
+    /// completions) exceeds this.
+    pub scale_up_miss_rate: f64,
+    /// Scale down when mean queue depth per enrolled replica stays below
+    /// this over the last window (and the miss rate is clean).
+    pub scale_down_queue_depth: f64,
+    /// Windows the controller holds its fire after any scale action —
+    /// hysteresis against flapping on a noisy signal.
+    pub cooldown_windows: u32,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            max_replicas: 1,
+            min_replicas: 1,
+            warm_pool: 0,
+            interval: Duration::from_millis(2),
+            scale_up_queue_depth: 2.0,
+            scale_up_miss_rate: 0.01,
+            scale_down_queue_depth: 0.25,
+            cooldown_windows: 3,
+        }
+    }
+}
+
+impl AutoscaleConfig {
+    /// An enabled autoscaler bounded to `min..=max` enrolled replicas, with
+    /// the default thresholds.
+    pub fn bounded(min: usize, max: usize) -> Self {
+        Self { enabled: true, min_replicas: min, max_replicas: max, ..Self::default() }
+    }
+
+    /// Panics unless the configuration is usable. `initial` is
+    /// [`ServeConfig::replicas`], the initially enrolled count.
+    pub fn validate(&self, initial: usize) {
+        if !self.enabled {
+            return;
+        }
+        assert!(self.min_replicas >= 1, "min_replicas must be at least 1");
+        assert!(
+            self.min_replicas <= self.max_replicas,
+            "min_replicas must not exceed max_replicas"
+        );
+        assert!(
+            (self.min_replicas..=self.max_replicas).contains(&initial),
+            "initial replicas must lie in min_replicas..=max_replicas"
+        );
+        assert!(self.interval > Duration::ZERO, "autoscale interval must be positive");
+        let finite_nonneg = |v: f64, name: &str| {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative");
+        };
+        finite_nonneg(self.scale_up_queue_depth, "scale_up_queue_depth");
+        finite_nonneg(self.scale_up_miss_rate, "scale_up_miss_rate");
+        finite_nonneg(self.scale_down_queue_depth, "scale_down_queue_depth");
+        assert!(
+            self.scale_down_queue_depth < self.scale_up_queue_depth,
+            "scale_down_queue_depth must sit below scale_up_queue_depth (hysteresis band)"
+        );
+    }
+}
+
 /// Tunables of a [`crate::Server`].
 ///
 /// The defaults serve the paper's SHL benchmark shape (1024-dimensional
@@ -238,6 +331,10 @@ pub struct ServeConfig {
     /// Disabled by default — the pre-ingress runtime bit-exactly; attach
     /// one with `IngressServer::start`.
     pub ingress: IngressConfig,
+    /// Elastic autoscaler: warm-pool standbys and the control loop that
+    /// grows/drains the enrolled replica set at runtime. Disabled by
+    /// default — the fixed-pod runtime bit-exactly.
+    pub autoscale: AutoscaleConfig,
 }
 
 impl Default for ServeConfig {
@@ -260,6 +357,7 @@ impl Default for ServeConfig {
             fault_plan: FaultPlan::none(),
             residency: ResidencyConfig::default(),
             ingress: IngressConfig::default(),
+            autoscale: AutoscaleConfig::default(),
         }
     }
 }
@@ -279,6 +377,7 @@ impl ServeConfig {
         self.fault_plan.validate();
         self.residency.validate();
         self.ingress.validate();
+        self.autoscale.validate(self.replicas);
     }
 }
 
@@ -410,5 +509,41 @@ mod tests {
         let cache = CacheConfig::disabled();
         assert!(!cache.enabled);
         ServeConfig { cache, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn autoscale_defaults_to_disabled_and_validates() {
+        let c = ServeConfig::default();
+        assert!(!c.autoscale.enabled, "autoscaling must be opt-in");
+        c.validate();
+        let autoscale = AutoscaleConfig { warm_pool: 2, ..AutoscaleConfig::bounded(1, 4) };
+        assert!(autoscale.enabled);
+        ServeConfig { autoscale, replicas: 2, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_replicas..=max_replicas")]
+    fn initial_replicas_outside_autoscale_bounds_rejected() {
+        let autoscale = AutoscaleConfig::bounded(2, 4);
+        ServeConfig { autoscale, replicas: 1, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis band")]
+    fn overlapping_autoscale_thresholds_rejected() {
+        let autoscale = AutoscaleConfig {
+            scale_down_queue_depth: 5.0,
+            scale_up_queue_depth: 2.0,
+            ..AutoscaleConfig::bounded(1, 4)
+        };
+        ServeConfig { autoscale, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn disabled_autoscale_skips_bound_checks() {
+        // A disabled block is inert whatever its bounds — exactly like the
+        // ingress master switch.
+        let autoscale = AutoscaleConfig { max_replicas: 0, ..AutoscaleConfig::default() };
+        ServeConfig { autoscale, ..Default::default() }.validate();
     }
 }

@@ -24,6 +24,18 @@
 //! - **Slow**: the replica's compute costs are multiplied by `factor` from
 //!   this point on (link congestion / thermal throttling); `factor = 1.0`
 //!   restores full speed.
+//! - **Grow**: the replica is enrolled into the routable set (elastic
+//!   scale-up). A grown replica is cold: its first batch per model pays
+//!   the priced weight load, which is exactly the pod's time-to-healthy.
+//! - **Drain**: the replica is gracefully removed from the routable set
+//!   (elastic scale-down): in-flight batches strand and are refunded +
+//!   re-routed to survivors like a crash, but no crash is counted and the
+//!   replica stays healthy — it can be grown again later.
+//!
+//! `Grow`/`Drain` give property tests and benches *deterministic* scale
+//! events on the simulated clock; the live autoscaler
+//! (`crate::autoscale`) drives the same pod transitions reactively from
+//! windowed metrics instead.
 //!
 //! [`FaultPlan::none`] is the default and reproduces the fault-free runtime
 //! bit-exactly: no event is ever consulted on the hot path beyond one
@@ -61,6 +73,19 @@ pub enum FaultKind {
         /// Compute-cost multiplier; `1.0` restores full speed.
         factor: f64,
     },
+    /// The replica is enrolled into the routable set (elastic scale-up);
+    /// it serves cold, paying the priced weight load on first touch.
+    Grow {
+        /// Replica index in the pod.
+        replica: usize,
+    },
+    /// The replica is gracefully drained out of the routable set (elastic
+    /// scale-down): outstanding batches strand, are refunded and re-routed
+    /// to survivors, and its SRAM is released.
+    Drain {
+        /// Replica index in the pod.
+        replica: usize,
+    },
 }
 
 impl FaultKind {
@@ -69,7 +94,9 @@ impl FaultKind {
         match *self {
             FaultKind::Crash { replica }
             | FaultKind::Recover { replica }
-            | FaultKind::Slow { replica, .. } => replica,
+            | FaultKind::Slow { replica, .. }
+            | FaultKind::Grow { replica }
+            | FaultKind::Drain { replica } => replica,
         }
     }
 }
@@ -137,6 +164,19 @@ impl FaultPlan {
     /// Degrades `replica` by `factor` from `at_us` simulated microseconds on.
     pub fn slow_from(self, at_us: f64, replica: usize, factor: f64) -> Self {
         self.push(at_us, FaultKind::Slow { replica, factor })
+    }
+
+    /// Schedules an elastic scale-up of `replica` at `at_us` simulated
+    /// microseconds: the (standby) replica joins the routable set cold.
+    pub fn grow_at(self, at_us: f64, replica: usize) -> Self {
+        self.push(at_us, FaultKind::Grow { replica })
+    }
+
+    /// Schedules a graceful drain of `replica` at `at_us` simulated
+    /// microseconds: it leaves the routable set, stranding (and refunding)
+    /// its in-flight batches onto survivors.
+    pub fn drain_at(self, at_us: f64, replica: usize) -> Self {
+        self.push(at_us, FaultKind::Drain { replica })
     }
 
     /// A seeded random plan: `faults` crash/recover pairs spread uniformly
@@ -230,5 +270,15 @@ mod tests {
     #[should_panic(expected = "slow factor")]
     fn validate_rejects_non_positive_factors() {
         FaultPlan::none().slow_from(1.0, 0, 0.0).validate();
+    }
+
+    #[test]
+    fn scale_events_sort_and_target_their_replica() {
+        let plan = FaultPlan::none().drain_at(200.0, 3).grow_at(50.0, 3);
+        let kinds: Vec<FaultKind> = plan.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![FaultKind::Grow { replica: 3 }, FaultKind::Drain { replica: 3 }]);
+        assert_eq!(plan.events()[0].at_ns, 50_000);
+        assert_eq!(plan.events()[1].kind.replica(), 3);
+        plan.validate();
     }
 }

@@ -44,6 +44,13 @@
 //!   refunded and retried on a survivor, per-request deadlines answered
 //!   [`ServedFrom::DeadlineExceeded`], and a fast-failing
 //!   [`SubmitError::PodDown`] once no replica can ever return;
+//! - scales the pod elastically ([`AutoscaleConfig`], [`crate::autoscale`]):
+//!   a controller thread watches windowed metric deltas
+//!   ([`ServeSnapshot::delta_since`]) and grows standbys into the routable
+//!   set (cold, unless the warm pool pre-paid their weight load — the
+//!   grown replica's `weight_load_us` is the pod's time-to-healthy) or
+//!   gracefully drains them back out, with trace-driven traffic generators
+//!   in `bfly-data` to exercise flash crowds and diurnal load;
 //! - shuts down gracefully: every admitted request is answered before
 //!   [`Server::shutdown`] returns.
 //!
@@ -59,6 +66,7 @@
 //! println!("{}", final_metrics.to_json());
 //! ```
 
+pub mod autoscale;
 pub mod cache;
 pub mod config;
 pub mod fault;
@@ -72,17 +80,19 @@ pub mod request;
 pub mod residency;
 pub mod server;
 
+pub use autoscale::{AutoscaleEvent, AutoscaleReport, ScaleDecision, ScalePolicy, ScaleSignals};
 pub use cache::{hash_bytes, input_key, payload_key};
-pub use config::{CacheConfig, IngressConfig, QosConfig, RateLimit, ServeConfig};
+pub use config::{AutoscaleConfig, CacheConfig, IngressConfig, QosConfig, RateLimit, ServeConfig};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use loadgen::{
     closed_loop, closed_loop_models, closed_loop_models_with_pool, closed_loop_with_pool,
-    input_pool, open_loop, open_loop_with_pool, LoadReport, ZipfSampler, DEFAULT_INPUT_POOL,
+    input_pool, open_loop, open_loop_with_pool, trace_loop, LoadReport, ZipfSampler,
+    DEFAULT_INPUT_POOL,
 };
 pub use metrics::{
-    CacheStats, Histogram, IngressMetrics, IngressStats, MethodDeviceStats, ModelMetrics,
-    ModelStats, RegistryShardStats, ReplicaStats, ResidencySummary, ServeSnapshot,
-    TenantIngressStats,
+    CacheStats, Histogram, IngressMetrics, IngressStats, MethodDeviceStats, ModelDelta,
+    ModelMetrics, ModelStats, RegistryShardStats, ReplicaDelta, ReplicaStats, ResidencySummary,
+    ServeSnapshot, SnapshotDelta, TenantIngressStats,
 };
 pub use payload::Payload;
 pub use registry::{

@@ -61,6 +61,13 @@ pub struct LoadReport {
     pub sim_p99_us: f64,
     /// Mean simulated per-batch latency, microseconds.
     pub sim_mean_us: f64,
+    /// Simulated-latency SLO the run was scored against, microseconds
+    /// (0.0 when the generator was not given one).
+    pub slo_sim_us: f64,
+    /// Successful responses whose simulated batch latency exceeded
+    /// `slo_sim_us` — the SLO-miss count of the autoscale bench, measured
+    /// in the simulated domain where weight loads and queueing live.
+    pub sim_slo_misses: u64,
 }
 
 fn quantile(sorted: &[u64], q: f64) -> u64 {
@@ -182,6 +189,29 @@ fn report_from(
     elapsed_s: f64,
     submit_window_s: f64,
 ) -> LoadReport {
+    report_with_slo(
+        offered,
+        accepted,
+        shed,
+        refused_pod_down,
+        outcomes,
+        elapsed_s,
+        submit_window_s,
+        None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report_with_slo(
+    offered: u64,
+    accepted: u64,
+    shed: u64,
+    refused_pod_down: u64,
+    outcomes: Outcomes,
+    elapsed_s: f64,
+    submit_window_s: f64,
+    slo_sim_us: Option<f64>,
+) -> LoadReport {
     let completed = outcomes.completed();
     let Outcomes {
         deadline_exceeded,
@@ -228,6 +258,11 @@ fn report_from(
         sim_p95_us: quantile_f64(&sim_latencies, 0.95),
         sim_p99_us: quantile_f64(&sim_latencies, 0.99),
         sim_mean_us: sim_mean,
+        slo_sim_us: slo_sim_us.unwrap_or(0.0),
+        sim_slo_misses: match slo_sim_us {
+            Some(slo) => sim_latencies.iter().filter(|&&v| v > slo).count() as u64,
+            None => 0,
+        },
     }
 }
 
@@ -303,6 +338,71 @@ pub fn open_loop_with_pool(
     }
     let elapsed_s = start.elapsed().as_secs_f64();
     report_from(total, accepted, shed, refused_pod_down, outcomes, elapsed_s, submit_window_s)
+}
+
+/// Trace-driven open-loop generator: replays a pre-computed arrival
+/// schedule (`arrivals[i]` = seconds after the run starts at which request
+/// `i` is offered, ascending — e.g. `bfly_data::TrafficTrace::arrivals` for
+/// diurnal/flash-crowd/Pareto shapes) against the server, never waiting for
+/// responses during the window. Taking raw offsets keeps this crate
+/// decoupled from the trace builder and makes any replayed schedule —
+/// seeded, recorded, or hand-written — drivable through the same path.
+///
+/// `slo_sim_us`, when given, scores every successful response against a
+/// *simulated*-latency SLO: a response whose batch reserved more than this
+/// many simulated µs on its replica (queued compute plus any cold weight
+/// load) counts as an SLO miss. The autoscale bench uses this to count
+/// misses during a flash-crowd ramp — in the domain where the weight-load
+/// asymmetry between factorizations actually lives.
+pub fn trace_loop(
+    server: &Server,
+    model: &str,
+    arrivals: &[f64],
+    seed: u64,
+    pool_size: usize,
+    slo_sim_us: Option<f64>,
+) -> LoadReport {
+    let dim = server.config().dim;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inputs = input_pool(dim, pool_size, &mut rng);
+
+    let mut handles: Vec<ResponseHandle> = Vec::with_capacity(arrivals.len());
+    let mut shed = 0u64;
+    let mut refused_pod_down = 0u64;
+    let start = Instant::now();
+    for (i, &at_s) in arrivals.iter().enumerate() {
+        let due = start + Duration::from_secs_f64(at_s.max(0.0));
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let i = i as u64;
+        match server.submit(model, i, i, inputs[(i as usize) % inputs.len()].clone()) {
+            Ok(handle) => handles.push(handle),
+            Err(SubmitError::Overloaded) => shed += 1,
+            Err(SubmitError::PodDown) => refused_pod_down += 1,
+            Err(e) => panic!("trace_loop submit failed: {e}"),
+        }
+    }
+    let submit_window_s = start.elapsed().as_secs_f64();
+
+    let accepted = handles.len() as u64;
+    let mut outcomes = Outcomes::default();
+    for handle in handles {
+        let response = handle.wait().expect("admitted requests are always answered");
+        outcomes.absorb(&response);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    report_with_slo(
+        arrivals.len() as u64,
+        accepted,
+        shed,
+        refused_pod_down,
+        outcomes,
+        elapsed_s,
+        submit_window_s,
+        slo_sim_us,
+    )
 }
 
 /// Closed-loop generator: `clients` threads each keep exactly one request in
@@ -540,6 +640,40 @@ mod tests {
         assert_eq!(report.pod_down, 0);
         assert_eq!(report.latency_p99_us, 0, "no successes, no latency samples");
         assert_eq!(report.mean_batch, 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_loop_replays_the_schedule_and_scores_the_sim_slo() {
+        // Cache off so every response is a computation with positive
+        // simulated latency; an impossible SLO of 0 µs must then flag every
+        // success, and an unbounded one must flag none.
+        let config = ServeConfig {
+            dim: 64,
+            classes: 10,
+            seed: 21,
+            max_batch: 4,
+            max_wait: Duration::from_micros(300),
+            queue_capacity: 256,
+            workers: 2,
+            cache: crate::config::CacheConfig::disabled(),
+            ..Default::default()
+        };
+        let server = Server::start(config, &[Method::Butterfly]).expect("valid");
+        let arrivals: Vec<f64> = (0..60).map(|i| i as f64 * 2e-4).collect();
+        let report = trace_loop(&server, "butterfly", &arrivals, 3, 8, Some(0.0));
+        assert_eq!(report.offered, 60);
+        assert_eq!(report.completed, report.accepted);
+        assert_eq!(report.slo_sim_us, 0.0);
+        assert_eq!(
+            report.sim_slo_misses,
+            report.completed - report.deadline_exceeded - report.pod_down,
+            "a 0 µs SLO flags every success"
+        );
+        let generous = trace_loop(&server, "butterfly", &arrivals, 3, 8, Some(f64::INFINITY));
+        assert_eq!(generous.sim_slo_misses, 0, "an unbounded SLO flags nothing");
+        let unscored = trace_loop(&server, "butterfly", &arrivals, 3, 8, None);
+        assert_eq!((unscored.slo_sim_us, unscored.sim_slo_misses), (0.0, 0));
         server.shutdown();
     }
 

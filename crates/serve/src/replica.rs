@@ -48,6 +48,25 @@
 //! cold — it re-pays the one-time weight load per model. The per-model
 //! device-time tally lives in the same critical section as the per-replica
 //! clocks, so a snapshot can never observe one ahead of the other.
+//!
+//! # Elasticity
+//!
+//! The pod can be built with more replicas than it initially *enrolls*:
+//! replicas beyond the active set are healthy standbys that routing never
+//! sees. [`Pod::grow`] enrolls a standby at runtime (elastic scale-up) —
+//! the grown replica is cold, so its first batch per model pays the priced
+//! weight load through the residency manager, which is exactly the pod's
+//! *time-to-healthy* and lands in `ReplicaStats::weight_load_us`.
+//! [`Pod::drain`] gracefully removes the most recently enrolled replica
+//! (scale-down): it reuses the crash machinery — epoch bump, stranded
+//! batches refunded and re-routed to survivors, SRAM released — without
+//! counting a crash, so the replica can be grown again later. A warm pool
+//! ([`Pod::prewarm_standby`]) pre-pays standby weight loads at startup so
+//! later growth is instant. Deterministic tests drive the same transitions
+//! from the fault plan (`FaultKind::Grow` / `FaultKind::Drain`); the live
+//! autoscaler (`crate::autoscale`) calls `grow`/`drain` reactively. With
+//! every replica enrolled at construction — the default — none of this is
+//! reachable and the pod behaves exactly as the fixed-size one did.
 
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::metrics::ReplicaStats;
@@ -228,6 +247,13 @@ struct ReplicaState {
     requests: u64,
     /// Healthy and eligible for routing.
     up: bool,
+    /// Member of the routable set. Standby replicas (built but never grown,
+    /// or drained by scale-down) are healthy yet invisible to routing.
+    enrolled: bool,
+    /// Elastic scale-ups applied to this replica.
+    scale_ups: u64,
+    /// Elastic drains applied to this replica.
+    drains: u64,
     /// Bumped on every crash; a batch whose routing epoch no longer matches
     /// at settle time was stranded and must be refunded + re-routed.
     epoch: u64,
@@ -342,8 +368,16 @@ impl Pod {
     /// config that is all of them — the pre-pod runtime priced all batches
     /// on that one device, weights already in SRAM); the other replicas are
     /// cold. Plan events that target a replica outside the pod are ignored.
+    ///
+    /// `active` is the number of replicas initially enrolled for routing;
+    /// replicas `active..spec.ipus` are standbys the elastic machinery
+    /// ([`Pod::grow`] or planned `FaultKind::Grow` events) can enroll
+    /// later. `active == spec.ipus` — the fixed-pod case — leaves no
+    /// standby and reproduces the pre-elastic runtime exactly.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         spec: PodSpec,
+        active: usize,
         policy: Box<dyn RoutePolicy>,
         capacity: usize,
         profiles: Vec<ModelProfile>,
@@ -352,18 +386,22 @@ impl Pod {
         plan: &FaultPlan,
     ) -> Self {
         assert!(spec.ipus >= 1, "pod needs at least one replica");
+        assert!((1..=spec.ipus).contains(&active), "active replicas must be in 1..=pod size");
         assert!(capacity >= 1, "replica queue capacity must be positive");
         plan.validate();
         let models = profiles.len();
         let manager = ResidencyManager::new(residency, &spec, spec.ipus, profiles, tenants);
         let replicas = (0..spec.ipus)
-            .map(|_| ReplicaState {
+            .map(|i| ReplicaState {
                 committed_ns: 0,
                 retired_ns: 0,
                 outstanding: 0,
                 batches: 0,
                 requests: 0,
                 up: true,
+                enrolled: i < active,
+                scale_ups: 0,
+                drains: 0,
                 epoch: 0,
                 slow_factor: 1.0,
                 crashes: 0,
@@ -448,16 +486,52 @@ impl Pod {
                 }
                 false
             }
+            FaultKind::Grow { replica } => Self::enroll(state, replica),
+            FaultKind::Drain { replica } => Self::unenroll(state, replica),
         }
     }
 
-    /// Recomputes the dead flag: all replicas down and no recovery pending.
+    /// Enrolls a standby replica into the routable set. Returns true when
+    /// the routable set changed (no-op for already-enrolled or crashed
+    /// replicas).
+    fn enroll(state: &mut PodState, replica: usize) -> bool {
+        let r = &mut state.replicas[replica];
+        if r.enrolled || !r.up {
+            return false;
+        }
+        r.enrolled = true;
+        r.scale_ups += 1;
+        true
+    }
+
+    /// Gracefully removes a replica from the routable set: the epoch bump
+    /// strands its outstanding batches exactly like a crash (refund +
+    /// re-route at settle time) and its SRAM is released with the device —
+    /// but no crash is counted and the replica stays healthy, ready to be
+    /// grown again. Returns true when the routable set changed.
+    fn unenroll(state: &mut PodState, replica: usize) -> bool {
+        let r = &mut state.replicas[replica];
+        if !r.enrolled {
+            return false;
+        }
+        r.enrolled = false;
+        r.drains += 1;
+        r.epoch += 1;
+        r.slow_factor = 1.0;
+        state.residency.wipe(replica);
+        true
+    }
+
+    /// Recomputes the dead flag: no routable replica, no healthy standby
+    /// the elastic machinery could enroll, and no recovery or growth left
+    /// in the plan.
     fn refresh_dead(&self, state: &PodState) {
-        let any_up = state.replicas.iter().any(|r| r.up);
-        let recovery_pending = state.events[state.next_event..]
+        let any_routable = state.replicas.iter().any(|r| r.up && r.enrolled);
+        let any_standby = state.replicas.iter().any(|r| r.up && !r.enrolled);
+        let revival_pending = state.events[state.next_event..]
             .iter()
-            .any(|e| matches!(e.kind, FaultKind::Recover { .. }));
-        self.dead.store(!any_up && !recovery_pending, Ordering::Release);
+            .any(|e| matches!(e.kind, FaultKind::Recover { .. } | FaultKind::Grow { .. }));
+        self.dead.store(!any_routable && !any_standby && !revival_pending, Ordering::Release);
     }
 
     /// Routes one batch: the policy picks a replica from a consistent
@@ -484,7 +558,7 @@ impl Pod {
                 .replicas
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| r.up)
+                .filter(|(_, r)| r.up && r.enrolled)
                 .map(|(i, r)| ReplicaOccupancy {
                     replica: i,
                     busy_until_ns: r.committed_ns,
@@ -587,7 +661,7 @@ impl Pod {
             .replicas
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.up)
+            .filter(|(_, r)| r.up && r.enrolled)
             .map(|(i, r)| ReplicaOccupancy {
                 replica: i,
                 busy_until_ns: r.committed_ns,
@@ -607,6 +681,86 @@ impl Pod {
         replica.retried += 1;
         state.model_device_ns[model] += cost_ns;
         Some(RerouteDecision { replica: pick, cost_ns })
+    }
+
+    /// Elastic scale-up: enrolls the lowest-indexed healthy standby into
+    /// the routable set and returns its index, or `None` when no standby is
+    /// available. The grown replica serves cold unless it was pre-warmed —
+    /// its first batch per model pays the priced weight load, which is the
+    /// pod's time-to-healthy. Warm-pool replicas are the lowest-indexed
+    /// standbys, so they are preferred automatically.
+    pub fn grow(&self) -> Option<usize> {
+        let mut guard = self.state.lock();
+        let idx = guard.replicas.iter().position(|r| r.up && !r.enrolled)?;
+        let changed = Self::enroll(&mut guard, idx);
+        if changed {
+            self.refresh_dead(&guard);
+        }
+        drop(guard);
+        self.freed.notify_all();
+        changed.then_some(idx)
+    }
+
+    /// Elastic scale-down: gracefully drains the highest-indexed enrolled
+    /// replica back to standby and returns its index. Refuses (returns
+    /// `None`) when the enrolled count is at or below `min_enrolled` (at
+    /// least 1) — the pod never drains itself to zero. Outstanding batches
+    /// on the drained replica strand and are refunded + re-routed to
+    /// survivors by the workers that settle them.
+    pub fn drain(&self, min_enrolled: usize) -> Option<usize> {
+        let floor = min_enrolled.max(1);
+        let mut guard = self.state.lock();
+        if guard.replicas.iter().filter(|r| r.enrolled).count() <= floor {
+            return None;
+        }
+        let idx = guard.replicas.iter().rposition(|r| r.enrolled)?;
+        let changed = Self::unenroll(&mut guard, idx);
+        if changed {
+            self.refresh_dead(&guard);
+        }
+        drop(guard);
+        self.freed.notify_all();
+        changed.then_some(idx)
+    }
+
+    /// Pre-pays the weight load of every model on up to `count` healthy
+    /// standby replicas (the warm pool), so a later [`Pod::grow`] routes
+    /// with zero cold-load cost. The load is charged honestly: it lands on
+    /// the standby's occupancy clock (committed and retired — the device
+    /// genuinely spent that simulated time) and in the per-model device
+    /// tally, keeping the replica-vs-model ledgers balanced. Returns the
+    /// total simulated ns charged.
+    pub fn prewarm_standby(&self, count: usize) -> u64 {
+        let mut guard = self.state.lock();
+        let state = &mut *guard;
+        let models = state.model_device_ns.len();
+        let mut charged = 0u64;
+        let mut warmed = 0usize;
+        for idx in 0..state.replicas.len() {
+            if warmed >= count {
+                break;
+            }
+            if !state.replicas[idx].up || state.replicas[idx].enrolled {
+                continue;
+            }
+            warmed += 1;
+            for model in 0..models {
+                let charge = state.residency.touch(idx, model);
+                if charge.weight_ns > 0 {
+                    let r = &mut state.replicas[idx];
+                    r.committed_ns += charge.weight_ns;
+                    r.retired_ns += charge.weight_ns;
+                    state.model_device_ns[model] += charge.weight_ns;
+                    charged += charge.weight_ns;
+                }
+            }
+        }
+        charged
+    }
+
+    /// Number of replicas currently enrolled for routing (healthy or not).
+    pub fn active_replicas(&self) -> usize {
+        self.state.lock().replicas.iter().filter(|r| r.enrolled).count()
     }
 
     /// Applies one fault immediately, outside the plan (tests only).
@@ -655,6 +809,9 @@ impl Pod {
                     recoveries: r.recoveries,
                     retried_batches: r.retried,
                     up: r.up,
+                    enrolled: r.enrolled,
+                    scale_ups: r.scale_ups,
+                    drains: r.drains,
                 }
             })
             .collect();
@@ -690,11 +847,26 @@ mod tests {
     ) -> Pod {
         Pod::new(
             PodSpec::with_ipus(replicas),
+            replicas,
             policy.build(),
             capacity,
             profiles(bytes),
             vec!["default".to_string()],
             residency,
+            plan,
+        )
+    }
+
+    /// A pod with standbys: `active` of `replicas` enrolled at start.
+    fn elastic_pod(replicas: usize, active: usize, bytes: &[u64], plan: &FaultPlan) -> Pod {
+        Pod::new(
+            PodSpec::with_ipus(replicas),
+            active,
+            Routing::RoundRobin.build(),
+            64,
+            profiles(bytes),
+            vec!["default".to_string()],
+            &ResidencyConfig::default(),
             plan,
         )
     }
@@ -1163,5 +1335,151 @@ mod tests {
         assert_eq!(stats.replicas[1].cold_loads, 2, "one cold load per model, ever");
         assert!(stats.replicas.iter().all(|r| r.evictions == 0 && r.paged_in_bytes == 0));
         assert_eq!(stats.replicas[0].resident_models, 2);
+    }
+
+    #[test]
+    fn standby_replicas_are_invisible_until_grown() {
+        let p = elastic_pod(3, 1, &[0], &FaultPlan::none());
+        assert_eq!(p.active_replicas(), 1);
+        for _ in 0..6 {
+            let d = p.route(0, 5.0).unwrap();
+            assert_eq!(d.replica, 0, "standbys never routed to");
+            p.settle(0, &d, 1);
+        }
+        assert_eq!(p.grow(), Some(1), "lowest-indexed standby enrolls first");
+        assert_eq!(p.active_replicas(), 2);
+        let mut seen = [0u64; 3];
+        for _ in 0..6 {
+            let d = p.route(0, 5.0).unwrap();
+            seen[d.replica] += 1;
+            p.settle(0, &d, 1);
+        }
+        assert_eq!(seen[2], 0, "replica 2 is still a standby");
+        assert!(seen[1] > 0, "the grown replica serves");
+        let stats = p.stats();
+        assert!(stats.replicas[1].enrolled && stats.replicas[1].scale_ups == 1);
+        assert!(!stats.replicas[2].enrolled);
+    }
+
+    #[test]
+    fn grow_pays_the_cold_load_as_time_to_healthy() {
+        let p = elastic_pod(2, 1, &[4_000_000], &FaultPlan::none());
+        let warm = p.route(0, 10.0).unwrap();
+        assert_eq!((warm.replica, warm.weight_ns), (0, 0), "replica 0 starts warm");
+        p.settle(0, &warm, 1);
+        assert_eq!(p.grow(), Some(1));
+        // Round-robin over {0, 1}: one of the next two routes lands on the
+        // grown replica, whose first batch carries the full weight load.
+        let d0 = p.route(0, 10.0).unwrap();
+        let d1 = p.route(0, 10.0).unwrap();
+        let grown = if d0.replica == 1 { d0 } else { d1 };
+        assert_eq!([d0.replica, d1.replica].iter().filter(|&&r| r == 1).count(), 1);
+        let load_ns = us_to_ns(weight_load_seconds(&PodSpec::with_ipus(2), 4_000_000) * 1e6);
+        assert_eq!(grown.weight_ns, load_ns, "the grown replica serves cold");
+        p.settle(0, &d0, 1);
+        p.settle(0, &d1, 1);
+        let stats = p.stats();
+        assert!((stats.replicas[1].weight_load_us - load_ns as f64 / 1e3).abs() < 1e-9);
+        assert_eq!(stats.replicas[1].cold_loads, 1);
+    }
+
+    #[test]
+    fn drain_strands_outstanding_batches_without_counting_a_crash() {
+        let p = elastic_pod(2, 2, &[0], &FaultPlan::none());
+        let d0 = p.route(0, 10.0).unwrap();
+        let d1 = p.route(0, 10.0).unwrap();
+        assert_eq!((d0.replica, d1.replica), (0, 1));
+        assert_eq!(p.drain(1), Some(1), "highest-indexed enrolled replica drains");
+        assert_eq!(p.drain(1), None, "the floor refuses a second drain");
+        // The worker executing the drained replica's batch discovers the
+        // strand at settle time, exactly like a crash.
+        assert_eq!(p.settle(0, &d1, 2), Settle::Stranded);
+        let r = p.reroute(0, 10.0, 2).expect("replica 0 survives");
+        assert_eq!(r.replica, 0);
+        assert_eq!(p.settle(0, &d0, 1), Settle::Retired);
+        let stats = p.stats();
+        assert_eq!(stats.replicas[1].crashes, 0, "a drain is not a crash");
+        assert_eq!(stats.replicas[1].drains, 1);
+        assert!(stats.replicas[1].up && !stats.replicas[1].enrolled);
+        assert_eq!(stats.replicas[1].device_us, 0.0, "the refund drained the reservation");
+        assert_eq!(stats.replicas[0].retried_batches, 1);
+        // The drained replica can come back — cold, since its SRAM was
+        // released with the device.
+        assert_eq!(p.grow(), Some(1));
+        assert_eq!(p.stats().replicas[1].scale_ups, 1);
+    }
+
+    #[test]
+    fn prewarm_standby_prepays_the_load_so_growth_is_instant() {
+        let p = elastic_pod(3, 1, &[4_000_000], &FaultPlan::none());
+        let charged = p.prewarm_standby(1);
+        let load_ns = us_to_ns(weight_load_seconds(&PodSpec::with_ipus(3), 4_000_000) * 1e6);
+        assert_eq!(charged, load_ns, "one standby, one model, one cold load");
+        assert_eq!(p.prewarm_standby(1), 0, "already warm: nothing more to pay");
+        assert_eq!(p.grow(), Some(1));
+        let d0 = p.route(0, 10.0).unwrap();
+        let d1 = p.route(0, 10.0).unwrap();
+        assert_eq!((d0.replica, d1.replica), (0, 1));
+        assert_eq!(d1.weight_ns, 0, "the warm-pool replica serves with zero cold load");
+        p.settle(0, &d0, 1);
+        p.settle(0, &d1, 1);
+        let stats = p.stats();
+        // The pre-paid load sits honestly on the standby's clock and in the
+        // model tally, so the two ledgers still agree.
+        assert!((stats.replicas[1].weight_load_us - load_ns as f64 / 1e3).abs() < 1e-9);
+        let settled: u64 = stats.model_device_ns.iter().sum();
+        let per_replica: f64 = stats.replicas.iter().map(|r| r.device_us).sum();
+        assert!((settled as f64 / 1e3 - per_replica).abs() < 1e-9, "tallies agree after prewarm");
+    }
+
+    #[test]
+    fn planned_scale_events_fire_on_the_simulated_clock() {
+        let plan = FaultPlan::none().grow_at(25.0, 1).drain_at(55.0, 1);
+        let p = elastic_pod(2, 1, &[0], &plan);
+        // Clock 10 µs: growth has not fired, only replica 0 routes.
+        let d0 = p.route(0, 10.0).unwrap();
+        assert_eq!(d0.replica, 0);
+        p.settle(0, &d0, 1);
+        // Clock 30 µs: the grow fires before routing; round-robin now
+        // alternates over {0, 1}.
+        let d1 = p.route(0, 20.0).unwrap();
+        let d2 = p.route(0, 20.0).unwrap();
+        assert_eq!([d1.replica, d2.replica].iter().filter(|&&r| r == 1).count(), 1);
+        p.settle(0, &d1, 1);
+        p.settle(0, &d2, 1);
+        // Clock 70 µs: the drain fires; replica 1 is a standby again.
+        let d3 = p.route(0, 20.0).unwrap();
+        let d4 = p.route(0, 20.0).unwrap();
+        assert_eq!((d3.replica, d4.replica), (0, 0));
+        p.settle(0, &d3, 1);
+        p.settle(0, &d4, 1);
+        let stats = p.stats();
+        assert_eq!((stats.replicas[1].scale_ups, stats.replicas[1].drains), (1, 1));
+        assert!(!stats.replicas[1].enrolled);
+    }
+
+    #[test]
+    fn pod_with_only_standbys_left_is_not_dead() {
+        let p = elastic_pod(2, 1, &[0], &FaultPlan::none());
+        p.inject(FaultKind::Crash { replica: 0 });
+        assert_eq!(p.route(0, 5.0), Err(PodDown), "no enrolled replica to route to");
+        assert!(!p.is_dead(), "a healthy standby keeps the pod revivable");
+        assert_eq!(p.grow(), Some(1));
+        let d = p.route(0, 5.0).unwrap();
+        assert_eq!(d.replica, 1);
+        p.settle(0, &d, 1);
+        p.inject(FaultKind::Crash { replica: 1 });
+        assert!(p.is_dead(), "every replica down, nothing left to enroll");
+    }
+
+    #[test]
+    fn grow_skips_crashed_standbys_and_drain_respects_the_floor() {
+        let p = elastic_pod(3, 1, &[0], &FaultPlan::none());
+        p.inject(FaultKind::Crash { replica: 1 });
+        assert_eq!(p.grow(), Some(2), "the crashed standby is skipped");
+        assert_eq!(p.grow(), None, "no healthy standby left");
+        assert_eq!(p.drain(2), None, "floor above enrolled count refuses");
+        assert_eq!(p.drain(0), Some(2), "floor clamps to at least one enrolled replica");
+        assert_eq!(p.drain(0), None, "never drains the last enrolled replica");
     }
 }

@@ -40,6 +40,7 @@
 //! still flows through the worker in batch order, so per-client FIFO holds
 //! through crashes, deadlines, and retries alike.
 
+use crate::autoscale::{AutoscaleEvent, AutoscaleReport, ScaleDecision, ScalePolicy, ScaleSignals};
 use crate::cache::{payload_key, AdmitOutcome, ResponseCache, Waiter};
 use crate::config::ServeConfig;
 use crate::metrics::{
@@ -58,7 +59,7 @@ use bfly_gpu::GpuDevice;
 use bfly_ipu::{IpuDevice, PodSpec};
 use bfly_tensor::{Matrix, Scratch};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -104,6 +105,17 @@ struct ShardLane {
     submit: RwLock<Option<Vec<Sender<InferRequest>>>>,
 }
 
+/// Shared state of the autoscale controller thread: a shutdown latch the
+/// server flips at drain time (so the controller exits promptly instead of
+/// sleeping out its interval) and the action log the report reads.
+struct AutoscaleState {
+    /// `(flag, condvar)`: `stop_and_join` sets the flag and notifies.
+    shutdown: Mutex<bool>,
+    wake: Condvar,
+    events: Mutex<Vec<AutoscaleEvent>>,
+    samples: AtomicU64,
+}
+
 struct Inner {
     config: ServeConfig,
     registry: ModelRegistry,
@@ -119,6 +131,9 @@ struct Inner {
     /// ingress is attached, in which case the snapshot reports ingress as
     /// disabled.
     ingress: RwLock<Option<Arc<IngressMetrics>>>,
+    /// Present iff `config.autoscale.enabled`: the controller thread's
+    /// shutdown latch and action log.
+    autoscale: Option<AutoscaleState>,
     completion_counter: AtomicU64,
     ipu: IpuDevice,
     gpu: GpuDevice,
@@ -134,6 +149,7 @@ pub struct Server {
     inner: Arc<Inner>,
     batchers: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    autoscaler: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -223,8 +239,15 @@ impl Server {
                 ModelProfile { weight_bytes: entry.weight_bytes(), tenant }
             })
             .collect();
+        // With autoscaling enabled the pod is built at its ceiling but only
+        // `config.replicas` are enrolled; the rest are standbys the
+        // controller (or planned Grow events) can enroll later. Disabled,
+        // the pod is exactly the fixed-size one — same size, all enrolled.
+        let pod_size =
+            if config.autoscale.enabled { config.autoscale.max_replicas } else { config.replicas };
         let pod = Pod::new(
-            PodSpec::with_ipus(config.replicas),
+            PodSpec::with_ipus(pod_size),
+            config.replicas,
             policy,
             config.replica_queue,
             profiles,
@@ -232,6 +255,15 @@ impl Server {
             &config.residency,
             &config.fault_plan,
         );
+        if config.autoscale.enabled && config.autoscale.warm_pool > 0 {
+            pod.prewarm_standby(config.autoscale.warm_pool);
+        }
+        let autoscale = config.autoscale.enabled.then(|| AutoscaleState {
+            shutdown: Mutex::new(false),
+            wake: Condvar::new(),
+            events: Mutex::new(Vec::new()),
+            samples: AtomicU64::new(0),
+        });
         let inner = Arc::new(Inner {
             config: config.clone(),
             registry,
@@ -240,6 +272,7 @@ impl Server {
             cache,
             pod,
             ingress: RwLock::new(None),
+            autoscale,
             completion_counter: AtomicU64::new(0),
             ipu: IpuDevice::gc200(),
             gpu: GpuDevice::a30(),
@@ -271,7 +304,15 @@ impl Server {
             .collect();
         drop(batch_rx);
 
-        Ok(Self { inner, batchers, workers })
+        let autoscaler = inner.autoscale.is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-autoscaler".to_string())
+                .spawn(move || autoscaler_loop(&inner))
+                .expect("spawn autoscaler")
+        });
+
+        Ok(Self { inner, batchers, workers, autoscaler })
     }
 
     /// The server's configuration.
@@ -454,77 +495,20 @@ impl Server {
 
     /// A point-in-time metrics snapshot (exportable as JSON).
     pub fn snapshot(&self) -> ServeSnapshot {
-        let elapsed_s = self.inner.started.elapsed().as_secs_f64();
-        let registry = &self.inner.registry;
-        let mut model_depths = vec![0usize; registry.len()];
-        let mut shards = Vec::with_capacity(registry.shard_count());
-        for shard in 0..registry.shard_count() {
-            let guard = self.inner.lanes[shard].submit.read();
-            let mut queue_depth = 0;
-            for (within, &index) in registry.shard_members(shard).iter().enumerate() {
-                let depth = guard.as_ref().map_or(0, |senders| senders[within].len());
-                model_depths[index] = depth;
-                queue_depth += depth;
-            }
-            shards.push(RegistryShardStats {
-                shard,
-                models: registry.shard_members(shard).len(),
-                queue_depth,
-            });
-        }
-        // One lock acquisition yields both accountings of simulated device
-        // time — per replica (retirement clocks) and per model (settlement
-        // tallies) — so no batch can settle between the two reads and the
-        // snapshot's cross-check holds even mid-flight.
-        let pod_stats = self.inner.pod.stats();
-        let models: Vec<crate::metrics::ModelStats> = registry
-            .entries()
-            .iter()
-            .zip(&self.inner.metrics)
-            .enumerate()
-            .map(|(i, (entry, metrics))| {
-                let res = &pod_stats.model_residency[i];
-                metrics.snapshot(
-                    entry.name(),
-                    entry.tenant(),
-                    entry.method().label(),
-                    entry.weight_bytes(),
-                    elapsed_s,
-                    model_depths[i],
-                    entry.memoized_estimates(),
-                    pod_stats.model_device_ns[i],
-                    (res.hits, res.misses, res.paged_in_bytes),
-                )
-            })
-            .collect();
-        let cache = match &self.inner.cache {
-            Some(cache) => cache.stats(),
-            None => CacheStats::disabled(),
-        };
-        let ingress = match self.inner.ingress.read().as_ref() {
-            Some(metrics) => metrics.stats(),
-            None => IngressStats::disabled(),
-        };
-        let rc = &self.inner.config.residency;
-        let residency = ResidencySummary::from_replicas(
-            rc.sram_budget_bytes,
-            rc.policy.label(),
-            rc.tenant_quotas.iter().map(|q| (q.tenant.clone(), q.resident_bytes)).collect(),
-            &pod_stats.replicas,
-        );
-        let total_device_us = models.iter().map(|m| m.device_us).sum();
-        let methods = crate::metrics::MethodDeviceStats::rollup(&models);
-        ServeSnapshot {
-            elapsed_s,
-            models,
-            methods,
-            shards,
-            replicas: pod_stats.replicas,
-            total_device_us,
-            pod_makespan_us: pod_stats.makespan_us,
-            cache,
-            ingress,
-            residency,
+        snapshot_of(&self.inner)
+    }
+
+    /// The autoscale controller's action log: every grow/drain it applied,
+    /// with the signals that triggered it. Empty (with `enabled: false`)
+    /// when autoscaling is off.
+    pub fn autoscale_report(&self) -> AutoscaleReport {
+        match &self.inner.autoscale {
+            Some(state) => AutoscaleReport {
+                enabled: true,
+                samples: state.samples.load(Ordering::Relaxed),
+                events: state.events.lock().clone(),
+            },
+            None => AutoscaleReport::disabled(),
         }
     }
 
@@ -538,6 +522,15 @@ impl Server {
     }
 
     fn stop_and_join(&mut self) {
+        // The controller goes first: a scale action firing mid-drain would
+        // race the final snapshot for no benefit.
+        if let Some(handle) = self.autoscaler.take() {
+            if let Some(state) = &self.inner.autoscale {
+                *state.shutdown.lock() = true;
+                state.wake.notify_all();
+            }
+            let _ = handle.join();
+        }
         for lane in &self.inner.lanes {
             *lane.submit.write() = None;
         }
@@ -553,6 +546,134 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop_and_join();
+    }
+}
+
+/// The snapshot builder, shared by [`Server::snapshot`] and the autoscale
+/// controller thread (which holds only the `Inner`).
+fn snapshot_of(inner: &Inner) -> ServeSnapshot {
+    let elapsed_s = inner.started.elapsed().as_secs_f64();
+    let registry = &inner.registry;
+    let mut model_depths = vec![0usize; registry.len()];
+    let mut shards = Vec::with_capacity(registry.shard_count());
+    for shard in 0..registry.shard_count() {
+        let guard = inner.lanes[shard].submit.read();
+        let mut queue_depth = 0;
+        for (within, &index) in registry.shard_members(shard).iter().enumerate() {
+            let depth = guard.as_ref().map_or(0, |senders| senders[within].len());
+            model_depths[index] = depth;
+            queue_depth += depth;
+        }
+        shards.push(RegistryShardStats {
+            shard,
+            models: registry.shard_members(shard).len(),
+            queue_depth,
+        });
+    }
+    // One lock acquisition yields both accountings of simulated device
+    // time — per replica (retirement clocks) and per model (settlement
+    // tallies) — so no batch can settle between the two reads and the
+    // snapshot's cross-check holds even mid-flight.
+    let pod_stats = inner.pod.stats();
+    let models: Vec<crate::metrics::ModelStats> = registry
+        .entries()
+        .iter()
+        .zip(&inner.metrics)
+        .enumerate()
+        .map(|(i, (entry, metrics))| {
+            let res = &pod_stats.model_residency[i];
+            metrics.snapshot(
+                entry.name(),
+                entry.tenant(),
+                entry.method().label(),
+                entry.weight_bytes(),
+                elapsed_s,
+                model_depths[i],
+                entry.memoized_estimates(),
+                pod_stats.model_device_ns[i],
+                (res.hits, res.misses, res.paged_in_bytes),
+            )
+        })
+        .collect();
+    let cache = match &inner.cache {
+        Some(cache) => cache.stats(),
+        None => CacheStats::disabled(),
+    };
+    let ingress = match inner.ingress.read().as_ref() {
+        Some(metrics) => metrics.stats(),
+        None => IngressStats::disabled(),
+    };
+    let rc = &inner.config.residency;
+    let residency = ResidencySummary::from_replicas(
+        rc.sram_budget_bytes,
+        rc.policy.label(),
+        rc.tenant_quotas.iter().map(|q| (q.tenant.clone(), q.resident_bytes)).collect(),
+        &pod_stats.replicas,
+    );
+    let total_device_us = models.iter().map(|m| m.device_us).sum();
+    let methods = crate::metrics::MethodDeviceStats::rollup(&models);
+    ServeSnapshot {
+        elapsed_s,
+        models,
+        methods,
+        shards,
+        replicas: pod_stats.replicas,
+        total_device_us,
+        pod_makespan_us: pod_stats.makespan_us,
+        cache,
+        ingress,
+        residency,
+    }
+}
+
+/// The elastic control loop (see [`crate::autoscale`]): every
+/// `config.autoscale.interval` it diffs the metrics snapshot against the
+/// previous sample, condenses the window into [`ScaleSignals`], asks the
+/// [`ScalePolicy`] for a decision, and applies it through `Pod::grow` /
+/// `Pod::drain` — logging every action for [`Server::autoscale_report`].
+/// Exits promptly when `stop_and_join` flips the shutdown latch.
+fn autoscaler_loop(inner: &Inner) {
+    let state = inner.autoscale.as_ref().expect("autoscaler started without state");
+    let config = &inner.config.autoscale;
+    let mut policy = ScalePolicy::new(config.clone());
+    let mut prev = snapshot_of(inner);
+    loop {
+        {
+            let mut stopped = state.shutdown.lock();
+            if !*stopped {
+                state.wake.wait_for(&mut stopped, config.interval);
+            }
+            if *stopped {
+                return;
+            }
+        }
+        let snap = snapshot_of(inner);
+        let delta = snap.delta_since(&prev);
+        let enrolled = inner.pod.active_replicas();
+        let signals = ScaleSignals {
+            backlog_per_replica: (delta.queue_depth + delta.inflight_batches) as f64
+                / enrolled.max(1) as f64,
+            miss_rate: delta.deadline_miss_rate,
+            enrolled,
+        };
+        state.samples.fetch_add(1, Ordering::Relaxed);
+        let decision = policy.decide(signals);
+        let applied = match decision {
+            ScaleDecision::Grow => inner.pod.grow(),
+            ScaleDecision::Drain => inner.pod.drain(config.min_replicas),
+            ScaleDecision::Hold => None,
+        };
+        if let Some(replica) = applied {
+            state.events.lock().push(AutoscaleEvent {
+                at_s: inner.started.elapsed().as_secs_f64(),
+                decision,
+                replica,
+                enrolled_after: inner.pod.active_replicas(),
+                backlog_per_replica: signals.backlog_per_replica,
+                miss_rate: signals.miss_rate,
+            });
+        }
+        prev = snap;
     }
 }
 

@@ -1,0 +1,295 @@
+//! Elastic-scaling invariants, property-tested end to end: a disabled
+//! autoscaler must reproduce the fixed-pod runtime bit-exactly (same
+//! outputs, same provenance, same replica assignments), and planned
+//! grow/drain schedules — any pod size, any routing policy — must never
+//! lose or duplicate a request, must keep per-client FIFO, and must keep
+//! the per-replica and per-model device-time ledgers equal after drain
+//! refunds. A live controller flooded past its scale-up threshold must
+//! actually grow the pod, and still answer everything exactly once.
+
+use bfly_core::Method;
+use bfly_serve::{
+    AutoscaleConfig, CacheConfig, FaultPlan, Routing, ServeConfig, ServedFrom, Server, SubmitError,
+};
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const DIM: usize = 48;
+
+fn base_config(replicas: usize, routing: Routing) -> ServeConfig {
+    ServeConfig {
+        dim: DIM,
+        classes: 10,
+        seed: 23,
+        max_batch: 4,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 1024,
+        workers: 2,
+        replicas,
+        routing,
+        cache: CacheConfig::disabled(),
+        ..Default::default()
+    }
+}
+
+fn routing_from(index: usize) -> Routing {
+    match index % 3 {
+        0 => Routing::RoundRobin,
+        1 => Routing::PowerOfTwoChoices,
+        _ => Routing::JoinShortestQueue,
+    }
+}
+
+/// A per-request input that is unique across (client, seq) so no two
+/// logical requests ever collapse.
+fn unique_input(client: u64, seq: u64) -> Vec<f32> {
+    let tag = (client * 1_000 + seq) as f32;
+    (0..DIM).map(|i| (tag + i as f32).sin()).collect()
+}
+
+/// An enabled autoscaler whose thresholds can never fire: the pod gets its
+/// standby replicas, but only *planned* `grow_at`/`drain_at` events move
+/// them — the deterministic, simulated-clock path the proptests replay.
+fn dormant_autoscale(max_replicas: usize) -> AutoscaleConfig {
+    AutoscaleConfig {
+        enabled: true,
+        min_replicas: 1,
+        max_replicas,
+        warm_pool: 0,
+        interval: Duration::from_secs(1),
+        // Backlog is never above 1e18, never below 0: the controller holds.
+        scale_up_queue_depth: 1e18,
+        scale_up_miss_rate: 1e17,
+        scale_down_queue_depth: 0.0,
+        cooldown_windows: 0,
+    }
+}
+
+/// A seeded plan of grow/drain events inside the run's simulated-clock
+/// range. Drains never target replica 0, so the pod always keeps one
+/// enrolled replica and every admitted request can be answered.
+fn scale_plan(seed: u64, max_replicas: usize, events: usize) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for i in 0..events {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let at_us = (state % 6_000) as f64 / 1_000.0;
+        if i % 2 == 0 {
+            plan = plan.grow_at(at_us, (state >> 16) as usize % max_replicas);
+        } else if max_replicas > 1 {
+            plan = plan.drain_at(at_us, 1 + (state >> 16) as usize % (max_replicas - 1));
+        }
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A config with the autoscaler disabled is bit-identical to the
+    /// default fixed-pod runtime, whatever the (ignored) bounds and warm
+    /// pool say: same outputs, same provenance, same replica assignments,
+    /// and a pod of exactly `replicas` enrolled devices on both sides.
+    #[test]
+    fn disabled_autoscale_is_bit_identical_to_the_fixed_pod(
+        replicas in 1usize..5,
+        policy in 0usize..3,
+        per_client in 3u64..8,
+    ) {
+        let routing = routing_from(policy);
+        let disabled = ServeConfig {
+            autoscale: AutoscaleConfig {
+                enabled: false,
+                min_replicas: 1,
+                max_replicas: 8,
+                warm_pool: 3,
+                ..AutoscaleConfig::default()
+            },
+            ..base_config(replicas, routing)
+        };
+        let elastic_off = Server::start(disabled, &[Method::Butterfly]).unwrap();
+        let vanilla = Server::start(base_config(replicas, routing), &[Method::Butterfly]).unwrap();
+        for s in 0..per_client {
+            let a = elastic_off
+                .submit("butterfly", 0, s, unique_input(0, s))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            let b = vanilla
+                .submit("butterfly", 0, s, unique_input(0, s))
+                .unwrap()
+                .wait()
+                .expect("answered");
+            prop_assert_eq!(a.timing.source, ServedFrom::Compute);
+            prop_assert_eq!(b.timing.source, ServedFrom::Compute);
+            prop_assert_eq!(a.output, b.output, "disabled autoscale must not perturb kernels");
+            prop_assert_eq!(a.timing.replica, b.timing.replica, "same replica assignments");
+        }
+        let report = elastic_off.autoscale_report();
+        prop_assert!(!report.enabled);
+        prop_assert_eq!(report.samples, 0);
+        for snapshot in [elastic_off.shutdown(), vanilla.shutdown()] {
+            prop_assert_eq!(snapshot.replicas.len(), replicas, "no hidden standbys");
+            for r in &snapshot.replicas {
+                prop_assert!(r.enrolled);
+                prop_assert_eq!(r.scale_ups, 0);
+                prop_assert_eq!(r.drains, 0);
+            }
+        }
+    }
+
+    /// Under any planned grow/drain schedule, every admitted request is
+    /// answered exactly once, attribution stays inside the pod, and the
+    /// per-replica device tally agrees with the per-model tally — drain
+    /// refunds must never leave half a batch on one ledger.
+    #[test]
+    fn planned_scale_events_lose_and_duplicate_nothing(
+        enrolled in 1usize..4,
+        standbys in 1usize..4,
+        policy in 0usize..3,
+        scale_seed in 0u64..40,
+        events in 1usize..8,
+        clients in 2u64..5,
+        per_client in 3u64..9,
+    ) {
+        let max_replicas = enrolled + standbys;
+        let config = ServeConfig {
+            autoscale: dormant_autoscale(max_replicas),
+            fault_plan: scale_plan(scale_seed, max_replicas, events),
+            ..base_config(enrolled, routing_from(policy))
+        };
+        let server = Server::start(config, &[Method::Butterfly]).unwrap();
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            for s in 0..per_client {
+                match server.submit("butterfly", c, s, unique_input(c, s)) {
+                    Ok(handle) => handles.push(((c, s), handle)),
+                    Err(e) => panic!("replica 0 never drains, submit must admit: {e}"),
+                }
+            }
+        }
+        let admitted = handles.len() as u64;
+        let mut seen: HashMap<(u64, u64), u64> = HashMap::new();
+        for ((c, s), handle) in handles {
+            let r = handle.wait().expect("admitted requests always resolve");
+            prop_assert_eq!((r.client, r.seq), (c, s));
+            prop_assert_eq!(r.timing.source, ServedFrom::Compute);
+            prop_assert!(r.timing.replica.expect("computed => attributed") < max_replicas);
+            *seen.entry((c, s)).or_insert(0) += 1;
+        }
+        prop_assert_eq!(seen.len() as u64, clients * per_client);
+        prop_assert!(seen.values().all(|&n| n == 1), "every request answered exactly once");
+        let snapshot = server.shutdown();
+        prop_assert_eq!(snapshot.replicas.len(), max_replicas);
+        let replica_sum: f64 = snapshot.replicas.iter().map(|r| r.device_us).sum();
+        let model_sum: f64 = snapshot.models.iter().map(|m| m.device_us).sum();
+        prop_assert!(
+            (replica_sum - model_sum).abs() < 1e-6,
+            "after drain refunds the ledgers must agree: replicas {} vs models {}",
+            replica_sum,
+            model_sum
+        );
+        let completed: u64 = snapshot.models.iter().map(|m| m.completed).sum();
+        prop_assert_eq!(completed, admitted);
+        let crashes: u64 = snapshot.replicas.iter().map(|r| r.crashes).sum();
+        prop_assert_eq!(crashes, 0, "a drain is not a crash");
+    }
+
+    /// With one worker the batch queue serialises execution, so each
+    /// client's responses complete in submission order across grow and
+    /// drain transitions — stranded-batch retries are answered in batch
+    /// order, never early.
+    #[test]
+    fn per_client_fifo_survives_scale_events(
+        enrolled in 1usize..4,
+        standbys in 1usize..4,
+        policy in 0usize..3,
+        scale_seed in 0u64..40,
+        per_client in 4u64..10,
+    ) {
+        let max_replicas = enrolled + standbys;
+        let config = ServeConfig {
+            workers: 1,
+            autoscale: dormant_autoscale(max_replicas),
+            fault_plan: scale_plan(scale_seed, max_replicas, 6),
+            ..base_config(enrolled, routing_from(policy))
+        };
+        let server = Server::start(config, &[Method::Butterfly]).unwrap();
+        let clients = 3u64;
+        let mut handles = Vec::new();
+        for s in 0..per_client {
+            for c in 0..clients {
+                match server.submit("butterfly", c, s, unique_input(c, s)) {
+                    Ok(handle) => handles.push((c, handle)),
+                    Err(e) => panic!("unexpected submit error {e}"),
+                }
+            }
+        }
+        let mut last: HashMap<u64, (u64, u64)> = HashMap::new();
+        for (c, handle) in handles {
+            let r = handle.wait().expect("resolved");
+            if let Some(&(prev_seq, prev_idx)) = last.get(&c) {
+                prop_assert!(r.seq > prev_seq);
+                prop_assert!(
+                    r.completed_index > prev_idx,
+                    "client {}: seq {} completed at {} after seq {} at {}",
+                    c, r.seq, r.completed_index, prev_seq, prev_idx
+                );
+            }
+            last.insert(c, (r.seq, r.completed_index));
+        }
+        server.shutdown();
+    }
+}
+
+/// A live controller under a flood: with a hair-trigger threshold and a
+/// fast sampling interval, a backlog of slow single-request batches must
+/// make the pod grow — and every admitted request still resolves exactly
+/// once, attributed inside the grown pod.
+#[test]
+fn live_autoscaler_grows_under_flood_and_loses_nothing() {
+    let config = ServeConfig {
+        dim: 256,
+        max_batch: 1,
+        workers: 1,
+        queue_capacity: 4096,
+        autoscale: AutoscaleConfig {
+            interval: Duration::from_millis(1),
+            scale_up_queue_depth: 0.5,
+            cooldown_windows: 0,
+            ..AutoscaleConfig::bounded(1, 4)
+        },
+        ..base_config(1, Routing::PowerOfTwoChoices)
+    };
+    let total = 1_500u64;
+    let server = Server::start(config, &[Method::Baseline]).unwrap();
+    let mut handles = Vec::new();
+    for s in 0..total {
+        let input: Vec<f32> = (0..256).map(|i| (s as f32 + i as f32).sin()).collect();
+        match server.submit("baseline", 0, s, input) {
+            Ok(handle) => handles.push(handle),
+            Err(SubmitError::Overloaded) => {}
+            Err(e) => panic!("unexpected submit error {e}"),
+        }
+    }
+    let admitted = handles.len() as u64;
+    for handle in handles {
+        let r = handle.wait().expect("resolved");
+        assert_eq!(r.timing.source, ServedFrom::Compute);
+        assert!(r.timing.replica.expect("attributed") < 4);
+    }
+    let report = server.autoscale_report();
+    assert!(report.enabled);
+    assert!(report.samples > 0, "the controller sampled the flood");
+    let snapshot = server.shutdown();
+    let scale_ups: u64 = snapshot.replicas.iter().map(|r| r.scale_ups).sum();
+    assert!(scale_ups >= 1, "a sustained backlog must grow the pod");
+    let completed: u64 = snapshot.models.iter().map(|m| m.completed).sum();
+    assert_eq!(completed, admitted, "every admitted request resolves exactly once");
+    let replica_sum: f64 = snapshot.replicas.iter().map(|r| r.device_us).sum();
+    let model_sum: f64 = snapshot.models.iter().map(|m| m.device_us).sum();
+    assert!((replica_sum - model_sum).abs() < 1e-6, "device ledgers agree");
+}
