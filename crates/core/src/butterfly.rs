@@ -191,6 +191,25 @@ impl Butterfly {
         Self { n, factors, perm: Permutation::identity(n) }
     }
 
+    /// Assembles a butterfly from explicit factors — the path offline
+    /// fitters use when the twiddles come from an identification algorithm
+    /// rather than random initialisation.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two >= 2, the permutation has length
+    /// `n`, and the factors are exactly the block sizes `2, 4, …, n` in
+    /// application order with `2n`-long twiddle storage each.
+    pub fn from_factors(n: usize, factors: Vec<ButterflyFactor>, perm: Permutation) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "butterfly size {n} must be a power of two >= 2");
+        assert_eq!(perm.len(), n, "permutation size mismatch");
+        assert_eq!(factors.len(), n.trailing_zeros() as usize, "need log2 n factors");
+        for (s, f) in factors.iter().enumerate() {
+            assert_eq!(f.block_size, 1 << (s + 1), "factor {s} has the wrong block size");
+            assert_eq!(f.twiddles.len(), 2 * n, "factor {s} has the wrong twiddle length");
+        }
+        Self { n, factors, perm }
+    }
+
     /// Transform size.
     pub fn n(&self) -> usize {
         self.n

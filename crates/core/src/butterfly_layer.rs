@@ -60,6 +60,42 @@ impl ButterflyLayer {
         }
     }
 
+    /// Builds a layer around an existing factorization — the deployment path
+    /// for offline compression, where the twiddles come from a fit against a
+    /// trained dense weight rather than random initialisation. The layer is
+    /// fully trainable, so a compressed model can be fine-tuned.
+    ///
+    /// # Panics
+    /// Panics if the butterfly's size is not the layer's transform size
+    /// `next_pow2(max(in_dim, out_dim))` or the bias length is not `out_dim`.
+    pub fn from_butterfly(
+        in_dim: usize,
+        out_dim: usize,
+        butterfly: Butterfly,
+        bias: Vec<f32>,
+    ) -> Self {
+        assert!(in_dim >= 1 && out_dim >= 1);
+        let n = in_dim.max(out_dim).next_power_of_two().max(2);
+        assert_eq!(butterfly.n(), n, "butterfly size must be next_pow2(max(in, out))");
+        assert_eq!(bias.len(), out_dim, "bias length must match out_dim");
+        let factor_params = butterfly
+            .factors
+            .iter()
+            .enumerate()
+            .map(|(s, f)| Param::new(format!("butterfly.factor{s}"), f.twiddles.clone()))
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            butterfly,
+            factor_params,
+            bias: Param::new("butterfly.bias", bias),
+            arena: Vec::new(),
+            cached_rows: None,
+            scratch: Scratch::new(),
+        }
+    }
+
     /// Internal transform size.
     pub fn transform_size(&self) -> usize {
         self.butterfly.n()

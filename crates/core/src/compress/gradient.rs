@@ -1,0 +1,234 @@
+//! Gradient projection onto the butterfly class.
+//!
+//! Descends `||B P x − W x||²` over random uniform probes with SGD +
+//! momentum — the stochastic counterpart of the deterministic
+//! [`super::hierarchical`] sweep, and the method the paper's lineage
+//! (Dao et al.) uses to fit named transforms.
+
+use super::{finish_report, padded_target, CompressError, FitReport};
+use bfly_tensor::matmul::matmul_a_bt;
+use bfly_tensor::{Matrix, WorkspaceRng};
+
+use crate::butterfly::Butterfly;
+
+/// Configuration for [`fit_butterfly`].
+#[derive(Debug, Clone, Copy)]
+pub struct FitConfig {
+    /// Gradient steps (must be ≥ 1).
+    pub steps: usize,
+    /// Probe batch size per step (must be ≥ 1).
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self { steps: 2000, batch: 32, lr: 0.02, momentum: 0.9 }
+    }
+}
+
+impl FitConfig {
+    /// Rejects degenerate configurations: the seed fitter silently leaked a
+    /// `f64::MAX` loss (and divided by zero in the gradient scale) for
+    /// `steps == 0` or `batch == 0`.
+    pub fn validate(&self) -> Result<(), CompressError> {
+        if self.steps == 0 {
+            return Err(CompressError::InvalidConfig("steps must be >= 1"));
+        }
+        if self.batch == 0 {
+            return Err(CompressError::InvalidConfig("batch must be >= 1"));
+        }
+        if !self.lr.is_finite() {
+            return Err(CompressError::InvalidConfig("lr must be finite"));
+        }
+        if !self.momentum.is_finite() {
+            return Err(CompressError::InvalidConfig("momentum must be finite"));
+        }
+        Ok(())
+    }
+}
+
+/// Fits a butterfly factorization to a dense matrix by gradient descent.
+///
+/// Rectangular and non-power-of-two targets are zero-padded to the
+/// covering power-of-two square `n = next_pow2(max(rows, cols))`; the
+/// reported operator error is measured on the cropped region. The returned
+/// [`FitReport::final_loss`] is evaluated on the final probe batch *after*
+/// the last parameter update, so it describes the butterfly the report
+/// carries (the seed fitter reported the loss of the second-to-last
+/// model).
+pub fn fit_butterfly(
+    target: &Matrix,
+    config: &FitConfig,
+    rng: &mut WorkspaceRng,
+) -> Result<FitReport, CompressError> {
+    config.validate()?;
+    let (padded, n) = padded_target(target)?;
+    let mut student = Butterfly::random(n, rng);
+    let mut velocity: Vec<Vec<f32>> =
+        student.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
+    // The last probe batch is kept for the closing evaluation pass.
+    let mut probe: Option<(Matrix, Matrix)> = None;
+    for _ in 0..config.steps {
+        let x = Matrix::random_uniform(config.batch, n, 1.0, rng);
+        let want = matmul_a_bt(&x, &padded);
+        let mut grads: Vec<Vec<f32>> =
+            student.factors.iter().map(|f| vec![0.0; f.twiddles.len()]).collect();
+        for r in 0..config.batch {
+            let (got, cache) = student.forward_cached(x.row(r));
+            let grad_out: Vec<f32> = got
+                .iter()
+                .zip(want.row(r))
+                .map(|(g, w)| 2.0 * (g - w) / (config.batch * n) as f32)
+                .collect();
+            let _ = student.backward_cached(&cache, &grad_out, &mut grads);
+        }
+        for (s, factor) in student.factors.iter_mut().enumerate() {
+            for ((tw, vel), g) in factor.twiddles.iter_mut().zip(&mut velocity[s]).zip(&grads[s]) {
+                let v = config.momentum * *vel + g;
+                *vel = v;
+                *tw -= config.lr * v;
+            }
+        }
+        probe = Some((x, want));
+    }
+    // Closing evaluation: the loss of the *returned* parameters on the
+    // final probe batch.
+    let (x, want) = probe.expect("steps >= 1 was validated");
+    let mut loss = 0.0f64;
+    for r in 0..config.batch {
+        let got = student.apply(x.row(r));
+        for (g, w) in got.iter().zip(want.row(r)) {
+            loss += ((g - w) as f64).powi(2);
+        }
+    }
+    let final_loss = loss / (config.batch * n) as f64;
+    Ok(finish_report(student, Some(final_loss), target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_tensor::fwht::hadamard_matrix;
+    use bfly_tensor::seeded_rng;
+
+    #[test]
+    fn recovers_a_butterfly_representable_target() {
+        // Target = a random butterfly's dense form (same permutation class):
+        // the fit must drive the operator error far below a random guess.
+        let mut rng = seeded_rng(71);
+        let teacher = Butterfly::random(8, &mut rng);
+        let target = teacher.materialize();
+        let config = FitConfig { steps: 1500, ..FitConfig::default() };
+        let report = fit_butterfly(&target, &config, &mut rng).expect("valid config");
+        assert!(
+            report.operator_error < 0.15,
+            "fit stalled at operator error {}",
+            report.operator_error
+        );
+        assert!(report.compression > 0.0);
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn approximates_scaled_hadamard() {
+        // The fit uses bit-reversal as its fixed permutation, so H (whose
+        // natural butterfly uses the identity permutation) is only
+        // approximable — but the fit must still cut the operator error well
+        // below the random-initialisation level.
+        let mut rng = seeded_rng(72);
+        let target = hadamard_matrix(8).scale(1.0 / (8f32).sqrt());
+        let initial = Butterfly::random(8, &mut rng).materialize().relative_error(&target);
+        let config = FitConfig { steps: 2500, lr: 0.03, ..FitConfig::default() };
+        let report = fit_butterfly(&target, &config, &mut rng).expect("valid config");
+        assert!(
+            report.operator_error < 0.7 * initial,
+            "error {} did not improve enough on initial {initial}",
+            report.operator_error
+        );
+    }
+
+    #[test]
+    fn rectangular_targets_pad_and_fit() {
+        // Regression (seed panicked: "fit_butterfly needs a square target").
+        let mut rng = seeded_rng(73);
+        let target = Matrix::random_uniform(4, 8, 1.0, &mut rng);
+        let report =
+            fit_butterfly(&target, &FitConfig { steps: 50, ..Default::default() }, &mut rng)
+                .expect("rectangular targets are legal via pad/crop");
+        assert_eq!(report.butterfly.n(), 8);
+        assert_eq!((report.rows, report.cols), (4, 8));
+        assert!(report.operator_error.is_finite());
+    }
+
+    #[test]
+    fn non_power_of_two_targets_pad_and_fit() {
+        // Regression (seed panicked: "needs a power-of-two dimension").
+        let mut rng = seeded_rng(75);
+        let target = Matrix::random_uniform(6, 6, 1.0, &mut rng);
+        let report =
+            fit_butterfly(&target, &FitConfig { steps: 50, ..Default::default() }, &mut rng)
+                .expect("non-power-of-two targets are legal via pad/crop");
+        assert_eq!(report.butterfly.n(), 8);
+        assert_eq!(report.compression, 1.0 - report.butterfly.param_count() as f64 / 36.0);
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors() {
+        // Regression: the seed returned final_loss = f64::MAX for steps: 0
+        // and divided by zero in the gradient scale for batch: 0.
+        let mut rng = seeded_rng(74);
+        let target = Matrix::filled(8, 8, 0.5);
+        for (config, what) in [
+            (FitConfig { steps: 0, ..Default::default() }, "steps"),
+            (FitConfig { batch: 0, ..Default::default() }, "batch"),
+            (FitConfig { lr: f32::NAN, ..Default::default() }, "lr"),
+            (FitConfig { momentum: f32::INFINITY, ..Default::default() }, "momentum"),
+        ] {
+            let err = fit_butterfly(&target, &config, &mut rng)
+                .expect_err("degenerate config must be rejected");
+            match err {
+                CompressError::InvalidConfig(why) => {
+                    assert!(why.contains(what), "{why} should mention {what}")
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn final_loss_describes_the_returned_model() {
+        // Regression for the stale-loss bug: with one step at an absurd
+        // learning rate the parameters blow up in the final update. The
+        // seed reported the loss *before* that update (the modest
+        // random-init loss); the fixed fitter evaluates after it, so the
+        // report must carry the post-blow-up loss.
+        let mut rng = seeded_rng(76);
+        let target = Matrix::identity(8).scale(2.0);
+        let config = FitConfig { steps: 1, batch: 8, lr: 1e6, momentum: 0.0 };
+        let report = fit_butterfly(&target, &config, &mut rng).expect("valid config");
+        assert!(
+            report.final_loss > 1e6,
+            "final_loss {} describes the pre-update model (stale-loss bug)",
+            report.final_loss
+        );
+    }
+
+    #[test]
+    fn loss_decreases_during_fit() {
+        let mut rng = seeded_rng(74);
+        let teacher = Butterfly::random(8, &mut rng);
+        let target = teacher.materialize();
+        let short =
+            fit_butterfly(&target, &FitConfig { steps: 10, ..Default::default() }, &mut rng)
+                .expect("valid config");
+        let mut rng2 = seeded_rng(74);
+        let long =
+            fit_butterfly(&target, &FitConfig { steps: 800, ..Default::default() }, &mut rng2)
+                .expect("valid config");
+        assert!(long.final_loss < short.final_loss);
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline compression of trained dense operators into butterfly form.
+//!
+//! Given a trained (or otherwise fixed) dense operator `W`, find butterfly
+//! twiddles whose product approximates it — the "compress a layer after
+//! training" workflow, complementary to training the butterfly from scratch.
+//! Two algorithms are available behind [`CompressAlgo`]:
+//!
+//! - [`gradient`] — gradient descent on `||B P x − W x||²` over random
+//!   probes, matching how the paper's lineage (Dao et al.) fits named
+//!   transforms;
+//! - [`hierarchical`] — a deterministic hierarchical low-rank sweep in the
+//!   style of Zheng et al.'s butterfly identification algorithms: peel one
+//!   butterfly factor per level by truncated (rank-1) SVD of the 2×k row
+//!   pair blocks, recursing into the block-diagonal remainder.
+//!
+//! Rectangular and non-power-of-two targets are legal everywhere: the
+//! target is zero-padded to the covering power-of-two square, and the
+//! reported [`FitReport::operator_error`] is measured on the cropped
+//! region — exactly what a [`crate::ButterflyLayer`] built from the fit
+//! will represent. [`model`] walks a whole trained dense MLP stack
+//! layer-by-layer under a per-layer error budget.
+
+pub mod gradient;
+pub mod hierarchical;
+pub mod model;
+
+pub use gradient::{fit_butterfly, FitConfig};
+pub use hierarchical::{fit_butterfly_hierarchical, FitPerm, HierarchicalConfig};
+pub use model::{
+    compress_model, LayerCompression, LayerDecision, ModelCompressConfig, ModelCompression,
+};
+
+use crate::butterfly::Butterfly;
+use bfly_tensor::{Matrix, WorkspaceRng};
+use std::fmt;
+
+/// Typed failure of the offline-compression APIs.
+///
+/// The seed fitter panicked on rectangular targets and leaked
+/// `f64::MAX` sentinels out of degenerate configs; every public entry
+/// point now returns `Result<_, CompressError>` instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The target matrix has zero rows or zero columns.
+    EmptyTarget,
+    /// A configuration field makes the fit degenerate (zero steps, zero
+    /// probe batch, non-finite learning rate or momentum).
+    InvalidConfig(&'static str),
+    /// The whole-model driver met a layer it cannot inspect or rebuild.
+    UnsupportedLayer(String),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::EmptyTarget => write!(f, "compression target has a zero dimension"),
+            CompressError::InvalidConfig(why) => write!(f, "invalid compression config: {why}"),
+            CompressError::UnsupportedLayer(name) => {
+                write!(f, "model compression cannot rebuild layer {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Which fitting algorithm [`compress_matrix`] runs.
+#[derive(Debug, Clone, Copy)]
+pub enum CompressAlgo {
+    /// Stochastic gradient projection ([`fit_butterfly`]).
+    Gradient(FitConfig),
+    /// Deterministic hierarchical rank-1 sweep
+    /// ([`fit_butterfly_hierarchical`]).
+    Hierarchical(HierarchicalConfig),
+}
+
+impl Default for CompressAlgo {
+    fn default() -> Self {
+        CompressAlgo::Hierarchical(HierarchicalConfig::default())
+    }
+}
+
+/// Outcome of a butterfly fit.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// The fitted factorization (size `next_pow2(max(rows, cols))`).
+    pub butterfly: Butterfly,
+    /// Mean-squared probe error of the *returned* factorization: the
+    /// gradient fit re-evaluates the final probe batch after the last
+    /// parameter update; the hierarchical sweep reports the mean-squared
+    /// entry error of the cropped operator.
+    pub final_loss: f64,
+    /// Relative Frobenius error of the materialised operator, cropped to
+    /// the target's shape, vs the target.
+    pub operator_error: f32,
+    /// Parameter reduction vs the dense target:
+    /// `1 − param_count / (rows · cols)`. Negative when the factorization
+    /// holds more parameters than the dense matrix (tiny targets).
+    pub compression: f64,
+    /// Rows of the original (uncropped) target.
+    pub rows: usize,
+    /// Columns of the original (uncropped) target.
+    pub cols: usize,
+}
+
+/// Fits a butterfly to a dense target with the chosen algorithm. The RNG
+/// seeds the gradient fit's init and probes; the hierarchical sweep is
+/// deterministic and leaves it untouched.
+pub fn compress_matrix(
+    target: &Matrix,
+    algo: &CompressAlgo,
+    rng: &mut WorkspaceRng,
+) -> Result<FitReport, CompressError> {
+    match algo {
+        CompressAlgo::Gradient(config) => fit_butterfly(target, config, rng),
+        CompressAlgo::Hierarchical(config) => fit_butterfly_hierarchical(target, config),
+    }
+}
+
+/// Validates the target shape and returns `(padded, n)`: a square
+/// power-of-two copy with the target in the top-left corner.
+pub(crate) fn padded_target(target: &Matrix) -> Result<(Matrix, usize), CompressError> {
+    let (rows, cols) = target.shape();
+    if rows == 0 || cols == 0 {
+        return Err(CompressError::EmptyTarget);
+    }
+    let n = rows.max(cols).next_power_of_two().max(2);
+    let padded = if (rows, cols) == (n, n) { target.clone() } else { target.zero_pad(n, n) };
+    Ok((padded, n))
+}
+
+/// Assembles the report: crops the materialised operator back to the
+/// target's shape for the error, and measures compression against the
+/// *original* (unpadded) parameter count. `final_loss: None` means "use
+/// the cropped operator's mean-squared entry error" (the deterministic
+/// algorithms have no probe loss).
+pub(crate) fn finish_report(
+    butterfly: Butterfly,
+    final_loss: Option<f64>,
+    target: &Matrix,
+) -> FitReport {
+    let (rows, cols) = target.shape();
+    let full = butterfly.materialize();
+    let cropped =
+        if full.shape() == (rows, cols) { full } else { full.submatrix(0, 0, rows, cols) };
+    let operator_error = cropped.relative_error(target);
+    let final_loss = final_loss.unwrap_or_else(|| {
+        let diff = cropped.sub(target);
+        diff.as_slice().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / (rows * cols) as f64
+    });
+    let compression = 1.0 - butterfly.param_count() as f64 / (rows * cols) as f64;
+    FitReport { butterfly, final_loss, operator_error, compression, rows, cols }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_tensor::seeded_rng;
+
+    #[test]
+    fn empty_targets_are_typed_errors() {
+        let mut rng = seeded_rng(1);
+        for (r, c) in [(0, 4), (4, 0), (0, 0)] {
+            let err = compress_matrix(&Matrix::zeros(r, c), &CompressAlgo::default(), &mut rng)
+                .expect_err("zero-dim target must not fit");
+            assert_eq!(err, CompressError::EmptyTarget);
+        }
+    }
+
+    #[test]
+    fn padding_covers_rectangular_and_non_power_of_two() {
+        let (p, n) = padded_target(&Matrix::filled(5, 9, 1.0)).expect("valid");
+        assert_eq!(n, 16);
+        assert_eq!(p.shape(), (16, 16));
+        assert_eq!(p[(4, 8)], 1.0);
+        assert_eq!(p[(5, 9)], 0.0);
+        let (q, m) = padded_target(&Matrix::filled(8, 8, 1.0)).expect("valid");
+        assert_eq!(m, 8);
+        assert_eq!(q.shape(), (8, 8));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(CompressError::EmptyTarget.to_string().contains("zero dimension"));
+        assert!(CompressError::InvalidConfig("steps").to_string().contains("steps"));
+        assert!(CompressError::UnsupportedLayer("conv".into()).to_string().contains("conv"));
+    }
+}

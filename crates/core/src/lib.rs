@@ -37,7 +37,11 @@ pub use baselines::{CirculantLayer, FastfoodLayer, LowRankLayer, PrunedDenseLaye
 pub use block_sparse::BlockSparseMatrix;
 pub use butterfly::{Butterfly, ButterflyFactor};
 pub use butterfly_layer::ButterflyLayer;
-pub use compress::{fit_butterfly, FitConfig, FitReport};
+pub use compress::{
+    compress_matrix, compress_model, fit_butterfly, fit_butterfly_hierarchical, CompressAlgo,
+    CompressError, FitConfig, FitPerm, FitReport, HierarchicalConfig, LayerCompression,
+    LayerDecision, ModelCompressConfig, ModelCompression,
+};
 pub use conv_butterfly::ButterflyConv1x1;
 pub use kernels::{
     apply_rotation_stage, apply_twiddle_stage, fused_backward, fused_block_backward,

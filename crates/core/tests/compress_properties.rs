@@ -1,0 +1,124 @@
+//! Contract tests for the offline compression subsystem: the fitters are
+//! deterministic functions of their inputs, the reported compression ratio
+//! is exactly the parameter-count arithmetic for every target shape
+//! (rectangular and non-power-of-two included), and the two algorithms
+//! agree where they must — on targets that genuinely are butterflies.
+
+use bfly_core::{
+    fit_butterfly, fit_butterfly_hierarchical, Butterfly, FitConfig, HierarchicalConfig,
+};
+use bfly_tensor::{seeded_rng, Matrix};
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use rand::Rng;
+
+/// Dense matrix of a randomly initialised butterfly: columns of `T = B P`
+/// are the transforms of the basis vectors.
+fn butterfly_as_dense(n: usize, seed: u64) -> Matrix {
+    let mut rng = seeded_rng(seed);
+    let b = Butterfly::random(n, &mut rng);
+    let columns: Vec<Vec<f32>> = (0..n)
+        .map(|j| {
+            let mut e = vec![0.0f32; n];
+            e[j] = 1.0;
+            b.apply(&e)
+        })
+        .collect();
+    Matrix::from_fn(n, n, |i, j| columns[j][i])
+}
+
+fn random_target(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+/// Same seed, same target ⇒ bit-identical gradient-fit report: every
+/// twiddle, the final loss, and the operator error must match exactly.
+#[test]
+fn gradient_fit_is_deterministic_bit_for_bit() {
+    let mut data_rng = seeded_rng(901);
+    let target = Matrix::random_uniform(16, 16, 1.0, &mut data_rng);
+    let config = FitConfig { steps: 120, batch: 8, ..FitConfig::default() };
+    let run = |seed: u64| {
+        let mut rng = seeded_rng(seed);
+        fit_butterfly(&target, &config, &mut rng).expect("valid config")
+    };
+    let (a, b) = (run(7), run(7));
+    for (fa, fb) in a.butterfly.factors.iter().zip(&b.butterfly.factors) {
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fa.twiddles), bits(&fb.twiddles), "twiddles diverged across reruns");
+    }
+    assert_eq!(a.final_loss.to_bits(), b.final_loss.to_bits());
+    assert_eq!(a.operator_error.to_bits(), b.operator_error.to_bits());
+    // And a different seed genuinely changes the fit (the RNG is used).
+    let c = run(8);
+    assert_ne!(a.final_loss.to_bits(), c.final_loss.to_bits());
+}
+
+/// Both fitters agree on a target that is exactly a butterfly: the
+/// hierarchical sweep identifies it to numerical precision, and the
+/// gradient fit converges to a small operator error on the same target.
+#[test]
+fn hierarchical_and_gradient_agree_on_butterfly_representable_target() {
+    let target = butterfly_as_dense(16, 902);
+    let sweep =
+        fit_butterfly_hierarchical(&target, &HierarchicalConfig::default()).expect("valid target");
+    assert!(
+        sweep.operator_error < 1e-4,
+        "hierarchical sweep should identify an exact butterfly, got {}",
+        sweep.operator_error
+    );
+    let mut rng = seeded_rng(903);
+    let config = FitConfig { steps: 4000, batch: 32, lr: 0.02, ..FitConfig::default() };
+    let grad = fit_butterfly(&target, &config, &mut rng).expect("valid config");
+    assert!(
+        grad.operator_error < 0.2,
+        "gradient fit should converge on a butterfly-representable target, got {}",
+        grad.operator_error
+    );
+    // Both report the same shape and the same parameter arithmetic.
+    assert_eq!((sweep.rows, sweep.cols), (grad.rows, grad.cols));
+    assert_eq!(sweep.compression, grad.compression);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `compression == 1 − param_count/(rows·cols)` exactly, for every
+    /// target shape — rectangular and non-power-of-two included — and the
+    /// padded transform size is the next power of two of the longest side.
+    #[test]
+    fn compression_is_exact_parameter_arithmetic(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let target = random_target(rows, cols, &mut rng);
+        let report = fit_butterfly_hierarchical(&target, &HierarchicalConfig::default())
+            .expect("non-empty target");
+        prop_assert_eq!((report.rows, report.cols), (rows, cols));
+        let n = rows.max(cols).next_power_of_two().max(2);
+        prop_assert_eq!(report.butterfly.n(), n);
+        let expected = 1.0 - report.butterfly.param_count() as f64 / (rows * cols) as f64;
+        prop_assert_eq!(report.compression, expected);
+        prop_assert!(report.operator_error.is_finite());
+        prop_assert!(report.final_loss.is_finite());
+    }
+
+    /// The gradient fitter reports the identical arithmetic (the formula is
+    /// shared, not re-derived per algorithm).
+    #[test]
+    fn gradient_compression_matches_hierarchical(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let target = random_target(rows, cols, &mut rng);
+        let config = FitConfig { steps: 2, batch: 2, ..FitConfig::default() };
+        let grad = fit_butterfly(&target, &config, &mut seeded_rng(seed ^ 1)).expect("valid");
+        let sweep = fit_butterfly_hierarchical(&target, &HierarchicalConfig::default())
+            .expect("non-empty target");
+        prop_assert_eq!(grad.compression, sweep.compression);
+        prop_assert_eq!(grad.butterfly.n(), sweep.butterfly.n());
+    }
+}

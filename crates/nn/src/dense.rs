@@ -1,6 +1,6 @@
 //! Fully-connected (dense) layer — the `torch.nn.Linear` baseline.
 
-use crate::layer::Layer;
+use crate::layer::{DenseView, Layer};
 use crate::param::Param;
 use bfly_tensor::matmul::{matmul, matmul_a_bt_slice, matmul_at_b};
 use bfly_tensor::{LinOp, Matrix, Scratch};
@@ -54,6 +54,24 @@ impl Dense {
     pub fn set_weight(&mut self, w: &Matrix) {
         assert_eq!(w.shape(), (self.out_dim, self.in_dim), "weight shape mismatch");
         self.weight.value.copy_from_slice(w.as_slice());
+    }
+
+    /// Builds a dense layer from an existing `out × in` weight matrix and
+    /// bias — the path model rebuilders (offline compression) use to carry
+    /// trained parameters into a fresh stack.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != weight.rows()`.
+    pub fn from_parts(weight: Matrix, bias: Vec<f32>) -> Self {
+        let (out_dim, in_dim) = weight.shape();
+        assert_eq!(bias.len(), out_dim, "bias length must match weight rows");
+        Self {
+            in_dim,
+            out_dim,
+            weight: Param::new("dense.weight", weight.into_vec()),
+            bias: Param::new("dense.bias", bias),
+            cached_input: None,
+        }
     }
 }
 
@@ -122,6 +140,15 @@ impl Layer for Dense {
         // One fused kernel: frameworks lower Linear to addmm, which applies
         // the bias inside the matmul epilogue (no separate launch).
         vec![LinOp::MatMul { m: batch, k: self.in_dim, n: self.out_dim }]
+    }
+
+    fn dense_view(&self) -> Option<DenseView<'_>> {
+        Some(DenseView {
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+            weight: &self.weight.value,
+            bias: &self.bias.value,
+        })
     }
 }
 

@@ -3,6 +3,24 @@
 use crate::param::Param;
 use bfly_tensor::{LinOp, Matrix, Scratch};
 
+/// Read-only view of a layer that computes a dense affine map
+/// `y = x Wᵀ + b`, exposed without downcasting.
+///
+/// Offline compression drivers walk a [`Sequential`] and ask each layer for
+/// this view: layers that are plain affine maps (e.g. [`crate::Dense`])
+/// return their parameters, everything else returns `None` from
+/// [`Layer::dense_view`].
+pub struct DenseView<'a> {
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// Output dimensionality.
+    pub out_dim: usize,
+    /// Row-major `out_dim × in_dim` weight.
+    pub weight: &'a [f32],
+    /// `out_dim` bias.
+    pub bias: &'a [f32],
+}
+
 /// A differentiable layer with owned parameters.
 ///
 /// The calling convention is define-by-run without a graph: `forward` caches
@@ -81,6 +99,13 @@ pub trait Layer: Send + Sync {
     /// parameters. Zero after [`Layer::freeze`].
     fn train_state_bytes(&mut self) -> usize {
         self.params().iter().map(|p| p.train_state_bytes()).sum()
+    }
+
+    /// Exposes the layer's parameters as a dense affine map, when the layer
+    /// *is* one. Default: `None` (structured, stateless, and convolutional
+    /// layers are not inspectable this way).
+    fn dense_view(&self) -> Option<DenseView<'_>> {
+        None
     }
 }
 

@@ -14,6 +14,7 @@ pub mod dense;
 pub mod gradcheck;
 pub mod layer;
 pub mod loss;
+pub mod mlp;
 pub mod optim;
 pub mod param;
 pub mod pool;
@@ -23,8 +24,9 @@ pub use activation::{Relu, Tanh};
 pub use conv::{Conv2d, ConvShape};
 pub use dense::Dense;
 pub use gradcheck::check_gradients;
-pub use layer::{Layer, Sequential};
+pub use layer::{DenseView, Layer, Sequential};
 pub use loss::{accuracy, softmax, softmax_cross_entropy, LossOutput};
+pub use mlp::{build_dense_mlp, dense_mlp_param_count};
 pub use optim::{Adam, Sgd};
 pub use param::Param;
 pub use pool::{GlobalAvgPool, MaxPool2};

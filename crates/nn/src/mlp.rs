@@ -1,0 +1,75 @@
+//! Deep dense MLP stacks — the "bring your trained model" workload.
+//!
+//! The SHL builder in `bfly-core` constructs the paper's single-hidden-layer
+//! benchmark; the offline-compression pipeline instead starts from an
+//! arbitrary-depth *dense* classifier trained by the user. This module is
+//! that starting point: `in → hidden₁ → … → hiddenₖ → classes` with ReLU
+//! between affine layers.
+
+use crate::activation::Relu;
+use crate::dense::Dense;
+use crate::layer::Sequential;
+use rand::Rng;
+
+/// Builds a dense MLP classifier: one [`Dense`] per entry of
+/// `in_dim → hidden[0] → … → hidden[last] → classes`, ReLU after every
+/// hidden affine layer, logits out of the final one.
+pub fn build_dense_mlp(
+    in_dim: usize,
+    hidden: &[usize],
+    classes: usize,
+    rng: &mut impl Rng,
+) -> Sequential {
+    assert!(classes >= 1, "need at least one output class");
+    let mut model = Sequential::new();
+    let mut prev = in_dim;
+    for &width in hidden {
+        model = model.push(Box::new(Dense::new(prev, width, rng))).push(Box::new(Relu::new()));
+        prev = width;
+    }
+    model.push(Box::new(Dense::new(prev, classes, rng)))
+}
+
+/// Parameter count of the stack [`build_dense_mlp`] produces (weights +
+/// biases; activations are free).
+pub fn dense_mlp_param_count(in_dim: usize, hidden: &[usize], classes: usize) -> usize {
+    let mut prev = in_dim;
+    let mut count = 0usize;
+    for &width in hidden {
+        count += prev * width + width;
+        prev = width;
+    }
+    count + prev * classes + classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use bfly_tensor::{seeded_rng, Matrix};
+
+    #[test]
+    fn builds_the_requested_topology() {
+        let mut rng = seeded_rng(31);
+        let mut model = build_dense_mlp(20, &[16, 12], 5, &mut rng);
+        // dense, relu, dense, relu, dense
+        assert_eq!(model.len(), 5);
+        let y = model.forward(&Matrix::filled(3, 20, 0.1), false);
+        assert_eq!(y.shape(), (3, 5));
+    }
+
+    #[test]
+    fn param_count_formula_matches_model() {
+        let mut rng = seeded_rng(32);
+        let model = build_dense_mlp(64, &[48, 32], 10, &mut rng);
+        assert_eq!(model.param_count(), dense_mlp_param_count(64, &[48, 32], 10));
+        assert_eq!(dense_mlp_param_count(64, &[], 10), 64 * 10 + 10);
+    }
+
+    #[test]
+    fn no_hidden_layers_is_a_linear_classifier() {
+        let mut rng = seeded_rng(33);
+        let model = build_dense_mlp(8, &[], 3, &mut rng);
+        assert_eq!(model.len(), 1);
+    }
+}

@@ -96,7 +96,8 @@ pub use metrics::{
 };
 pub use payload::Payload;
 pub use registry::{
-    DeviceEstimate, ModelEntry, ModelLocation, ModelRegistry, ModelSpec, DEFAULT_REGISTRY_SHARDS,
+    DeviceEstimate, ModelEntry, ModelLocation, ModelRegistry, ModelSpec, PrebuiltModel,
+    DEFAULT_REGISTRY_SHARDS,
 };
 pub use replica::{
     JoinShortestQueue, PowerOfTwoChoices, ReplicaOccupancy, RoundRobin, RoutePolicy, Routing,

@@ -84,6 +84,35 @@ impl ModelSpec {
     }
 }
 
+/// A model carrying its *own trained weights* into the fleet — the
+/// deployment path of the offline-compression pipeline, where the stack was
+/// fitted against an existing dense model rather than derived from the
+/// fleet seed.
+///
+/// The stack is frozen (forward-only) at registration; its parameter count
+/// — and therefore its residency [`ModelEntry::weight_bytes`] — comes from
+/// the stack itself, so a butterfly-compressed model is priced at its
+/// actual O(n log n) footprint.
+pub struct PrebuiltModel {
+    /// Registry key; must be unique across the fleet.
+    pub name: String,
+    /// Method label used for routing/attribution (e.g. [`Method::Butterfly`]
+    /// for a compressed stack, [`Method::Baseline`] for its dense original).
+    pub method: Method,
+    /// Owning tenant.
+    pub tenant: String,
+    /// The stack to serve. Must accept `dim`-column inputs and produce
+    /// `classes`-column logits.
+    pub model: Sequential,
+}
+
+impl PrebuiltModel {
+    /// Wraps a stack under a name, method label and the `"default"` tenant.
+    pub fn new(name: &str, method: Method, model: Sequential) -> Self {
+        Self { name: name.to_string(), method, tenant: "default".to_string(), model }
+    }
+}
+
 /// One served model: a frozen (forward-only) SHL network.
 ///
 /// The model is immutable after construction, so the request hot path runs
@@ -247,8 +276,23 @@ impl ModelRegistry {
         specs: &[ModelSpec],
         shard_count: usize,
     ) -> Result<Self, PixelflyError> {
-        assert!(shard_count > 0, "registry needs at least one shard");
-        let mut flat = Vec::with_capacity(specs.len());
+        Self::build_fleet_mixed(dim, classes, seed, specs, Vec::new(), shard_count)
+    }
+
+    /// [`ModelRegistry::build_fleet`] plus caller-supplied prebuilt stacks:
+    /// seed-derived spec models register first (same weights and indices as
+    /// a spec-only fleet), then each [`PrebuiltModel`] in order. Prebuilt
+    /// stacks are frozen here and validated to produce `classes` logits for
+    /// `dim`-column inputs; names must be unique across both groups.
+    pub fn build_fleet_mixed(
+        dim: usize,
+        classes: usize,
+        seed: u64,
+        specs: &[ModelSpec],
+        prebuilt: Vec<PrebuiltModel>,
+        shard_count: usize,
+    ) -> Result<Self, PixelflyError> {
+        let mut flat = Vec::with_capacity(specs.len() + prebuilt.len());
         for (i, spec) in specs.iter().enumerate() {
             assert!(
                 flat.iter().all(|e: &Arc<ModelEntry>| e.name() != spec.name),
@@ -268,6 +312,40 @@ impl ModelRegistry {
                 estimates: RwLock::new(HashMap::new()),
             }));
         }
+        for built in prebuilt {
+            assert!(
+                flat.iter().all(|e: &Arc<ModelEntry>| e.name() != built.name),
+                "duplicate model name {:?} in fleet",
+                built.name
+            );
+            let mut model = built.model;
+            model.freeze();
+            let logits = model.forward_inference(&Matrix::zeros(1, dim), &mut Scratch::new());
+            assert_eq!(
+                logits.cols(),
+                classes,
+                "prebuilt model {:?} produces {} logits, fleet serves {classes}",
+                built.name,
+                logits.cols()
+            );
+            let param_count = model.param_count();
+            flat.push(Arc::new(ModelEntry {
+                name: built.name,
+                method: built.method,
+                tenant: built.tenant,
+                dim,
+                classes,
+                param_count,
+                model,
+                estimates: RwLock::new(HashMap::new()),
+            }));
+        }
+        Ok(Self::assemble(flat, shard_count))
+    }
+
+    /// Partitions registered entries into name-hashed shards.
+    fn assemble(flat: Vec<Arc<ModelEntry>>, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "registry needs at least one shard");
         let mut shards: Vec<RegistryShard> = (0..shard_count)
             .map(|_| RegistryShard { members: Vec::new(), by_name: HashMap::new() })
             .collect();
@@ -280,7 +358,7 @@ impl ModelRegistry {
             shards[shard].by_name.insert(entry.name().to_string(), location);
             locations.push(location);
         }
-        Ok(Self { shards, flat, locations })
+        Self { shards, flat, locations }
     }
 
     /// The registered models, in registration order.
@@ -426,6 +504,80 @@ mod tests {
                 assert_eq!(y.as_slice(), want.as_slice(), "{} diverged", entry.name());
             }
         }
+    }
+
+    #[test]
+    fn mixed_fleet_serves_prebuilt_weights_verbatim() {
+        use bfly_nn::{build_dense_mlp, Layer as _};
+        use bfly_tensor::seeded_rng;
+        let mut rng = seeded_rng(41);
+        let mut stack = build_dense_mlp(32, &[16], 10, &mut rng);
+        let x = Matrix::random_uniform(3, 32, 1.0, &mut rng);
+        let want = stack.forward(&x, false);
+        let expected_params = stack.param_count();
+        let reg = ModelRegistry::build_fleet_mixed(
+            32,
+            10,
+            7,
+            &[ModelSpec::named("seeded", Method::Butterfly, "default")],
+            vec![PrebuiltModel::new("mine", Method::Baseline, stack)],
+            4,
+        )
+        .expect("valid fleet");
+        assert_eq!(reg.len(), 2);
+        let entry = &reg.entries()[reg.index_of("mine").expect("registered")];
+        assert_eq!(entry.param_count(), expected_params);
+        assert_eq!(entry.weight_bytes(), 4 * expected_params as u64);
+        let mut scratch = Scratch::new();
+        let got = entry.forward(&x, &mut scratch);
+        assert_eq!(got.as_slice(), want.as_slice(), "prebuilt weights must serve verbatim");
+        // Spec-derived entries are unaffected by the prebuilt additions.
+        let spec_only = ModelRegistry::build_fleet(
+            32,
+            10,
+            7,
+            &[ModelSpec::named("seeded", Method::Butterfly, "default")],
+            4,
+        )
+        .expect("valid");
+        let ya = reg.entries()[0].forward(&x, &mut scratch);
+        let yb = spec_only.entries()[0].forward(&x, &mut scratch);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate model name")]
+    fn mixed_fleet_rejects_duplicate_prebuilt_names() {
+        use bfly_nn::build_dense_mlp;
+        use bfly_tensor::seeded_rng;
+        let mut rng = seeded_rng(42);
+        let stack = build_dense_mlp(8, &[], 10, &mut rng);
+        let _ = ModelRegistry::build_fleet_mixed(
+            8,
+            10,
+            1,
+            &[ModelSpec::named("clash", Method::Butterfly, "default")],
+            vec![PrebuiltModel::new("clash", Method::Baseline, stack)],
+            2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "logits")]
+    fn mixed_fleet_rejects_class_mismatch() {
+        use bfly_nn::build_dense_mlp;
+        use bfly_tensor::seeded_rng;
+        let mut rng = seeded_rng(43);
+        // 5-logit stack registered into a 10-class fleet.
+        let stack = build_dense_mlp(8, &[], 5, &mut rng);
+        let _ = ModelRegistry::build_fleet_mixed(
+            8,
+            10,
+            1,
+            &[],
+            vec![PrebuiltModel::new("wrong", Method::Baseline, stack)],
+            2,
+        );
     }
 
     #[test]

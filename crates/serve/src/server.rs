@@ -48,7 +48,7 @@ use crate::metrics::{
     ServeSnapshot,
 };
 use crate::payload::Payload;
-use crate::registry::{DeviceEstimate, ModelRegistry, ModelSpec};
+use crate::registry::{DeviceEstimate, ModelRegistry, ModelSpec, PrebuiltModel};
 use crate::replica::{Pod, RouteDecision, RoutePolicy, Settle};
 use crate::request::{
     InferRequest, InferResponse, ResponseHandle, ServedFrom, SubmitError, Timing,
@@ -188,7 +188,6 @@ impl Server {
         specs: &[ModelSpec],
         policy: Box<dyn RoutePolicy>,
     ) -> Result<Self, PixelflyError> {
-        config.validate();
         assert!(!specs.is_empty(), "server needs at least one model");
         let registry = ModelRegistry::build_fleet(
             config.dim,
@@ -197,6 +196,40 @@ impl Server {
             specs,
             config.registry_shards,
         )?;
+        Ok(Self::start_with_registry(config, registry, policy))
+    }
+
+    /// [`Server::start_fleet`] plus caller-supplied prebuilt stacks — the
+    /// offline-compression deployment path: a compressed (or otherwise
+    /// externally trained) model keeps its exact weights and is served over
+    /// the same pod, residency and routing machinery as seed-derived fleets.
+    pub fn start_fleet_prebuilt(
+        config: ServeConfig,
+        specs: &[ModelSpec],
+        prebuilt: Vec<PrebuiltModel>,
+    ) -> Result<Self, PixelflyError> {
+        assert!(!specs.is_empty() || !prebuilt.is_empty(), "server needs at least one model");
+        let policy = config.routing.build();
+        let registry = ModelRegistry::build_fleet_mixed(
+            config.dim,
+            config.classes,
+            config.seed,
+            specs,
+            prebuilt,
+            config.registry_shards,
+        )?;
+        Ok(Self::start_with_registry(config, registry, policy))
+    }
+
+    /// Starts the serving runtime over an already-built registry — the
+    /// common tail every constructor funnels through.
+    pub fn start_with_registry(
+        config: ServeConfig,
+        registry: ModelRegistry,
+        policy: Box<dyn RoutePolicy>,
+    ) -> Self {
+        config.validate();
+        assert!(!registry.is_empty(), "server needs at least one model");
         let metrics: Vec<Arc<ModelMetrics>> =
             registry.entries().iter().map(|_| Arc::new(ModelMetrics::default())).collect();
 
@@ -312,7 +345,7 @@ impl Server {
                 .expect("spawn autoscaler")
         });
 
-        Ok(Self { inner, batchers, workers, autoscaler })
+        Self { inner, batchers, workers, autoscaler }
     }
 
     /// The server's configuration.

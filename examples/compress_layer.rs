@@ -13,7 +13,9 @@
 //! dense-level accuracy directly. Structure must be trained in, not
 //! retrofitted.
 
-use bfly_core::{build_shl, fit_butterfly, FitConfig, Method};
+use bfly_core::{
+    build_shl, fit_butterfly, fit_butterfly_hierarchical, FitConfig, HierarchicalConfig, Method,
+};
 use bfly_data::{generate, split, SynthSpec};
 use bfly_nn::{evaluate, fit, Layer, TrainConfig};
 use bfly_tensor::{seeded_rng, Matrix};
@@ -61,11 +63,21 @@ fn main() {
     println!("2) projecting the trained {dim}x{dim} hidden weight onto a butterfly...");
     let mut fit_rng = seeded_rng(45);
     let fit_config = FitConfig { steps: 1500, lr: 0.02, ..FitConfig::default() };
-    let projection = fit_butterfly(&hidden_weight, &fit_config, &mut fit_rng);
+    let projection =
+        fit_butterfly(&hidden_weight, &fit_config, &mut fit_rng).expect("valid fit config");
     println!(
         "   operator error {:.3}; factorization keeps {:.1}% of the dense weight's parameters",
         projection.operator_error,
         100.0 * (1.0 - projection.compression)
+    );
+    // The deterministic hierarchical sweep (Zheng-style identification)
+    // reaches the same conclusion without any gradient steps: an arbitrary
+    // trained dense weight has no butterfly structure to identify.
+    let sweep = fit_butterfly_hierarchical(&hidden_weight, &HierarchicalConfig::default())
+        .expect("valid target");
+    println!(
+        "   (hierarchical identification sweep agrees: operator error {:.3})",
+        sweep.operator_error
     );
 
     // 4. Build a butterfly SHL initialised from the projection + the trained
